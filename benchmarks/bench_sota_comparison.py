@@ -1,0 +1,64 @@
+"""Section V-C — comparison with the state of the art (BLADE, Intel CNC)
+plus the theoretical multi-core CV32E40PX ceiling.
+
+Peak throughputs and scaled areas follow the paper's own comparison
+method: frequency-scaled GOPS, LLC-subsystem area efficiency.
+"""
+
+import pytest
+
+from conftest import publish
+from repro.baselines.multicore import MulticoreModel
+from repro.core.config import ArcaneConfig
+from repro.eval.tables import render_table
+from repro.eval.throughput import ThroughputModel
+
+
+def test_sota_comparison(benchmark):
+    model = ThroughputModel()
+    config = ArcaneConfig(lanes=8)
+
+    def build():
+        return model.versus(config, clock_mhz=265.0)
+
+    rows_by_name = benchmark(build)
+
+    rows = []
+    for name, values in rows_by_name.items():
+        rows.append([
+            name,
+            f"{values['peak_gops']:.1f}",
+            f"{values['area_mm2']:.2f}",
+            f"{values['gops_per_mm2']:.1f}",
+            f"{values['ratio_vs_arcane']:.2f}",
+        ])
+    text = render_table(
+        ["system", "peak GOPS", "area mm2", "GOPS/mm2", "ratio vs ARCANE"],
+        rows,
+        title="Section V-C - peak throughput comparison (scaled to 65 nm / 330 MHz)",
+    )
+
+    multicore = MulticoreModel()
+    text += "\n\ntheoretical multi-core CV32E40PX scaling (paper: peaks at 75x):\n"
+    text += render_table(
+        ["cores", "efficiency", "speedup vs scalar"],
+        [[n, f"{multicore.efficiency(n):.2f}", f"{multicore.speedup(n):.1f}x"]
+         for n in (1, 2, 4, 8, 15, 32)],
+    )
+    publish("sota_comparison", text)
+
+    arcane = rows_by_name["ARCANE"]
+    blade = rows_by_name["BLADE"]
+    cnc = rows_by_name["Intel CNC"]
+    assert arcane["peak_gops"] == pytest.approx(17.0, abs=0.2)  # paper: 17.0 GOPS
+    assert arcane["peak_gops"] / blade["peak_gops"] == pytest.approx(3.2, abs=0.1)
+    assert cnc["peak_gops"] / arcane["peak_gops"] == pytest.approx(1.47, abs=0.03)
+    assert arcane["gops_per_mm2"] == pytest.approx(9.2, abs=0.4)
+    assert blade["gops_per_mm2"] == pytest.approx(9.1, abs=0.2)
+
+
+def test_multicore_ceiling(benchmark):
+    model = MulticoreModel()
+    peak = benchmark(lambda: model.peak())  # area-parity budget (15 cores)
+    assert peak == pytest.approx(75.0, rel=0.05)
+    assert model.speedup(15) == pytest.approx(75.0, rel=0.02)

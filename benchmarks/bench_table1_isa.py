@@ -1,0 +1,49 @@
+"""Table I — the xmnmc instruction set: encodings and kernel registry.
+
+Reproduces the paper's Table I as the installed kernel library (slots,
+mnemonics, operand packing) and benchmarks the software decode path the
+bridge exercises for every offloaded instruction.
+"""
+
+import numpy as np
+
+from conftest import publish
+from repro.core.config import ArcaneConfig
+from repro.core.system import ArcaneSystem
+from repro.eval.tables import render_table
+from repro.isa.decode import decode
+from repro.isa.xmnmc import encode_xmk, encode_xmr
+
+#: Table I rows: mnemonic and the documented operand-pair layout.
+TABLE1_LAYOUT = [
+    ("xmr.[w,h,b]", "hi(&A)", "lo(&A)", "A.stride", "md", "A.cols", "A.rows", "Matrix reserve"),
+    ("xmk0.[w,h,b]", "alpha", "beta", "ms3", "md", "ms1", "ms2", "GeMM"),
+    ("xmk1.[w,h,b]", "alpha", "-", "-", "md", "ms1", "-", "LeakyReLU"),
+    ("xmk2.[w,h,b]", "stride", "win_size", "-", "md", "ms1", "-", "Maxpooling"),
+    ("xmk3.[w,h,b]", "-", "-", "-", "md", "ms1", "ms2", "2D Conv."),
+    ("xmk4.[w,h,b]", "-", "-", "-", "md", "ms1", "ms2", "3-ch. 2D Conv. Layer"),
+]
+
+
+def test_table1_kernel_registry(benchmark):
+    system = ArcaneSystem(ArcaneConfig())
+    names = system.llc.runtime.library.names()
+    assert names == {0: "gemm", 1: "leaky_relu", 2: "maxpool", 3: "conv2d", 4: "conv_layer"}
+
+    words = [encode_xmr("w", 1, 2, 3)] + [
+        encode_xmk(n, suffix, 10, 11, 12) for n in range(5) for suffix in "whb"
+    ]
+
+    def decode_all():
+        return [decode(word) for word in words]
+
+    decoded = benchmark(decode_all)
+    assert all(instr.extension == "xmnmc" for instr in decoded)
+
+    header = ["Mnemonic", "hi(rs1)", "lo(rs1)", "hi(rs2)", "lo(rs2)",
+              "hi(rs3)", "lo(rs3)", "Description"]
+    text = render_table(header, TABLE1_LAYOUT, title="Table I - ARCANE custom kernels")
+    text += "\n\ninstalled kernel library: " + ", ".join(
+        f"xmk{f5}={name}" for f5, name in sorted(names.items())
+    )
+    publish("table1_isa", text)

@@ -1,0 +1,55 @@
+"""Table II — synthesis results: area of the three ARCANE configurations.
+
+The analytical component model reproduces the paper's totals and
+overheads; the bench prints paper-vs-measured for each row.
+"""
+
+import pytest
+
+from conftest import publish
+from repro.core.config import ArcaneConfig
+from repro.eval.area import AreaModel
+from repro.eval.tables import render_table
+
+PAPER_ROWS = {
+    2: (2.88, 1996, 21.7),
+    4: (3.03, 2105, 28.3),
+    8: (3.34, 2318, 41.3),
+}
+
+
+def test_table2_synthesis_area(benchmark):
+    model = AreaModel()
+
+    def build_table():
+        return model.table2()
+
+    table = benchmark(build_table)
+
+    rows = []
+    for lanes, (paper_mm2, paper_kge, paper_overhead) in PAPER_ROWS.items():
+        breakdown = model.arcane(ArcaneConfig(lanes=lanes))
+        overhead = model.overhead_percent(ArcaneConfig(lanes=lanes))
+        rows.append([
+            f"ARCANE (4 VPUs, {lanes} lanes)",
+            f"{paper_mm2:.2f} / {paper_kge}",
+            f"{breakdown.total_mm2:.2f} / {breakdown.total_kge:.0f}",
+            f"{paper_overhead:.1f}%",
+            f"{overhead:.1f}%",
+        ])
+        assert breakdown.total_kge == pytest.approx(paper_kge, rel=0.005)
+        assert overhead == pytest.approx(paper_overhead, abs=0.5)
+    base = model.baseline()
+    rows.append([
+        "X-HEEP (4 DMem banks)",
+        "2.36 / 1640",
+        f"{base.total_mm2:.2f} / {base.total_kge:.0f}",
+        "-", "-",
+    ])
+    text = render_table(
+        ["configuration", "paper mm2/kGE", "measured mm2/kGE",
+         "paper overhead", "measured overhead"],
+        rows,
+        title="Table II - synthesis results (65 nm LP, 250 MHz, 16 KiB eMEM)",
+    )
+    publish("table2_area", text)

@@ -1,0 +1,21 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench renders the rows/series of one paper artifact (table or
+figure), writes the text to ``benchmarks/results/<name>.txt`` and prints
+it (visible with ``pytest -s``).  The pytest-benchmark fixture times a
+representative unit of each experiment so ``--benchmark-only`` produces
+a timing table per artifact.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def publish(name: str, text: str) -> None:
+    """Print a rendered artifact and persist it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print(f"\n{'=' * 72}\n{text}\n{'=' * 72}")

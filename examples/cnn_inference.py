@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""A tiny CNN running end-to-end on the ARCANE smart LLC.
+
+The paper motivates ARCANE with edge-AI / tinyML CNN inference.  This
+example chains the software-defined instructions into a 2-block
+ConvNet on an int8 input image:
+
+    block 1: xmk4 conv layer (3-ch conv 3x3 + ReLU + 2x2 pool)
+    block 2: xmk3 single-channel conv 3x3, then xmk1 LeakyReLU,
+             then xmk2 2x2 max pooling
+    head:    xmk0 GeMM as a fully-connected layer over the flattened
+             feature map
+
+Every intermediate stays in the cache/memory system and is verified
+against a numpy golden model at the end.
+
+Usage:  python examples/cnn_inference.py
+"""
+
+import numpy as np
+
+from repro import ArcaneConfig, ArcaneSystem
+from repro.baselines.reference import (
+    ref_conv2d,
+    ref_conv_layer,
+    ref_gemm,
+    ref_leaky_relu,
+    ref_maxpool,
+)
+
+IMAGE = 32  # 3x32x32 input
+N_CLASSES = 10
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+    image = rng.integers(-8, 8, (3 * IMAGE, IMAGE), dtype=np.int8)
+    filters1 = rng.integers(-2, 3, (9, 3), dtype=np.int8)  # 3-ch 3x3
+    filters2 = rng.integers(-2, 3, (3, 3), dtype=np.int8)  # 1-ch 3x3
+
+    system = ArcaneSystem(ArcaneConfig(lanes=8))
+    print(system.config.describe())
+
+    # ---- golden model --------------------------------------------------
+    g_block1 = ref_conv_layer(image, filters1)                       # 15x15
+    g_conv2 = ref_conv2d(g_block1, filters2)                         # 13x13
+    g_act2 = ref_leaky_relu(g_conv2, 3)
+    g_pool2 = ref_maxpool(g_act2, 2, 2)                              # 6x6
+    g_flat = g_pool2.reshape(1, -1)                                  # 1x36
+    weights = rng.integers(-3, 4, (g_flat.shape[1], N_CLASSES), dtype=np.int8)
+    bias = rng.integers(-5, 6, (1, N_CLASSES), dtype=np.int8)
+    g_logits = ref_gemm(g_flat, weights, bias, alpha=1, beta=1)
+
+    # ---- the same network as xmnmc instructions ------------------------
+    a = system.place_matrix(image, "image")
+    f1 = system.place_matrix(filters1, "filters1")
+    f2 = system.place_matrix(filters2, "filters2")
+    block1 = system.alloc_matrix(g_block1.shape, np.int8, "block1")
+    conv2 = system.alloc_matrix(g_conv2.shape, np.int8, "conv2")
+    act2 = system.alloc_matrix(g_act2.shape, np.int8, "act2")
+    pool2 = system.alloc_matrix(g_pool2.shape, np.int8, "pool2")
+    w = system.place_matrix(weights, "weights")
+    b = system.place_matrix(bias, "bias")
+    logits = system.alloc_matrix((1, N_CLASSES), np.int8, "logits")
+
+    with system.program() as prog:
+        # block 1 — one fused complex instruction
+        prog.xmr(0, a).xmr(1, f1).xmr(2, block1)
+        prog.conv_layer(dest=2, src=0, flt=1, suffix="b")
+        # block 2 — conv / activation / pool as separate kernels
+        prog.xmr(0, block1).xmr(1, f2).xmr(2, conv2)
+        prog.conv2d(dest=2, src=0, flt=1, suffix="b")
+        prog.xmr(0, conv2).xmr(1, act2)
+        prog.leaky_relu(dest=1, src=0, alpha=3, suffix="b")
+        prog.xmr(0, act2).xmr(1, pool2)
+        prog.maxpool(dest=1, src=0, window=2, stride=2, suffix="b")
+
+    # classifier head: flatten and GeMM (a fresh reservation of the same
+    # memory with a 1-row shape — xmr binds shape to address, so the
+    # flattened view costs nothing)
+    flat = system.alloc_matrix(g_flat.shape, np.int8, "flat")
+    system.memory.write_matrix(flat.address, system.read_matrix(pool2).reshape(1, -1))
+    with system.program() as prog:
+        prog.xmr(0, flat).xmr(1, w).xmr(2, b).xmr(3, logits)
+        prog.gemm(dest=3, a=0, b=1, c=2, alpha=1, beta=1, suffix="b")
+
+    # ---- verification ----------------------------------------------------
+    for name, handle, golden in [
+        ("block1", block1, g_block1),
+        ("conv2", conv2, g_conv2),
+        ("act2", act2, g_act2),
+        ("pool2", pool2, g_pool2),
+        ("logits", logits, g_logits),
+    ]:
+        out = system.read_matrix(handle)
+        assert np.array_equal(out, golden), f"{name} mismatch"
+        print(f"  {name:<7} {out.shape!s:<10} verified")
+
+    prediction = int(np.argmax(system.read_matrix(logits)))
+    print(f"\npredicted class: {prediction}  logits: {system.read_matrix(logits)[0].tolist()}")
+    stats = system.stats.counters()
+    print(f"kernels executed: {stats['scheduler.kernels']}, "
+          f"DMA rows moved: {stats.get('alloc.rows_loaded', 0)} in / "
+          f"{stats.get('alloc.rows_stored', 0)} out")
+
+
+if __name__ == "__main__":
+    main()

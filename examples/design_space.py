@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Design-space exploration: lanes, VPUs and the area/performance trade.
+
+Sweeps the ARCANE configuration space of paper Table II (plus a few
+points beyond it), measuring conv-layer latency on each configuration and
+pricing it with the area model — the kind of exploration the original
+RTL flow needed a synthesis run per point for.
+
+Usage:  python examples/design_space.py [size]
+"""
+
+import sys
+
+import numpy as np
+
+from repro import ArcaneConfig, ArcaneSystem
+from repro.baselines.models import scalar_conv_layer_cycles
+from repro.baselines.scalar_kernels import ConvLayerShape
+from repro.eval.area import AreaModel
+from repro.eval.tables import render_table
+from repro.eval.throughput import ThroughputModel
+
+
+def measure(config: ArcaneConfig, image: np.ndarray, filters: np.ndarray) -> int:
+    system = ArcaneSystem(config)
+    _, report = system.run_conv_layer(image, filters)
+    return report.total_cycles
+
+
+def main() -> None:
+    size = int(sys.argv[1]) if len(sys.argv) > 1 else 64
+    rng = np.random.default_rng(3)
+    image = rng.integers(-8, 8, (3 * size, size), dtype=np.int8)
+    filters = rng.integers(-2, 3, (9, 3), dtype=np.int8)
+    scalar = scalar_conv_layer_cycles(ConvLayerShape(size, size, 3), 1)
+    area_model = AreaModel()
+    throughput = ThroughputModel(area_model)
+
+    print(f"workload: 3-channel conv layer, {size}x{size} int8, 3x3 filters")
+    print(f"scalar CV32E40X baseline: {scalar:,} cycles\n")
+
+    rows = []
+    for lanes in (2, 4, 8):
+        for multi in (False, True):
+            config = ArcaneConfig(lanes=lanes, multi_vpu=multi)
+            cycles = measure(config, image, filters)
+            overhead = area_model.overhead_percent(config)
+            rows.append([
+                f"{config.n_vpus} VPUs x {lanes} lanes" + (" (multi)" if multi else ""),
+                f"{cycles:,}",
+                f"{scalar / cycles:.1f}x",
+                f"{throughput.peak_gops(config):.1f}",
+                f"{overhead:.1f}%",
+                f"{(scalar / cycles) / (1 + overhead / 100):.1f}",
+            ])
+    print(render_table(
+        ["configuration", "cycles", "speedup", "peak GOPS",
+         "area overhead", "speedup per area"],
+        rows,
+        title="ARCANE design space (Table II configurations, measured)",
+    ))
+    print("\nThe per-area column shows the paper's trade-off: more lanes buy "
+          "throughput,\nbut the LLC splitting and datapath area grow "
+          "(21.7% -> 41.3% overhead).")
+
+
+if __name__ == "__main__":
+    main()

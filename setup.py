@@ -1,0 +1,22 @@
+"""Legacy setup shim.
+
+The evaluation environment is offline and has no ``wheel`` package, so
+PEP 660 editable installs (``pip install -e .``) cannot build. This shim
+lets ``pip install -e . --no-build-isolation`` fall back to
+``setup.py develop``, which needs only setuptools.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "ARCANE: Adaptive RISC-V Cache Architecture for Near-memory "
+        "Extensions - functional/cycle reproduction"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    install_requires=["numpy"],
+)

@@ -1,0 +1,38 @@
+"""ARCANE reproduction: adaptive RISC-V cache with near-memory extensions.
+
+Functional/cycle-level reproduction of "ARCANE: Adaptive RISC-V Cache
+Architecture for Near-memory Extensions" (DAC 2025).  See DESIGN.md for
+the system inventory and EXPERIMENTS.md for the paper-vs-measured record.
+
+Public entry points:
+
+* :class:`repro.ArcaneSystem` / :class:`repro.ArcaneConfig` -- the smart
+  LLC system model and its configuration (the primary contribution);
+* :mod:`repro.baselines` -- CV32E40X scalar and CV32E40PX packed-SIMD
+  baselines (ISS-backed) plus the conventional-cache system;
+* :mod:`repro.eval` -- area model, throughput comparisons and the data
+  series behind every table/figure of the paper.
+"""
+
+from repro.core.api import Matrix
+from repro.core.config import (
+    ArcaneConfig,
+    PRESET_2_LANES,
+    PRESET_4_LANES,
+    PRESET_8_LANES,
+)
+from repro.core.system import ArcaneSystem, HostProgram, RunReport
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Matrix",
+    "ArcaneConfig",
+    "ArcaneSystem",
+    "HostProgram",
+    "RunReport",
+    "PRESET_2_LANES",
+    "PRESET_4_LANES",
+    "PRESET_8_LANES",
+    "__version__",
+]

@@ -1,0 +1,30 @@
+"""Baselines: golden models and the CPU systems ARCANE is compared against.
+
+* :mod:`repro.baselines.reference` — numpy golden models with the exact
+  wrap-around integer semantics of the hardware (used by every
+  correctness test);
+* :mod:`repro.baselines.scalar_kernels` — RV32IM assembly kernels
+  executed on the ISS (the CV32E40X baseline);
+* :mod:`repro.baselines.pulp_kernels` — XCVPULP packed-SIMD assembly
+  kernels (the CV32E40PX baseline);
+* :mod:`repro.baselines.models` — analytical cycle models validated
+  against the ISS and extrapolated to paper-scale inputs;
+* :mod:`repro.baselines.multicore` — the theoretical multi-core
+  CV32E40PX scaling model of paper section V-C.
+"""
+
+from repro.baselines.reference import (
+    ref_conv2d,
+    ref_conv_layer,
+    ref_gemm,
+    ref_leaky_relu,
+    ref_maxpool,
+)
+
+__all__ = [
+    "ref_conv2d",
+    "ref_conv_layer",
+    "ref_gemm",
+    "ref_leaky_relu",
+    "ref_maxpool",
+]

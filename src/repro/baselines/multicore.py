@@ -1,0 +1,67 @@
+"""Theoretical multi-core CV32E40PX scaling model (paper section V-C).
+
+The paper argues that a multi-core packed-SIMD system comparable in area
+to multi-instance ARCANE (about 15 CV32E40PX cores) cannot match it:
+"multi-core implementations relying on packed-SIMD instructions introduce
+significant overhead from frequent instruction cache accesses, causing
+memory contention and synchronization delays.  Even under optimal
+conditions, the theoretical speedup peaks at 75x."
+
+We model that argument explicitly: N cores each delivering the measured
+single-core XCVPULP speedup, derated by a contention efficiency term
+
+    efficiency(N) = 1 / (1 + alpha * (N - 1))
+
+where ``alpha`` captures per-core instruction-fetch/memory contention.
+``alpha`` is calibrated so that the 15-core configuration lands at the
+paper's 75x ceiling given its 8.6x peak single-core speedup
+(75 = 15 * 8.6 * eff(15) -> alpha ~= 0.052).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Paper anchors.
+PAPER_SINGLE_CORE_PEAK = 8.6
+PAPER_MULTICORE_PEAK = 75.0
+PAPER_CORE_COUNT = 15
+
+
+def _calibrate_alpha(
+    cores: int = PAPER_CORE_COUNT,
+    single: float = PAPER_SINGLE_CORE_PEAK,
+    target: float = PAPER_MULTICORE_PEAK,
+) -> float:
+    # target = cores * single / (1 + alpha * (cores - 1))
+    return (cores * single / target - 1.0) / (cores - 1)
+
+
+DEFAULT_ALPHA = _calibrate_alpha()
+
+
+@dataclass(frozen=True)
+class MulticoreModel:
+    """Contention-derated multi-core speedup estimator."""
+
+    single_core_speedup: float = PAPER_SINGLE_CORE_PEAK
+    alpha: float = DEFAULT_ALPHA
+
+    def efficiency(self, cores: int) -> float:
+        if cores < 1:
+            raise ValueError("need at least one core")
+        return 1.0 / (1.0 + self.alpha * (cores - 1))
+
+    def speedup(self, cores: int) -> float:
+        """Aggregate speedup over the scalar CV32E40X baseline."""
+        return cores * self.single_core_speedup * self.efficiency(cores)
+
+    def peak(self, max_cores: int = PAPER_CORE_COUNT) -> float:
+        """Best speedup within the area-equivalent core budget.
+
+        The paper's "theoretical speedup peaks at 75x" is evaluated at
+        area parity with multi-instance ARCANE (~15 CV32E40PX cores), so
+        the default budget is 15 cores — the efficiency curve itself is
+        monotone and only the area budget caps it.
+        """
+        return max(self.speedup(n) for n in range(1, max_cores + 1))

@@ -1,0 +1,206 @@
+"""CV32E40X scalar baseline: RV32IM assembly kernels executed on the ISS.
+
+The paper's speedups are measured against "a baseline CV32E40X CPU core"
+running the same 3-channel convolutional layer in scalar code.  We
+*generate* that code (shape constants baked in, exactly like a compiler
+unrolling nothing) and execute it on the instruction-set simulator with
+the CV32E40X timing model, so baseline cycle counts come from real
+instruction streams, not guesses.
+
+Layouts match the ARCANE kernels: input (3H x W) channel-stacked, filter
+(3K x K), output = pooled conv (ReLU applied during pooling).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.cpu.core import Cpu
+from repro.cpu.timing import CV32E40X_TIMING
+from repro.isa.asm import assemble
+from repro.mem.memory import MainMemory
+
+#: Memory map for baseline kernel runs.
+CODE_BASE = 0x0000_0000
+X_BASE = 0x0008_0000
+F_BASE = 0x0010_0000
+CONV_BASE = 0x0014_0000  # scratch conv output before pooling
+OUT_BASE = 0x0018_0000
+MEMORY_BYTES = 0x0020_0000
+
+_LOAD = {1: "lb", 2: "lh", 4: "lw"}
+_STORE = {1: "sb", 2: "sh", 4: "sw"}
+
+
+@dataclass(frozen=True)
+class ConvLayerShape:
+    """Shape bundle for the 3-channel conv layer workload."""
+
+    height: int
+    width: int
+    k: int
+    channels: int = 3
+    pool: int = 2
+    pool_stride: int = 2
+
+    @property
+    def conv_rows(self) -> int:
+        return self.height - self.k + 1
+
+    @property
+    def conv_cols(self) -> int:
+        return self.width - self.k + 1
+
+    @property
+    def out_shape(self) -> Tuple[int, int]:
+        rows = (self.conv_rows - self.pool) // self.pool_stride + 1
+        cols = (self.conv_cols - self.pool) // self.pool_stride + 1
+        return rows, cols
+
+    @property
+    def macs(self) -> int:
+        return self.conv_rows * self.conv_cols * self.channels * self.k * self.k
+
+
+def generate_conv_layer_asm(shape: ConvLayerShape, esize: int) -> str:
+    """Emit the scalar conv+ReLU+pool kernel for one shape/element size."""
+    load, store = _LOAD[esize], _STORE[esize]
+    s = shape
+    row_bytes = s.width * esize
+    conv_row_bytes = s.conv_cols * esize
+    filter_row_bytes = s.k * esize
+    plane_bytes = s.height * row_bytes
+    out_rows, out_cols = s.out_shape
+
+    return f"""
+# scalar 3-channel conv layer: {s.height}x{s.width}, {s.k}x{s.k}, esize={esize}
+    li32 s0, {X_BASE}          # X base
+    li32 s1, {F_BASE}          # F base
+    li32 s2, {CONV_BASE}       # conv scratch
+    li32 s3, {OUT_BASE}        # pooled output
+
+# ---- convolution ----
+    li32 s4, 0                 # i (conv row)
+conv_i:
+    li32 s5, 0                 # j (conv col)
+conv_j:
+    li32 a0, 0                 # acc
+    li32 s6, 0                 # c (channel)
+conv_c:
+    # a5 = &X[c*H + i][j], a6 = &F[c*K][0]
+    li32 t0, {plane_bytes}
+    mul  a5, s6, t0
+    add  a5, a5, s0
+    li32 t0, {row_bytes}
+    mul  t1, s4, t0
+    add  a5, a5, t1
+    li32 t0, {esize}
+    mul  t1, s5, t0
+    add  a5, a5, t1
+    li32 t0, {s.k * filter_row_bytes}
+    mul  a6, s6, t0
+    add  a6, a6, s1
+    li32 s7, 0                 # dr
+conv_dr:
+    li32 t0, {s.k}             # dc counter
+conv_dc:
+    {load}   t1, 0(a5)
+    {load}   t2, 0(a6)
+    mul  t3, t1, t2
+    add  a0, a0, t3
+    addi a5, a5, {esize}
+    addi a6, a6, {esize}
+    addi t0, t0, -1
+    bnez t0, conv_dc
+    addi a5, a5, {row_bytes - filter_row_bytes}   # next input row, same j
+    addi s7, s7, 1
+    li32 t0, {s.k}
+    bne  s7, t0, conv_dr
+    addi s6, s6, 1
+    li32 t0, {s.channels}
+    bne  s6, t0, conv_c
+    # CONV[i][j] = acc
+    li32 t0, {conv_row_bytes}
+    mul  t1, s4, t0
+    add  t1, t1, s2
+    li32 t0, {esize}
+    mul  t2, s5, t0
+    add  t1, t1, t2
+    {store}  a0, 0(t1)
+    addi s5, s5, 1
+    li32 t0, {s.conv_cols}
+    bne  s5, t0, conv_j
+    addi s4, s4, 1
+    li32 t0, {s.conv_rows}
+    bne  s4, t0, conv_i
+
+# ---- 2x2/2 max pool + ReLU ----
+    li32 s4, 0                 # pi
+pool_i:
+    li32 s5, 0                 # pj
+pool_j:
+    # t4 = &CONV[2*pi][2*pj]
+    li32 t0, {conv_row_bytes * s.pool_stride}
+    mul  t4, s4, t0
+    add  t4, t4, s2
+    li32 t0, {esize * s.pool_stride}
+    mul  t1, s5, t0
+    add  t4, t4, t1
+    {load}   a0, 0(t4)
+    {load}   t1, {esize}(t4)
+    bge  a0, t1, pool_m1_{0}
+    mv   a0, t1
+pool_m1_{0}:
+    {load}   t1, {conv_row_bytes}(t4)
+    bge  a0, t1, pool_m2_{0}
+    mv   a0, t1
+pool_m2_{0}:
+    {load}   t1, {conv_row_bytes + esize}(t4)
+    bge  a0, t1, pool_m3_{0}
+    mv   a0, t1
+pool_m3_{0}:
+    bgez a0, pool_relu_{0}
+    li32 a0, 0
+pool_relu_{0}:
+    li32 t0, {out_cols * esize}
+    mul  t1, s4, t0
+    add  t1, t1, s3
+    li32 t0, {esize}
+    mul  t2, s5, t0
+    add  t1, t1, t2
+    {store}  a0, 0(t1)
+    addi s5, s5, 1
+    li32 t0, {out_cols}
+    bne  s5, t0, pool_j
+    addi s4, s4, 1
+    li32 t0, {out_rows}
+    bne  s4, t0, pool_i
+    ebreak
+"""
+
+
+def run_scalar_conv_layer(
+    image: np.ndarray, filters: np.ndarray, max_instructions: int = 80_000_000
+) -> Tuple[np.ndarray, int]:
+    """Assemble, load and execute the scalar kernel; return (output, cycles)."""
+    esize = image.dtype.itemsize
+    channels = 3
+    height = image.shape[0] // channels
+    k = filters.shape[0] // channels
+    shape = ConvLayerShape(height=height, width=image.shape[1], k=k, channels=channels)
+
+    program = assemble(generate_conv_layer_asm(shape, esize), base=CODE_BASE)
+    memory = MainMemory(MEMORY_BYTES, base=0)
+    memory.write_block(CODE_BASE, bytes(program.data))
+    memory.write_matrix(X_BASE, image)
+    memory.write_matrix(F_BASE, filters)
+
+    cpu = Cpu(memory, timing=CV32E40X_TIMING)
+    cycles = cpu.run(max_instructions=max_instructions)
+
+    out_rows, out_cols = shape.out_shape
+    output = memory.read_matrix(OUT_BASE, out_rows, out_cols, image.dtype)
+    return output, cycles

@@ -1,0 +1,36 @@
+"""The ARCANE last-level cache (paper section III-A).
+
+A fully-associative cache whose data array doubles as the vector register
+files of the near-memory VPUs.  The total number of lines equals the
+aggregate vector register capacity (``n_vpus * vregs_per_vpu``) and the
+line length matches the maximum vector length, so a cache line *is* a
+vector register.
+
+Components:
+
+* :mod:`repro.cache.line` — per-line state (tag/valid/dirty + the
+  compute-role flags of paper section III-A.2/3);
+* :mod:`repro.cache.lru` — counter-based approximate LRU replacement;
+* :mod:`repro.cache.cache_table` — the CT: tag lookup + line storage;
+* :mod:`repro.cache.address_table` — the AT tracking kernel operand
+  regions for hazard detection;
+* :mod:`repro.cache.controller` — the LLC controller mediating host
+  accesses, the eCPU lock, refills/write-backs and hazard stalls.
+"""
+
+from repro.cache.line import CacheLine, LineRole
+from repro.cache.lru import ApproxLru
+from repro.cache.cache_table import CacheTable
+from repro.cache.address_table import AddressTable, AtEntry, OperandKind
+from repro.cache.controller import LlcController
+
+__all__ = [
+    "CacheLine",
+    "LineRole",
+    "ApproxLru",
+    "CacheTable",
+    "AddressTable",
+    "AtEntry",
+    "OperandKind",
+    "LlcController",
+]

@@ -1,0 +1,55 @@
+"""Counter-based approximate LRU replacement (paper section III-A.1).
+
+True LRU over hundreds of fully-associative lines is expensive in
+hardware; ARCANE approximates it with per-line aging counters.  The model
+here mirrors a standard aging scheme:
+
+* on an access, the touched line's counter resets to zero;
+* all other (valid, non-compute) counters increment, saturating at
+  ``2**counter_bits - 1``;
+* the victim is the line with the highest counter (ties broken by lowest
+  index, which keeps the model deterministic).
+
+Because counters saturate, lines untouched for a long time become
+indistinguishable — exactly the "approximate" in approximate LRU, and the
+behaviour the property-based tests pin down.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from repro.cache.line import CacheLine
+
+
+class ApproxLru:
+    """Aging-counter replacement policy over a set of cache lines."""
+
+    def __init__(self, counter_bits: int = 8) -> None:
+        if counter_bits < 1:
+            raise ValueError("counter_bits must be >= 1")
+        self.max_counter = (1 << counter_bits) - 1
+
+    def touch(self, accessed: CacheLine, all_lines: Iterable[CacheLine]) -> None:
+        """Record an access: reset the accessed line, age the others."""
+        for line in all_lines:
+            if line is accessed:
+                line.lru_counter = 0
+            elif line.lru_counter < self.max_counter:
+                line.lru_counter += 1
+
+    def select_victim(self, candidates: List[CacheLine]) -> Optional[CacheLine]:
+        """Pick the replacement victim among ``candidates``.
+
+        Invalid lines win immediately (no data to lose); otherwise the
+        oldest (highest counter) valid line is chosen.  Compute-busy lines
+        must already be excluded by the caller.  Returns None when the
+        candidate list is empty.
+        """
+        victim: Optional[CacheLine] = None
+        for line in candidates:
+            if not line.valid:
+                return line
+            if victim is None or line.lru_counter > victim.lru_counter:
+                victim = line
+        return victim

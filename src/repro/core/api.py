@@ -1,0 +1,75 @@
+"""Host-side matrix handles — the Python face of the xmnmc intrinsics.
+
+A :class:`Matrix` is what the C code of the paper's Listing 1 holds as
+``int A[rowsA][colsA]``: a shape + dtype + base address in system memory.
+:class:`~repro.core.system.ArcaneSystem` hands them out from a bump
+allocator and the program builder packs them into ``xmr`` operand pairs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.vpu.visa import ElementType
+
+_SUPPORTED_DTYPES = {
+    np.dtype(np.int8): ElementType.B,
+    np.dtype(np.int16): ElementType.H,
+    np.dtype(np.int32): ElementType.W,
+}
+
+
+def element_type_for(dtype: np.dtype) -> ElementType:
+    """Map a numpy dtype to the xmnmc element suffix; rejects others."""
+    dtype = np.dtype(dtype)
+    try:
+        return _SUPPORTED_DTYPES[dtype]
+    except KeyError:
+        supported = ", ".join(str(d) for d in _SUPPORTED_DTYPES)
+        raise TypeError(f"dtype {dtype} unsupported; use one of: {supported}") from None
+
+
+@dataclass(frozen=True)
+class Matrix:
+    """A host-visible matrix living in system memory."""
+
+    address: int
+    rows: int
+    cols: int
+    dtype: np.dtype
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.rows <= 0 or self.cols <= 0:
+            raise ValueError(f"matrix shape {self.rows}x{self.cols} must be positive")
+
+    @property
+    def etype(self) -> ElementType:
+        return element_type_for(self.dtype)
+
+    @property
+    def itemsize(self) -> int:
+        return np.dtype(self.dtype).itemsize
+
+    @property
+    def row_bytes(self) -> int:
+        return self.cols * self.itemsize
+
+    @property
+    def total_bytes(self) -> int:
+        return self.rows * self.row_bytes
+
+    @property
+    def shape(self):
+        return (self.rows, self.cols)
+
+    def element_address(self, row: int, col: int) -> int:
+        if not (0 <= row < self.rows and 0 <= col < self.cols):
+            raise IndexError(f"({row}, {col}) outside {self.rows}x{self.cols}")
+        return self.address + (row * self.cols + col) * self.itemsize
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        label = self.name or "matrix"
+        return f"<{label} {self.rows}x{self.cols} {np.dtype(self.dtype).name} @{self.address:#x}>"

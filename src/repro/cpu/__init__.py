@@ -1,0 +1,27 @@
+"""RV32 instruction-set simulator with CV32E40X/CV32E40PX timing models.
+
+The ISS plays two roles in the reproduction:
+
+* it executes the *baseline* kernels (scalar RV32IMC and XCVPULP
+  packed-SIMD convolutions) to measure the cycle counts that ARCANE's
+  speedups in Figure 4 are computed against, and
+* it validates the analytical baseline cycle models in
+  :mod:`repro.baselines` that extrapolate to input sizes too large to
+  simulate instruction-by-instruction in Python.
+"""
+
+from repro.cpu.core import Cpu, CpuHalted, IllegalInstruction
+from repro.cpu.regfile import RegisterFile
+from repro.cpu.csr import CsrFile
+from repro.cpu.timing import TimingModel, CV32E40X_TIMING, CV32E40PX_TIMING
+
+__all__ = [
+    "Cpu",
+    "CpuHalted",
+    "IllegalInstruction",
+    "RegisterFile",
+    "CsrFile",
+    "TimingModel",
+    "CV32E40X_TIMING",
+    "CV32E40PX_TIMING",
+]

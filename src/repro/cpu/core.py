@@ -1,0 +1,214 @@
+"""The instruction-set simulator core with cycle accounting.
+
+Models a CV32E40X-class 4-stage in-order core: one instruction retires
+per cycle except for the penalties encoded in the
+:class:`~repro.cpu.timing.TimingModel` (taken branches, jumps, multi-cycle
+mul/div) and memory wait states charged by the platform's load/store
+hooks.  Hardware-loop redirects are zero-penalty, matching XCVPULP.
+
+A coprocessor implementing the CV-X-IF issue side can be attached via
+:attr:`Cpu.xif`; decoded ``xmnmc`` instructions are forwarded to it with
+the three source register values sampled, exactly like the paper's bridge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from repro.cpu import csr as csrdefs
+from repro.cpu.csr import CsrFile
+from repro.cpu.executor import EbreakHalt, EcallTrap, execute
+from repro.cpu.regfile import RegisterFile
+from repro.cpu.timing import CV32E40X_TIMING, TimingModel
+from repro.isa.decode import DecodeError, decode
+from repro.isa.instruction import Instruction
+from repro.isa.xmnmc import request_from_instruction
+from repro.mem.memory import MainMemory
+from repro.utils.bitops import sign_extend
+from repro.utils.fixedint import wrap32
+
+
+class CpuHalted(Exception):
+    """The program executed ``ebreak`` (normal completion for ISS runs)."""
+
+
+class IllegalInstruction(Exception):
+    """Fetch decoded to an illegal or unsupported encoding."""
+
+
+@dataclass
+class HwLoop:
+    """One XCVPULP hardware-loop register set (start, end, count)."""
+
+    start: int = 0
+    end: int = 0
+    count: int = 0
+
+    @property
+    def active(self) -> bool:
+        return self.count > 0 and self.end > 0
+
+
+_BRANCH_MNEMONICS = frozenset({"beq", "bne", "blt", "bge", "bltu", "bgeu"})
+_JUMP_MNEMONICS = frozenset({"jal", "jalr", "mret"})
+
+
+class Cpu:
+    """RV32IMC(+XCVPULP, +xmnmc offload) instruction-set simulator."""
+
+    def __init__(
+        self,
+        memory: MainMemory,
+        timing: TimingModel = CV32E40X_TIMING,
+        xif: Optional[Callable[..., int]] = None,
+        memory_wait_states: int = 0,
+    ) -> None:
+        self.memory = memory
+        self.timing = timing
+        self.regs = RegisterFile()
+        self.csrs = CsrFile()
+        self.pc = 0
+        self.cycles = 0
+        self.instret = 0
+        self.hwloop = [HwLoop(), HwLoop()]
+        self.xif = xif
+        self.memory_wait_states = memory_wait_states
+        self._offload_count = 0
+        self._decode_cache: Dict[int, Instruction] = {}
+        self.mnemonic_counts: Dict[str, int] = {}
+        self.count_mnemonics = False
+
+    # -- memory interface used by the executor ------------------------------
+
+    def load(self, address: int, width: int, signed: bool) -> int:
+        address = wrap32(address)
+        if width == 4:
+            value = self.memory.read_u32(address)
+        elif width == 2:
+            value = self.memory.read_u16(address)
+        else:
+            value = self.memory.read_u8(address)
+        self.cycles += self.memory_wait_states
+        return sign_extend(value, width * 8) if signed else value
+
+    def store(self, address: int, value: int, width: int) -> None:
+        address = wrap32(address)
+        if width == 4:
+            self.memory.write_u32(address, value)
+        elif width == 2:
+            self.memory.write_u16(address, value)
+        else:
+            self.memory.write_u8(address, value)
+        self.cycles += self.memory_wait_states
+
+    # -- CV-X-IF offload hook -------------------------------------------------
+
+    def offload_matrix_instruction(self, instr: Instruction) -> None:
+        """Sample source registers and hand the instruction to the coprocessor.
+
+        The attached ``xif`` callable receives an
+        :class:`~repro.isa.xmnmc.OffloadRequest` and returns the number of
+        cycles the host was stalled for (issue + software decode handshake;
+        paper section III-B — the host then continues out-of-order).
+        """
+        if self.xif is None:
+            raise IllegalInstruction(
+                f"matrix instruction {instr.mnemonic} with no coprocessor attached"
+            )
+        self._offload_count += 1
+        request = request_from_instruction(
+            instr,
+            self.regs[instr.rs1],
+            self.regs[instr.rs2],
+            self.regs[instr.rs3],
+            instr_id=self._offload_count,
+        )
+        stall = self.xif(request)
+        self.cycles += int(stall)
+
+    # -- fetch/execute loop ------------------------------------------------------
+
+    def fetch(self) -> Instruction:
+        cached = self._decode_cache.get(self.pc)
+        if cached is not None:
+            return cached
+        word = self.memory.read_u32(self.pc)
+        try:
+            instruction = decode(word, self.pc)
+        except DecodeError as error:
+            raise IllegalInstruction(str(error)) from error
+        self._decode_cache[self.pc] = instruction
+        return instruction
+
+    def step(self) -> Instruction:
+        """Execute one instruction; returns it (for tracing)."""
+        self._maybe_take_interrupt()
+        instruction = self.fetch()
+        pc_before = self.pc
+        next_pc = execute(self, instruction)
+
+        cycles = self.timing.cycles_for(instruction.mnemonic)
+        if next_pc is not None:
+            if instruction.mnemonic in _BRANCH_MNEMONICS:
+                cycles += self.timing.taken_branch_penalty
+            elif instruction.mnemonic in _JUMP_MNEMONICS:
+                cycles += self.timing.jump_penalty
+        self.cycles += cycles
+        self.instret += 1
+        if self.count_mnemonics:
+            self.mnemonic_counts[instruction.mnemonic] = (
+                self.mnemonic_counts.get(instruction.mnemonic, 0) + 1
+            )
+
+        if next_pc is None:
+            next_pc = pc_before + instruction.length
+        next_pc = self._apply_hwloops(next_pc)
+        self.pc = wrap32(next_pc)
+        return instruction
+
+    def _apply_hwloops(self, next_pc: int) -> int:
+        """Zero-cycle loop-back when sequential flow reaches a loop end."""
+        for loop in self.hwloop:
+            if loop.active and next_pc == loop.end:
+                if loop.count > 1:
+                    loop.count -= 1
+                    return loop.start
+                loop.count = 0
+        return next_pc
+
+    def _maybe_take_interrupt(self) -> None:
+        if not (self.csrs.interrupts_enabled and self.csrs.external_interrupt_pending):
+            return
+        self.csrs.write(csrdefs.MEPC, self.pc)
+        self.csrs.write(csrdefs.MCAUSE, 0x8000000B)  # machine external interrupt
+        self.csrs.clear_bits(csrdefs.MSTATUS, 1 << csrdefs.MSTATUS_MIE_BIT)
+        self.pc = self.csrs.read(csrdefs.MTVEC) & ~0b11
+        self.cycles += 4  # pipeline flush + vector fetch
+
+    def run(self, max_instructions: int = 10_000_000) -> int:
+        """Run until ``ebreak``; returns cycles consumed.  ``ecall`` is a no-op."""
+        executed = 0
+        while executed < max_instructions:
+            try:
+                self.step()
+            except EbreakHalt:
+                return self.cycles
+            except EcallTrap:
+                pass  # environment calls are ignored in bare-metal runs
+            executed += 1
+        raise RuntimeError(
+            f"program did not halt within {max_instructions} instructions "
+            f"(pc={self.pc:#010x})"
+        )
+
+    def reset(self, pc: int = 0) -> None:
+        """Reset architectural state, keeping the loaded memory image."""
+        self.regs = RegisterFile()
+        self.csrs = CsrFile()
+        self.pc = pc
+        self.cycles = 0
+        self.instret = 0
+        self.hwloop = [HwLoop(), HwLoop()]
+        self._offload_count = 0
+        self.mnemonic_counts = {}

@@ -1,0 +1,384 @@
+"""Functional semantics of every instruction the ISS supports.
+
+:func:`execute` mutates the CPU architectural state (registers, memory,
+CSRs, hardware-loop state) and returns the next PC when the instruction
+redirects control flow, or ``None`` for sequential execution.  Timing is
+*not* handled here — :mod:`repro.cpu.core` charges cycles.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.cpu import csr as csrdefs
+from repro.utils.bitops import sign_extend, to_signed
+from repro.utils.fixedint import (
+    div_signed,
+    div_unsigned,
+    mulh_signed,
+    mulh_signed_unsigned,
+    mulh_unsigned,
+    rem_signed,
+    rem_unsigned,
+    sat,
+    wrap32,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cpu.core import Cpu
+    from repro.isa.instruction import Instruction
+
+
+class EcallTrap(Exception):
+    """Raised on ``ecall`` so the embedding environment can service it."""
+
+
+class EbreakHalt(Exception):
+    """Raised on ``ebreak`` — the ISS convention for 'program finished'."""
+
+
+def _lanes(value: int, width: int) -> list:
+    """Split a 32-bit value into signed SIMD lanes of ``width`` bits."""
+    count = 32 // width
+    return [sign_extend((value >> (i * width)) & ((1 << width) - 1), width) for i in range(count)]
+
+
+def _pack_lanes(lanes: list, width: int) -> int:
+    word = 0
+    lane_mask = (1 << width) - 1
+    for i, lane in enumerate(lanes):
+        word |= (lane & lane_mask) << (i * width)
+    return wrap32(word)
+
+
+def execute(cpu: "Cpu", instr: "Instruction") -> Optional[int]:
+    """Execute one decoded instruction against ``cpu``. Returns next-PC override."""
+    m = instr.mnemonic
+    regs = cpu.regs
+    pc = cpu.pc
+
+    # ---- arithmetic-immediate -------------------------------------------
+    if m == "addi":
+        regs[instr.rd] = regs[instr.rs1] + instr.imm
+        return None
+    if m == "andi":
+        regs[instr.rd] = regs[instr.rs1] & wrap32(instr.imm)
+        return None
+    if m == "ori":
+        regs[instr.rd] = regs[instr.rs1] | wrap32(instr.imm)
+        return None
+    if m == "xori":
+        regs[instr.rd] = regs[instr.rs1] ^ wrap32(instr.imm)
+        return None
+    if m == "slti":
+        regs[instr.rd] = int(to_signed(regs[instr.rs1]) < instr.imm)
+        return None
+    if m == "sltiu":
+        regs[instr.rd] = int(regs[instr.rs1] < wrap32(instr.imm))
+        return None
+    if m == "slli":
+        regs[instr.rd] = regs[instr.rs1] << (instr.imm & 0x1F)
+        return None
+    if m == "srli":
+        regs[instr.rd] = regs[instr.rs1] >> (instr.imm & 0x1F)
+        return None
+    if m == "srai":
+        regs[instr.rd] = to_signed(regs[instr.rs1]) >> (instr.imm & 0x1F)
+        return None
+
+    # ---- register-register ------------------------------------------------
+    if m == "add":
+        regs[instr.rd] = regs[instr.rs1] + regs[instr.rs2]
+        return None
+    if m == "sub":
+        regs[instr.rd] = regs[instr.rs1] - regs[instr.rs2]
+        return None
+    if m == "and":
+        regs[instr.rd] = regs[instr.rs1] & regs[instr.rs2]
+        return None
+    if m == "or":
+        regs[instr.rd] = regs[instr.rs1] | regs[instr.rs2]
+        return None
+    if m == "xor":
+        regs[instr.rd] = regs[instr.rs1] ^ regs[instr.rs2]
+        return None
+    if m == "sll":
+        regs[instr.rd] = regs[instr.rs1] << (regs[instr.rs2] & 0x1F)
+        return None
+    if m == "srl":
+        regs[instr.rd] = regs[instr.rs1] >> (regs[instr.rs2] & 0x1F)
+        return None
+    if m == "sra":
+        regs[instr.rd] = to_signed(regs[instr.rs1]) >> (regs[instr.rs2] & 0x1F)
+        return None
+    if m == "slt":
+        regs[instr.rd] = int(to_signed(regs[instr.rs1]) < to_signed(regs[instr.rs2]))
+        return None
+    if m == "sltu":
+        regs[instr.rd] = int(regs[instr.rs1] < regs[instr.rs2])
+        return None
+
+    # ---- RV32M -------------------------------------------------------------
+    if m == "mul":
+        regs[instr.rd] = to_signed(regs[instr.rs1]) * to_signed(regs[instr.rs2])
+        return None
+    if m == "mulh":
+        regs[instr.rd] = mulh_signed(regs[instr.rs1], regs[instr.rs2])
+        return None
+    if m == "mulhu":
+        regs[instr.rd] = mulh_unsigned(regs[instr.rs1], regs[instr.rs2])
+        return None
+    if m == "mulhsu":
+        regs[instr.rd] = mulh_signed_unsigned(regs[instr.rs1], regs[instr.rs2])
+        return None
+    if m == "div":
+        regs[instr.rd] = div_signed(regs[instr.rs1], regs[instr.rs2])
+        return None
+    if m == "divu":
+        regs[instr.rd] = div_unsigned(regs[instr.rs1], regs[instr.rs2])
+        return None
+    if m == "rem":
+        regs[instr.rd] = rem_signed(regs[instr.rs1], regs[instr.rs2])
+        return None
+    if m == "remu":
+        regs[instr.rd] = rem_unsigned(regs[instr.rs1], regs[instr.rs2])
+        return None
+
+    # ---- upper immediates / control flow ------------------------------------
+    if m == "lui":
+        regs[instr.rd] = instr.imm << 12
+        return None
+    if m == "auipc":
+        regs[instr.rd] = pc + (instr.imm << 12)
+        return None
+    if m == "jal":
+        regs[instr.rd] = pc + instr.length
+        return wrap32(pc + instr.imm)
+    if m == "jalr":
+        target = wrap32(regs[instr.rs1] + instr.imm) & ~1
+        regs[instr.rd] = pc + instr.length
+        return target
+    if m in ("beq", "bne", "blt", "bge", "bltu", "bgeu"):
+        lhs, rhs = regs[instr.rs1], regs[instr.rs2]
+        taken = {
+            "beq": lhs == rhs,
+            "bne": lhs != rhs,
+            "blt": to_signed(lhs) < to_signed(rhs),
+            "bge": to_signed(lhs) >= to_signed(rhs),
+            "bltu": lhs < rhs,
+            "bgeu": lhs >= rhs,
+        }[m]
+        return wrap32(pc + instr.imm) if taken else None
+
+    # ---- memory ---------------------------------------------------------------
+    if m == "lw":
+        regs[instr.rd] = cpu.load(regs[instr.rs1] + instr.imm, 4, signed=False)
+        return None
+    if m == "lh":
+        regs[instr.rd] = cpu.load(regs[instr.rs1] + instr.imm, 2, signed=True)
+        return None
+    if m == "lhu":
+        regs[instr.rd] = cpu.load(regs[instr.rs1] + instr.imm, 2, signed=False)
+        return None
+    if m == "lb":
+        regs[instr.rd] = cpu.load(regs[instr.rs1] + instr.imm, 1, signed=True)
+        return None
+    if m == "lbu":
+        regs[instr.rd] = cpu.load(regs[instr.rs1] + instr.imm, 1, signed=False)
+        return None
+    if m == "sw":
+        cpu.store(regs[instr.rs1] + instr.imm, regs[instr.rs2], 4)
+        return None
+    if m == "sh":
+        cpu.store(regs[instr.rs1] + instr.imm, regs[instr.rs2], 2)
+        return None
+    if m == "sb":
+        cpu.store(regs[instr.rs1] + instr.imm, regs[instr.rs2], 1)
+        return None
+
+    # ---- XCVPULP post-increment memory ------------------------------------
+    if m in ("cv.lw", "cv.lh", "cv.lhu", "cv.lb", "cv.lbu"):
+        width = {"cv.lw": 4, "cv.lh": 2, "cv.lhu": 2, "cv.lb": 1, "cv.lbu": 1}[m]
+        signed = m in ("cv.lh", "cv.lb")
+        address = regs[instr.rs1]
+        regs[instr.rd] = cpu.load(address, width, signed=signed)
+        regs[instr.rs1] = address + instr.imm
+        return None
+    if m in ("cv.sw", "cv.sh", "cv.sb"):
+        width = {"cv.sw": 4, "cv.sh": 2, "cv.sb": 1}[m]
+        address = regs[instr.rs1]
+        cpu.store(address, regs[instr.rs2], width)
+        regs[instr.rs1] = address + instr.imm
+        return None
+
+    # ---- XCVPULP hardware loops --------------------------------------------
+    if m == "cv.starti":
+        cpu.hwloop[instr.operand("loop")].start = wrap32(pc + 2 * instr.imm)
+        return None
+    if m == "cv.endi":
+        cpu.hwloop[instr.operand("loop")].end = wrap32(pc + 2 * instr.imm)
+        return None
+    if m == "cv.counti":
+        cpu.hwloop[instr.operand("loop")].count = wrap32(instr.imm)
+        return None
+    if m == "cv.count":
+        cpu.hwloop[instr.operand("loop")].count = regs[instr.rs1]
+        return None
+    if m == "cv.setup":
+        loop = cpu.hwloop[instr.operand("loop")]
+        loop.count = regs[instr.rs1]
+        loop.start = pc + instr.length
+        loop.end = wrap32(pc + 2 * instr.imm)
+        return None
+    if m == "cv.setupi":
+        loop = cpu.hwloop[instr.operand("loop")]
+        loop.count = (instr.imm >> 5) & 0x7F
+        loop.start = pc + instr.length
+        loop.end = wrap32(pc + 2 * (instr.imm & 0x1F))
+        return None
+
+    # ---- XCVPULP scalar DSP --------------------------------------------------
+    if m == "cv.mac":
+        regs[instr.rd] = to_signed(regs[instr.rd]) + to_signed(regs[instr.rs1]) * to_signed(
+            regs[instr.rs2]
+        )
+        return None
+    if m == "cv.msu":
+        regs[instr.rd] = to_signed(regs[instr.rd]) - to_signed(regs[instr.rs1]) * to_signed(
+            regs[instr.rs2]
+        )
+        return None
+    if m == "cv.min":
+        regs[instr.rd] = min(to_signed(regs[instr.rs1]), to_signed(regs[instr.rs2]))
+        return None
+    if m == "cv.max":
+        regs[instr.rd] = max(to_signed(regs[instr.rs1]), to_signed(regs[instr.rs2]))
+        return None
+    if m == "cv.minu":
+        regs[instr.rd] = min(regs[instr.rs1], regs[instr.rs2])
+        return None
+    if m == "cv.maxu":
+        regs[instr.rd] = max(regs[instr.rs1], regs[instr.rs2])
+        return None
+    if m == "cv.abs":
+        regs[instr.rd] = abs(to_signed(regs[instr.rs1]))
+        return None
+    if m == "cv.clip":
+        bound_bits = regs[instr.rs2] & 0x1F
+        regs[instr.rd] = sat(to_signed(regs[instr.rs1]), bound_bits or 1, signed=True)
+        return None
+
+    # ---- XCVPULP packed SIMD -------------------------------------------------
+    if m.startswith("pv."):
+        return _execute_simd(cpu, instr)
+
+    # ---- system ------------------------------------------------------------------
+    if m == "ecall":
+        raise EcallTrap()
+    if m == "ebreak":
+        raise EbreakHalt()
+    if m in ("fence", "wfi"):
+        return None
+    if m == "mret":
+        cpu.csrs.set_bits(csrdefs.MSTATUS, 1 << csrdefs.MSTATUS_MIE_BIT)
+        return cpu.csrs.read(csrdefs.MEPC)
+    if m.startswith("csr"):
+        return _execute_csr(cpu, instr)
+
+    # xmnmc instructions are offloaded, not executed locally.
+    if instr.extension == "xmnmc":
+        cpu.offload_matrix_instruction(instr)
+        return None
+
+    raise NotImplementedError(f"no semantics for {m}")
+
+
+def _execute_simd(cpu: "Cpu", instr: "Instruction") -> None:
+    m = instr.mnemonic
+    base, _, suffix = m.rpartition(".")
+    if base.endswith(".sc"):
+        base, scalar_variant = base[:-3], True
+    else:
+        scalar_variant = False
+    width = 8 if suffix == "b" else 16
+    regs = cpu.regs
+    a = _lanes(regs[instr.rs1], width)
+    if scalar_variant:
+        scalar = sign_extend(regs[instr.rs2] & ((1 << width) - 1), width)
+        b = [scalar] * len(a)
+    else:
+        b = _lanes(regs[instr.rs2], width)
+
+    if base == "pv.add":
+        regs[instr.rd] = _pack_lanes([x + y for x, y in zip(a, b)], width)
+    elif base == "pv.sub":
+        regs[instr.rd] = _pack_lanes([x - y for x, y in zip(a, b)], width)
+    elif base == "pv.avg":
+        regs[instr.rd] = _pack_lanes([(x + y) >> 1 for x, y in zip(a, b)], width)
+    elif base == "pv.min":
+        regs[instr.rd] = _pack_lanes([min(x, y) for x, y in zip(a, b)], width)
+    elif base == "pv.max":
+        regs[instr.rd] = _pack_lanes([max(x, y) for x, y in zip(a, b)], width)
+    elif base == "pv.and":
+        regs[instr.rd] = regs[instr.rs1] & regs[instr.rs2]
+    elif base == "pv.or":
+        regs[instr.rd] = regs[instr.rs1] | regs[instr.rs2]
+    elif base == "pv.xor":
+        regs[instr.rd] = regs[instr.rs1] ^ regs[instr.rs2]
+    elif base == "pv.dotsp":
+        regs[instr.rd] = sum(x * y for x, y in zip(a, b))
+    elif base == "pv.dotup":
+        ua = _lanes_unsigned(regs[instr.rs1], width)
+        ub = _lanes_unsigned(regs[instr.rs2], width)
+        regs[instr.rd] = sum(x * y for x, y in zip(ua, ub))
+    elif base == "pv.sdotsp":
+        regs[instr.rd] = to_signed(regs[instr.rd]) + sum(x * y for x, y in zip(a, b))
+    elif base == "pv.sdotup":
+        ua = _lanes_unsigned(regs[instr.rs1], width)
+        ub = _lanes_unsigned(regs[instr.rs2], width)
+        regs[instr.rd] = regs[instr.rd] + sum(x * y for x, y in zip(ua, ub))
+    elif base == "pv.extract":
+        lane = regs[instr.rs2] % (32 // width)
+        regs[instr.rd] = a[lane]
+    elif base == "pv.insert":
+        lane = regs[instr.rs2] % (32 // width)
+        dest = _lanes(regs[instr.rd], width)
+        dest[lane] = sign_extend(regs[instr.rs1] & ((1 << width) - 1), width)
+        regs[instr.rd] = _pack_lanes(dest, width)
+    elif base == "pv.shuffle2":
+        sel = _lanes_unsigned(regs[instr.rs2], width)
+        count = 32 // width
+        regs[instr.rd] = _pack_lanes([a[s % count] for s in sel], width)
+    else:  # pragma: no cover - decoder prevents this
+        raise NotImplementedError(f"no semantics for {m}")
+    return None
+
+
+def _lanes_unsigned(value: int, width: int) -> list:
+    count = 32 // width
+    return [(value >> (i * width)) & ((1 << width) - 1) for i in range(count)]
+
+
+def _execute_csr(cpu: "Cpu", instr: "Instruction") -> None:
+    m = instr.mnemonic
+    csr_addr = instr.operand("csr")
+    source = instr.rs1  # register index, or zimm for immediate forms
+    old = cpu.csrs.read(csr_addr)
+    if m == "csrrw":
+        cpu.csrs.write(csr_addr, cpu.regs[source])
+    elif m == "csrrs":
+        if source:
+            cpu.csrs.set_bits(csr_addr, cpu.regs[source])
+    elif m == "csrrc":
+        if source:
+            cpu.csrs.clear_bits(csr_addr, cpu.regs[source])
+    elif m == "csrrwi":
+        cpu.csrs.write(csr_addr, source)
+    elif m == "csrrsi":
+        if source:
+            cpu.csrs.set_bits(csr_addr, source)
+    elif m == "csrrci":
+        if source:
+            cpu.csrs.clear_bits(csr_addr, source)
+    cpu.regs[instr.rd] = old
+    return None

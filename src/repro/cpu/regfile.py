@@ -1,0 +1,35 @@
+"""The RV32 integer register file (x0 hardwired to zero)."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.utils.fixedint import wrap32
+
+
+class RegisterFile:
+    """32 general-purpose registers storing unsigned 32-bit values."""
+
+    __slots__ = ("_regs",)
+
+    def __init__(self) -> None:
+        self._regs: List[int] = [0] * 32
+
+    def read(self, index: int) -> int:
+        """Read register ``index`` as an unsigned 32-bit value."""
+        return self._regs[index]
+
+    def write(self, index: int, value: int) -> None:
+        """Write register ``index``; writes to x0 are discarded."""
+        if index:
+            self._regs[index] = wrap32(value)
+
+    def snapshot(self) -> List[int]:
+        """A copy of all 32 register values (for test assertions)."""
+        return list(self._regs)
+
+    def __getitem__(self, index: int) -> int:
+        return self._regs[index]
+
+    def __setitem__(self, index: int, value: int) -> None:
+        self.write(index, value)

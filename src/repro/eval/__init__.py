@@ -1,0 +1,18 @@
+"""Evaluation layer: everything behind the paper's tables and figures.
+
+* :mod:`repro.eval.calibration` — every calibrated constant with its
+  provenance and the paper anchors it targets;
+* :mod:`repro.eval.area` — the component-level area model behind
+  Table II and Figure 2;
+* :mod:`repro.eval.throughput` — peak-GOPS arithmetic and the BLADE /
+  Intel CNC comparison of section V-C;
+* :mod:`repro.eval.figures` — data-series generators for Figures 3/4 and
+  the headline speedups;
+* :mod:`repro.eval.tables` — plain-text table rendering for the
+  benchmark harness.
+"""
+
+from repro.eval.area import AreaModel, AreaBreakdown
+from repro.eval.throughput import ThroughputModel, SOTA_COMPARISONS
+
+__all__ = ["AreaModel", "AreaBreakdown", "ThroughputModel", "SOTA_COMPARISONS"]

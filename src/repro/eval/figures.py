@@ -1,0 +1,165 @@
+"""Data-series generators for the paper's evaluation figures.
+
+Each function returns plain dict/list structures that the benchmark
+harness renders as the rows/series of the corresponding paper artifact:
+
+* :func:`fig3_overhead_series` — Figure 3: non-compute phase shares of
+  the 3-channel int32 conv layer vs input size and lane count;
+* :func:`fig4_speedup_series` — Figure 4: speedup over CV32E40X for
+  ARCANE lane configs and the CV32E40PX baseline, across input sizes,
+  filter sizes and data types;
+* :func:`headline_speedups` — the section V-C / VI headline numbers
+  (30x / 84x / multi-instance 120x / 16x vs XCVPULP).
+
+ARCANE cycles come from full system simulations; baseline cycles from
+the ISS-fitted models of :mod:`repro.baselines.models`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+from repro.baselines.models import pulp_conv_layer_cycles, scalar_conv_layer_cycles
+from repro.baselines.scalar_kernels import ConvLayerShape
+from repro.core.config import ArcaneConfig
+from repro.core.system import ArcaneSystem
+from repro.runtime.phases import PhaseBreakdown
+
+_DTYPES = {"int8": np.int8, "int16": np.int16, "int32": np.int32}
+
+
+@dataclass(frozen=True)
+class ConvLayerPoint:
+    """One measured (configuration, workload) point."""
+
+    size: int
+    k: int
+    dtype: str
+    lanes: int
+    multi_vpu: bool
+    arcane_cycles: int
+    scalar_cycles: int
+    pulp_cycles: int
+    breakdown: PhaseBreakdown
+
+    @property
+    def speedup_vs_scalar(self) -> float:
+        return self.scalar_cycles / self.arcane_cycles
+
+    @property
+    def speedup_vs_pulp(self) -> float:
+        return self.pulp_cycles / self.arcane_cycles
+
+    @property
+    def pulp_speedup_vs_scalar(self) -> float:
+        return self.scalar_cycles / self.pulp_cycles
+
+
+def _workload(size: int, k: int, dtype: str, seed: int = 7):
+    rng = np.random.default_rng(seed)
+    np_dtype = _DTYPES[dtype]
+    image = rng.integers(-8, 8, (3 * size, size)).astype(np_dtype)
+    filters = rng.integers(-2, 3, (3 * k, k)).astype(np_dtype)
+    return image, filters
+
+
+def measure_conv_layer(
+    size: int,
+    k: int,
+    dtype: str = "int8",
+    lanes: int = 4,
+    multi_vpu: bool = False,
+    config: Optional[ArcaneConfig] = None,
+    verify: bool = False,
+) -> ConvLayerPoint:
+    """Run one conv-layer workload on ARCANE and price the baselines."""
+    image, filters = _workload(size, k, dtype)
+    config = (config or ArcaneConfig()).with_lanes(lanes).with_multi_vpu(multi_vpu)
+    system = ArcaneSystem(config)
+    output, report = system.run_conv_layer(image, filters)
+    if verify:
+        from repro.baselines.reference import ref_conv_layer
+
+        expected = ref_conv_layer(image, filters)
+        if not np.array_equal(output, expected):
+            raise AssertionError(f"conv layer mismatch at size={size} k={k} {dtype}")
+    shape = ConvLayerShape(height=size, width=size, k=k)
+    esize = np.dtype(_DTYPES[dtype]).itemsize
+    return ConvLayerPoint(
+        size=size,
+        k=k,
+        dtype=dtype,
+        lanes=lanes,
+        multi_vpu=multi_vpu,
+        # Wall-clock latency of the whole offload (correct for multi-VPU
+        # sharding, where per-shard phase cycles overlap in time).
+        arcane_cycles=report.total_cycles,
+        scalar_cycles=scalar_conv_layer_cycles(shape, esize),
+        pulp_cycles=pulp_conv_layer_cycles(shape, esize),
+        breakdown=report.breakdown,
+    )
+
+
+def fig3_overhead_series(
+    sizes: Iterable[int] = (16, 32, 64, 128, 256),
+    lane_configs: Iterable[int] = (2, 4, 8),
+    dtype: str = "int32",
+    k: int = 3,
+) -> List[Dict]:
+    """Figure 3: phase shares of the int32 conv layer vs size and lanes."""
+    rows = []
+    for lanes in lane_configs:
+        for size in sizes:
+            point = measure_conv_layer(size, k, dtype=dtype, lanes=lanes)
+            b = point.breakdown
+            rows.append(
+                {
+                    "lanes": lanes,
+                    "size": size,
+                    "preamble_pct": 100 * b.fraction("preamble"),
+                    "allocation_pct": 100 * b.fraction("allocation"),
+                    "compute_pct": 100 * b.fraction("compute"),
+                    "writeback_pct": 100 * b.fraction("writeback"),
+                    "overhead_pct": 100 * b.overhead_fraction(),
+                    "total_cycles": b.total,
+                }
+            )
+    return rows
+
+
+def fig4_speedup_series(
+    sizes: Iterable[int] = (16, 32, 64, 128, 256),
+    filter_sizes: Iterable[int] = (3, 5, 7),
+    dtypes: Iterable[str] = ("int8", "int16", "int32"),
+    lane_configs: Iterable[int] = (2, 4, 8),
+) -> List[ConvLayerPoint]:
+    """Figure 4: the full speedup grid (single-instance ARCANE vs CPUs)."""
+    points = []
+    for dtype in dtypes:
+        for k in filter_sizes:
+            for size in sizes:
+                if size <= k * 2:
+                    continue
+                for lanes in lane_configs:
+                    points.append(measure_conv_layer(size, k, dtype=dtype, lanes=lanes))
+    return points
+
+
+def headline_speedups(size: int = 256) -> Dict[str, float]:
+    """Section V-C / VI headline numbers, measured."""
+    p33 = measure_conv_layer(size, 3, dtype="int8", lanes=8)
+    p77 = measure_conv_layer(size, 7, dtype="int8", lanes=8)
+    multi = measure_conv_layer(size, 3, dtype="int8", lanes=8, multi_vpu=True)
+    multi77 = measure_conv_layer(size, 7, dtype="int8", lanes=8, multi_vpu=True)
+    return {
+        "speedup_int8_3x3_8lane": p33.speedup_vs_scalar,
+        "speedup_int8_7x7_8lane": p77.speedup_vs_scalar,
+        "speedup_vs_pulp_3x3": p33.speedup_vs_pulp,
+        "speedup_vs_pulp_7x7": p77.speedup_vs_pulp,
+        "speedup_pulp_int8_3x3": p33.pulp_speedup_vs_scalar,
+        "speedup_multi_instance_3x3": multi.speedup_vs_scalar,
+        "speedup_multi_instance_7x7": multi77.speedup_vs_scalar,
+    }

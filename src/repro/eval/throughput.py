@@ -1,0 +1,91 @@
+"""Peak throughput and the state-of-the-art comparison (paper V-C).
+
+Peak GOPS follows directly from the datapath: each 32-bit lane retires
+one MAC per cycle and a MAC counts as two operations (the paper's
+footnote 1), so
+
+    peak = n_vpus * lanes * 2 * f_clock
+
+which reproduces the paper's 17.0 GOPS at 265 MHz for 4 VPUs x 8 lanes.
+BLADE and Intel CNC numbers are the constants the paper itself compares
+against (with BLADE frequency-scaled to the 65 nm node's 330 MHz SRAM
+clock); area efficiency for ARCANE uses the LLC-subsystem area, matching
+the paper's 9.2 GOPS/mm^2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.core.config import ArcaneConfig
+from repro.eval.area import UM2_PER_GE, AreaModel
+
+
+@dataclass(frozen=True)
+class SotaEntry:
+    """One comparison point from the paper."""
+
+    name: str
+    peak_gops: float
+    area_um2: float
+    note: str
+
+    @property
+    def area_mm2(self) -> float:
+        return self.area_um2 / 1e6
+
+    @property
+    def gops_per_mm2(self) -> float:
+        return self.peak_gops / self.area_mm2
+
+
+#: The published/scaled numbers quoted in section V-C.
+SOTA_COMPARISONS: Dict[str, SotaEntry] = {
+    "blade": SotaEntry(
+        "BLADE", peak_gops=5.3, area_um2=580e3,
+        note="SRAM bit-line IMC, scaled to 65 nm / 330 MHz; basic ops only",
+    ),
+    "intel_cnc": SotaEntry(
+        "Intel CNC", peak_gops=25.0, area_um2=1920e3,
+        note="Intel 4 node; MAC-only near-LLC compute",
+    ),
+}
+
+
+class ThroughputModel:
+    """ARCANE peak-throughput arithmetic."""
+
+    def __init__(self, area_model: AreaModel = AreaModel()) -> None:
+        self.area_model = area_model
+
+    def peak_gops(self, config: ArcaneConfig, clock_mhz: float = None) -> float:
+        clock = config.clock_mhz if clock_mhz is None else clock_mhz
+        return config.n_vpus * config.lanes * 2 * clock / 1e3
+
+    def area_efficiency(self, config: ArcaneConfig, clock_mhz: float = None) -> float:
+        """GOPS per mm^2 of the compute-capable LLC subsystem."""
+        llc_kge = self.area_model.llc_subsystem_kge(config)
+        llc_mm2 = llc_kge * 1_000 * UM2_PER_GE / 1e6
+        return self.peak_gops(config, clock_mhz) / llc_mm2
+
+    def versus(self, config: ArcaneConfig, clock_mhz: float = 265.0) -> Dict[str, Dict[str, float]]:
+        """The section V-C comparison table."""
+        arcane_gops = self.peak_gops(config, clock_mhz)
+        rows: Dict[str, Dict[str, float]] = {
+            "ARCANE": {
+                "peak_gops": arcane_gops,
+                "area_mm2": self.area_model.llc_subsystem_kge(config)
+                * 1_000 * UM2_PER_GE / 1e6,
+                "gops_per_mm2": self.area_efficiency(config, clock_mhz),
+                "ratio_vs_arcane": 1.0,
+            }
+        }
+        for entry in SOTA_COMPARISONS.values():
+            rows[entry.name] = {
+                "peak_gops": entry.peak_gops,
+                "area_mm2": entry.area_mm2,
+                "gops_per_mm2": entry.gops_per_mm2,
+                "ratio_vs_arcane": entry.peak_gops / arcane_gops,
+            }
+        return rows

@@ -1,0 +1,30 @@
+"""RISC-V instruction set infrastructure.
+
+Sub-modules:
+
+* :mod:`repro.isa.fields` — the six base encoding formats (R/I/S/B/U/J).
+* :mod:`repro.isa.rv32i`, :mod:`repro.isa.rv32m`, :mod:`repro.isa.rv32c` —
+  the base ISA plus the M and C standard extensions used by both the host
+  CPU (CV32E40X, RV32IMC) and the embedded cache controller CPU.
+* :mod:`repro.isa.xcvpulp` — the subset of the CORE-V XCVPULP custom
+  extension (hardware loops, post-increment memory ops, packed SIMD)
+  implemented by the CV32E40PX baseline in the paper's Figure 4.
+* :mod:`repro.isa.xmnmc` — the paper's software-defined in-cache matrix
+  extension (`xmr`, `xmk0..xmk30`) in the Custom-2 opcode space (0x5b).
+* :mod:`repro.isa.asm` / :mod:`repro.isa.disasm` — a two-pass assembler
+  and a disassembler used to author and inspect baseline kernels.
+"""
+
+from repro.isa.decode import DecodeError, decode
+from repro.isa.instruction import Instruction
+from repro.isa.asm import AssemblerError, assemble
+from repro.isa.disasm import disassemble
+
+__all__ = [
+    "DecodeError",
+    "decode",
+    "Instruction",
+    "AssemblerError",
+    "assemble",
+    "disassemble",
+]

@@ -1,0 +1,434 @@
+"""A two-pass RISC-V assembler for RV32IM + XCVPULP + xmnmc.
+
+Baseline kernels (scalar and packed-SIMD convolutions, GeMM, pooling) are
+written in assembly text and assembled to machine code that the ISS
+executes.  Supported syntax:
+
+* labels (``loop:``), comments (``#`` and ``//``), ABI register names;
+* memory operands ``imm(rs1)`` and the XCVPULP post-increment ``imm(rs1!)``;
+* pseudo-instructions: ``li``, ``la``, ``mv``, ``not``, ``neg``, ``j``,
+  ``jr``, ``ret``, ``call``, ``nop``, ``seqz``/``snez``, ``beqz``/``bnez``/
+  ``blez``/``bgez``/``bltz``/``bgtz``, ``bgt``/``ble``/``bgtu``/``bleu``;
+* directives: ``.word``, ``.half``, ``.byte``, ``.zero``, ``.align``,
+  ``.space``, ``.globl`` (accepted, ignored);
+* hardware-loop mnemonics take a loop index then operands, e.g.
+  ``cv.setup 0, t0, loop_end``.
+
+The assembler is deliberately strict: unknown mnemonics, out-of-range
+immediates and undefined symbols raise :class:`AssemblerError` with the
+offending line number.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.isa import fields, xcvpulp, xmnmc
+from repro.utils.bitops import mask, sign_extend
+
+ABI_REGISTERS = {
+    "zero": 0, "ra": 1, "sp": 2, "gp": 3, "tp": 4,
+    "t0": 5, "t1": 6, "t2": 7,
+    "s0": 8, "fp": 8, "s1": 9,
+    "a0": 10, "a1": 11, "a2": 12, "a3": 13, "a4": 14, "a5": 15, "a6": 16, "a7": 17,
+    "s2": 18, "s3": 19, "s4": 20, "s5": 21, "s6": 22, "s7": 23, "s8": 24, "s9": 25,
+    "s10": 26, "s11": 27,
+    "t3": 28, "t4": 29, "t5": 30, "t6": 31,
+}
+
+
+class AssemblerError(ValueError):
+    """Assembly failure, annotated with the 1-based source line number."""
+
+    def __init__(self, message: str, line_number: int = 0) -> None:
+        prefix = f"line {line_number}: " if line_number else ""
+        super().__init__(prefix + message)
+        self.line_number = line_number
+
+
+@dataclass
+class Program:
+    """Assembled output: raw bytes plus the symbol table."""
+
+    base: int
+    data: bytearray
+    symbols: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def size(self) -> int:
+        return len(self.data)
+
+    def words(self) -> List[int]:
+        """The program as little-endian 32-bit words (zero-padded)."""
+        padded = bytes(self.data) + b"\x00" * (-len(self.data) % 4)
+        return [int.from_bytes(padded[i : i + 4], "little") for i in range(0, len(padded), 4)]
+
+
+def parse_register(token: str, line_number: int = 0) -> int:
+    """Parse ``x7`` / ABI-name register tokens."""
+    token = token.strip().lower()
+    if token in ABI_REGISTERS:
+        return ABI_REGISTERS[token]
+    if re.fullmatch(r"x([0-9]|[12][0-9]|3[01])", token):
+        return int(token[1:])
+    raise AssemblerError(f"unknown register {token!r}", line_number)
+
+
+_MEM_OPERAND = re.compile(r"^(?P<imm>[^()]*)\(\s*(?P<reg>[a-zA-Z0-9]+)\s*(?P<post>!?)\s*\)$")
+
+
+@dataclass
+class _Line:
+    number: int
+    mnemonic: str
+    operands: List[str]
+    address: int = 0
+
+
+class _Assembler:
+    def __init__(self, text: str, base: int) -> None:
+        self.base = base
+        self.symbols: Dict[str, int] = {}
+        self.lines: List[_Line] = []
+        self._parse(text)
+
+    # -- pass 1: tokenize, lay out addresses, collect labels --------------
+
+    def _parse(self, text: str) -> None:
+        address = self.base
+        for number, raw in enumerate(text.splitlines(), start=1):
+            line = raw.split("#", 1)[0].split("//", 1)[0].strip()
+            while line:
+                label_match = re.match(r"^([A-Za-z_.$][\w.$]*)\s*:", line)
+                if label_match:
+                    label = label_match.group(1)
+                    if label in self.symbols:
+                        raise AssemblerError(f"duplicate label {label!r}", number)
+                    self.symbols[label] = address
+                    line = line[label_match.end():].strip()
+                    continue
+                break
+            if not line:
+                continue
+            parts = line.split(None, 1)
+            mnemonic = parts[0].lower()
+            operand_text = parts[1] if len(parts) > 1 else ""
+            operands = [op.strip() for op in operand_text.split(",")] if operand_text else []
+            entry = _Line(number, mnemonic, operands, address)
+            self.lines.append(entry)
+            address += self._line_size(entry, address)
+
+    def _line_size(self, line: _Line, address: int) -> int:
+        m = line.mnemonic
+        if m == ".word":
+            return 4 * len(line.operands)
+        if m == ".half":
+            return 2 * len(line.operands)
+        if m == ".byte":
+            return len(line.operands)
+        if m in (".zero", ".space"):
+            return self._int_or_fail(line.operands[0], line.number)
+        if m == ".align":
+            alignment = 1 << self._int_or_fail(line.operands[0], line.number)
+            return (-address) % alignment
+        if m in (".globl", ".global", ".text", ".data", ".section"):
+            return 0
+        if m == "li":
+            value = self._int_or_fail(line.operands[1], line.number)
+            return 4 if -2048 <= value <= 2047 else 8
+        if m == "li32":
+            return 8
+        if m == "la":
+            return 8
+        if m == "call":
+            return 4
+        return 4  # every real instruction is a 32-bit encoding
+
+    # -- pass 2: encode ----------------------------------------------------
+
+    def assemble(self) -> Program:
+        data = bytearray()
+        for line in self.lines:
+            expected = line.address - self.base
+            if len(data) != expected:
+                raise AssemblerError(
+                    f"internal layout mismatch at line {line.number}", line.number
+                )
+            data.extend(self._encode_line(line))
+        return Program(self.base, data, dict(self.symbols))
+
+    def _encode_line(self, line: _Line) -> bytes:
+        m = line.mnemonic
+        if m.startswith("."):
+            return self._encode_directive(line)
+        try:
+            words = self._encode_instruction(line)
+        except AssemblerError:
+            raise
+        except (ValueError, IndexError) as error:
+            raise AssemblerError(str(error), line.number) from error
+        out = bytearray()
+        for word in words:
+            out.extend(word.to_bytes(4, "little"))
+        return bytes(out)
+
+    def _encode_directive(self, line: _Line) -> bytes:
+        m = line.mnemonic
+        if m == ".word":
+            out = bytearray()
+            for op in line.operands:
+                out.extend((self._value(op, line) & mask(32)).to_bytes(4, "little"))
+            return bytes(out)
+        if m == ".half":
+            out = bytearray()
+            for op in line.operands:
+                out.extend((self._value(op, line) & mask(16)).to_bytes(2, "little"))
+            return bytes(out)
+        if m == ".byte":
+            return bytes(self._value(op, line) & 0xFF for op in line.operands)
+        if m in (".zero", ".space"):
+            return bytes(self._int_or_fail(line.operands[0], line.number))
+        if m == ".align":
+            alignment = 1 << self._int_or_fail(line.operands[0], line.number)
+            return bytes((-(line.address)) % alignment)
+        if m in (".globl", ".global", ".text", ".data", ".section"):
+            return b""
+        raise AssemblerError(f"unknown directive {m!r}", line.number)
+
+    def _value(self, token: str, line: _Line) -> int:
+        token = token.strip()
+        if token in self.symbols:
+            return self.symbols[token]
+        try:
+            return int(token, 0)
+        except ValueError:
+            raise AssemblerError(f"undefined symbol {token!r}", line.number) from None
+
+    def _int_or_fail(self, token: str, line_number: int) -> int:
+        try:
+            return int(token.strip(), 0)
+        except ValueError:
+            raise AssemblerError(f"expected integer, got {token!r}", line_number) from None
+
+    def _branch_offset(self, token: str, line: _Line) -> int:
+        return self._value(token, line) - line.address
+
+    def _mem_operand(self, token: str, line: _Line) -> Tuple[int, int, bool]:
+        match = _MEM_OPERAND.match(token.strip())
+        if not match:
+            raise AssemblerError(f"bad memory operand {token!r}", line.number)
+        imm_text = match.group("imm").strip() or "0"
+        imm = self._value(imm_text, line)
+        reg = parse_register(match.group("reg"), line.number)
+        return imm, reg, match.group("post") == "!"
+
+    def _encode_instruction(self, line: _Line) -> List[int]:
+        m, ops = line.mnemonic, line.operands
+        n = line.number
+        reg = lambda i: parse_register(ops[i], n)  # noqa: E731 - local shorthand
+
+        # ---- pseudo-instructions ------------------------------------
+        if m == "nop":
+            return [fields.encode_i(fields.OPCODE_OP_IMM, 0, 0, 0, 0)]
+        if m == "li":
+            return self._encode_li(reg(0), self._int_or_fail(ops[1], n))
+        if m == "li32":
+            # Fixed-size li (always lui+addi): generated kernels use it so
+            # code size/timing stay shape-independent for the cycle models.
+            return self._encode_la(reg(0), self._int_or_fail(ops[1], n) & 0xFFFFFFFF)
+        if m == "la":
+            target = self._value(ops[1], line)
+            return self._encode_la(reg(0), target)
+        if m == "mv":
+            return [fields.encode_i(fields.OPCODE_OP_IMM, reg(0), 0, reg(1), 0)]
+        if m == "not":
+            return [fields.encode_i(fields.OPCODE_OP_IMM, reg(0), 0b100, reg(1), -1)]
+        if m == "neg":
+            return [fields.encode_r(fields.OPCODE_OP, reg(0), 0, 0, reg(1), 0b0100000)]
+        if m == "seqz":
+            return [fields.encode_i(fields.OPCODE_OP_IMM, reg(0), 0b011, reg(1), 1)]
+        if m == "snez":
+            return [fields.encode_r(fields.OPCODE_OP, reg(0), 0b011, 0, reg(1), 0)]
+        if m == "j":
+            return [fields.encode_j(fields.OPCODE_JAL, 0, self._branch_offset(ops[0], line))]
+        if m == "jal" and len(ops) == 1:
+            return [fields.encode_j(fields.OPCODE_JAL, 1, self._branch_offset(ops[0], line))]
+        if m == "call":
+            return [fields.encode_j(fields.OPCODE_JAL, 1, self._branch_offset(ops[0], line))]
+        if m == "jr":
+            return [fields.encode_i(fields.OPCODE_JALR, 0, 0, reg(0), 0)]
+        if m == "ret":
+            return [fields.encode_i(fields.OPCODE_JALR, 0, 0, 1, 0)]
+        if m in ("beqz", "bnez", "blez", "bgez", "bltz", "bgtz"):
+            offset = self._branch_offset(ops[1], line)
+            r = reg(0)
+            table = {
+                "beqz": ("beq", r, 0), "bnez": ("bne", r, 0),
+                "bltz": ("blt", r, 0), "bgez": ("bge", r, 0),
+                "blez": ("bge", 0, r), "bgtz": ("blt", 0, r),
+            }
+            real, rs1, rs2 = table[m]
+            return [self._encode_branch(real, rs1, rs2, offset)]
+        if m in ("bgt", "ble", "bgtu", "bleu"):
+            offset = self._branch_offset(ops[2], line)
+            swap = {"bgt": "blt", "ble": "bge", "bgtu": "bltu", "bleu": "bgeu"}
+            return [self._encode_branch(swap[m], reg(1), reg(0), offset)]
+
+        # ---- RV32I ----------------------------------------------------
+        if m in ("beq", "bne", "blt", "bge", "bltu", "bgeu"):
+            offset = self._branch_offset(ops[2], line)
+            return [self._encode_branch(m, reg(0), reg(1), offset)]
+        if m == "jal":
+            return [fields.encode_j(fields.OPCODE_JAL, reg(0), self._branch_offset(ops[1], line))]
+        if m == "jalr":
+            if len(ops) == 2 and "(" in ops[1]:
+                imm, rs1, _ = self._mem_operand(ops[1], line)
+                return [fields.encode_i(fields.OPCODE_JALR, reg(0), 0, rs1, imm)]
+            imm = self._value(ops[2], line) if len(ops) > 2 else 0
+            return [fields.encode_i(fields.OPCODE_JALR, reg(0), 0, reg(1), imm)]
+        if m == "lui":
+            return [fields.encode_u(fields.OPCODE_LUI, reg(0), self._value(ops[1], line) & mask(20))]
+        if m == "auipc":
+            return [fields.encode_u(fields.OPCODE_AUIPC, reg(0), self._value(ops[1], line) & mask(20))]
+        if m in ("lb", "lh", "lw", "lbu", "lhu"):
+            funct3 = {"lb": 0, "lh": 1, "lw": 2, "lbu": 4, "lhu": 5}[m]
+            imm, rs1, post = self._mem_operand(ops[1], line)
+            if post:
+                raise AssemblerError(f"{m} does not support post-increment", n)
+            return [fields.encode_i(fields.OPCODE_LOAD, reg(0), funct3, rs1, imm)]
+        if m in ("sb", "sh", "sw"):
+            funct3 = {"sb": 0, "sh": 1, "sw": 2}[m]
+            imm, rs1, post = self._mem_operand(ops[1], line)
+            if post:
+                raise AssemblerError(f"{m} does not support post-increment", n)
+            return [fields.encode_s(fields.OPCODE_STORE, funct3, rs1, reg(0), imm)]
+        if m in ("addi", "slti", "sltiu", "xori", "ori", "andi"):
+            funct3 = {"addi": 0, "slti": 2, "sltiu": 3, "xori": 4, "ori": 6, "andi": 7}[m]
+            return [
+                fields.encode_i(fields.OPCODE_OP_IMM, reg(0), funct3, reg(1), self._value(ops[2], line))
+            ]
+        if m in ("slli", "srli", "srai"):
+            funct3 = 0b001 if m == "slli" else 0b101
+            funct7 = 0b0100000 if m == "srai" else 0
+            shamt = self._value(ops[2], line)
+            return [fields.encode_i_shift(fields.OPCODE_OP_IMM, reg(0), funct3, reg(1), shamt, funct7)]
+        _R_OPS = {
+            "add": (0b000, 0), "sub": (0b000, 0b0100000), "sll": (0b001, 0),
+            "slt": (0b010, 0), "sltu": (0b011, 0), "xor": (0b100, 0),
+            "srl": (0b101, 0), "sra": (0b101, 0b0100000), "or": (0b110, 0),
+            "and": (0b111, 0),
+        }
+        if m in _R_OPS:
+            funct3, funct7 = _R_OPS[m]
+            return [fields.encode_r(fields.OPCODE_OP, reg(0), funct3, reg(1), reg(2), funct7)]
+        _M_OPS = {
+            "mul": 0b000, "mulh": 0b001, "mulhsu": 0b010, "mulhu": 0b011,
+            "div": 0b100, "divu": 0b101, "rem": 0b110, "remu": 0b111,
+        }
+        if m in _M_OPS:
+            return [fields.encode_r(fields.OPCODE_OP, reg(0), _M_OPS[m], reg(1), reg(2), 0b0000001)]
+        if m == "ecall":
+            return [0x00000073]
+        if m == "ebreak":
+            return [0x00100073]
+        if m == "fence":
+            return [0x0000000F]
+        if m == "wfi":
+            return [0x10500073]
+        if m == "mret":
+            return [0x30200073]
+        _CSR_OPS = {"csrrw": 1, "csrrs": 2, "csrrc": 3, "csrrwi": 5, "csrrsi": 6, "csrrci": 7}
+        if m in _CSR_OPS:
+            csr = self._value(ops[1], line)
+            src = self._value(ops[2], line) if m.endswith("i") else parse_register(ops[2], n)
+            word = (csr << 20) | (src << 15) | (_CSR_OPS[m] << 12) | (reg(0) << 7) | fields.OPCODE_SYSTEM
+            return [word]
+
+        # ---- XCVPULP ---------------------------------------------------
+        if m in ("cv.lb", "cv.lh", "cv.lw", "cv.lbu", "cv.lhu"):
+            imm, rs1, post = self._mem_operand(ops[1], line)
+            if not post:
+                raise AssemblerError(f"{m} requires post-increment syntax imm(rs1!)", n)
+            funct3 = xcvpulp.postinc_funct3(m)
+            return [fields.encode_i(fields.OPCODE_CUSTOM_0, reg(0), funct3, rs1, imm)]
+        if m in ("cv.sb", "cv.sh", "cv.sw"):
+            imm, rs1, post = self._mem_operand(ops[1], line)
+            if not post:
+                raise AssemblerError(f"{m} requires post-increment syntax imm(rs1!)", n)
+            funct3 = xcvpulp.postinc_funct3(m)
+            return [fields.encode_s(fields.OPCODE_CUSTOM_0, funct3, rs1, reg(0), imm)]
+        if m in ("cv.starti", "cv.endi"):
+            loop = self._int_or_fail(ops[0], n) & 1
+            offset = self._branch_offset(ops[1], line)
+            if offset % 2:
+                raise AssemblerError("hardware-loop target offset must be even", n)
+            funct3 = xcvpulp.hwloop_funct3(m)
+            return [fields.encode_i(fields.OPCODE_CUSTOM_1, loop, funct3, 0, offset // 2)]
+        if m == "cv.counti":
+            loop = self._int_or_fail(ops[0], n) & 1
+            count = self._value(ops[1], line)
+            return [fields.encode_i(fields.OPCODE_CUSTOM_1, loop, 0b010, 0, count)]
+        if m == "cv.count":
+            loop = self._int_or_fail(ops[0], n) & 1
+            return [fields.encode_i(fields.OPCODE_CUSTOM_1, loop, 0b011, parse_register(ops[1], n), 0)]
+        if m == "cv.setup":
+            loop = self._int_or_fail(ops[0], n) & 1
+            count_reg = parse_register(ops[1], n)
+            offset = self._branch_offset(ops[2], line)
+            if offset % 2:
+                raise AssemblerError("hardware-loop target offset must be even", n)
+            return [fields.encode_i(fields.OPCODE_CUSTOM_1, loop, 0b100, count_reg, offset // 2)]
+        if m in ("cv.mac", "cv.msu", "cv.min", "cv.max", "cv.minu", "cv.maxu", "cv.clip"):
+            funct7 = xcvpulp.scalar_dsp_funct7(m)
+            return [fields.encode_r(fields.OPCODE_CUSTOM_1, reg(0), 0b110, reg(1), reg(2), funct7)]
+        if m == "cv.abs":
+            funct7 = xcvpulp.scalar_dsp_funct7(m)
+            return [fields.encode_r(fields.OPCODE_CUSTOM_1, reg(0), 0b110, reg(1), 0, funct7)]
+        if m.startswith("pv."):
+            base, _, suffix = m.rpartition(".")
+            if suffix not in ("b", "h"):
+                raise AssemblerError(f"packed-SIMD mnemonic {m!r} needs .b or .h suffix", n)
+            funct3 = 0 if suffix == "b" else 1
+            funct7 = xcvpulp.simd_funct7(base)
+            rs2 = reg(2) if len(ops) > 2 else 0
+            return [fields.encode_r(fields.OPCODE_CUSTOM_3, reg(0), funct3, reg(1), rs2, funct7)]
+
+        # ---- xmnmc -----------------------------------------------------
+        match = re.fullmatch(r"(xmr|xmk(\d+))\.([whb])", m)
+        if match:
+            size = match.group(3)
+            if match.group(1) == "xmr":
+                return [xmnmc.encode_xmr(size, reg(0), reg(1), reg(2))]
+            return [xmnmc.encode_xmk(int(match.group(2)), size, reg(0), reg(1), reg(2))]
+
+        raise AssemblerError(f"unknown mnemonic {m!r}", n)
+
+    def _encode_branch(self, mnemonic: str, rs1: int, rs2: int, offset: int) -> int:
+        funct3 = {"beq": 0, "bne": 1, "blt": 4, "bge": 5, "bltu": 6, "bgeu": 7}[mnemonic]
+        return fields.encode_b(fields.OPCODE_BRANCH, funct3, rs1, rs2, offset)
+
+    def _encode_li(self, rd: int, value: int) -> List[int]:
+        value = sign_extend(value & mask(32), 32)
+        if -2048 <= value <= 2047:
+            return [fields.encode_i(fields.OPCODE_OP_IMM, rd, 0, 0, value)]
+        upper = (value + 0x800) >> 12
+        lower = value - (upper << 12)
+        return [
+            fields.encode_u(fields.OPCODE_LUI, rd, upper & mask(20)),
+            fields.encode_i(fields.OPCODE_OP_IMM, rd, 0, rd, lower),
+        ]
+
+    def _encode_la(self, rd: int, target: int) -> List[int]:
+        upper = (target + 0x800) >> 12
+        lower = target - (upper << 12)
+        return [
+            fields.encode_u(fields.OPCODE_LUI, rd, upper & mask(20)),
+            fields.encode_i(fields.OPCODE_OP_IMM, rd, 0, rd, sign_extend(lower & mask(12), 12)),
+        ]
+
+
+def assemble(text: str, base: int = 0) -> Program:
+    """Assemble ``text`` into a :class:`Program` loaded at address ``base``."""
+    return _Assembler(text, base).assemble()

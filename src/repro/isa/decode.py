@@ -1,0 +1,44 @@
+"""Unified instruction decoder for all ISA extensions in this repo.
+
+Dispatch order mirrors hardware: the two low bits select compressed vs
+standard length; standard words try the base ISA, then M, then the custom
+extension spaces (XCVPULP in Custom-0/1/3, xmnmc in Custom-2).
+"""
+
+from __future__ import annotations
+
+from repro.isa.instruction import Instruction
+from repro.isa.rv32c import decode_compressed
+from repro.isa.rv32i import decode_base
+from repro.isa.rv32m import decode_m
+from repro.isa.xcvpulp import decode_xcvpulp
+from repro.isa.xmnmc import decode_xmnmc
+
+
+class DecodeError(ValueError):
+    """Raised for illegal or unsupported encodings."""
+
+    def __init__(self, word: int, pc: int = 0) -> None:
+        super().__init__(f"illegal instruction {word:#010x} at pc={pc:#010x}")
+        self.word = word
+        self.pc = pc
+
+
+def decode(word: int, pc: int = 0) -> Instruction:
+    """Decode the instruction starting with the 32-bit fetch word ``word``.
+
+    For compressed instructions only the low 16 bits are meaningful.
+    Raises :class:`DecodeError` on illegal encodings.
+    """
+    if word & 0b11 != 0b11:
+        instruction = decode_compressed(word & 0xFFFF)
+        if instruction is None:
+            raise DecodeError(word & 0xFFFF, pc)
+        return instruction
+
+    word &= 0xFFFFFFFF
+    for decoder in (decode_m, decode_base, decode_xcvpulp, decode_xmnmc):
+        instruction = decoder(word)
+        if instruction is not None:
+            return instruction
+    raise DecodeError(word, pc)

@@ -1,0 +1,73 @@
+"""Disassembler: render decoded instructions back to readable text.
+
+Primarily a debugging aid for ISS traces and a round-trip check for the
+assembler tests (assemble -> decode -> disassemble -> compare shapes).
+"""
+
+from __future__ import annotations
+
+from repro.isa.decode import decode
+from repro.isa.instruction import Instruction
+
+_ABI_NAMES = [
+    "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2",
+    "s0", "s1", "a0", "a1", "a2", "a3", "a4", "a5",
+    "a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7",
+    "s8", "s9", "s10", "s11", "t3", "t4", "t5", "t6",
+]
+
+_LOADS = {"lb", "lh", "lw", "lbu", "lhu"}
+_STORES = {"sb", "sh", "sw"}
+_BRANCHES = {"beq", "bne", "blt", "bge", "bltu", "bgeu"}
+_OP_IMM = {"addi", "slti", "sltiu", "xori", "ori", "andi", "slli", "srli", "srai"}
+_R_TYPE = {
+    "add", "sub", "sll", "slt", "sltu", "xor", "srl", "sra", "or", "and",
+    "mul", "mulh", "mulhsu", "mulhu", "div", "divu", "rem", "remu",
+}
+
+
+def reg_name(index: int) -> str:
+    """ABI name for register ``index``."""
+    return _ABI_NAMES[index]
+
+
+def format_instruction(instr: Instruction, pc: int = 0) -> str:
+    """Render one decoded instruction as assembly-like text."""
+    m = instr.mnemonic
+    ops = instr.operands
+    if m in _LOADS:
+        return f"{m} {reg_name(instr.rd)}, {instr.imm}({reg_name(instr.rs1)})"
+    if m in _STORES:
+        return f"{m} {reg_name(instr.rs2)}, {instr.imm}({reg_name(instr.rs1)})"
+    if m in _BRANCHES:
+        return f"{m} {reg_name(instr.rs1)}, {reg_name(instr.rs2)}, {pc + instr.imm:#x}"
+    if m in _OP_IMM:
+        return f"{m} {reg_name(instr.rd)}, {reg_name(instr.rs1)}, {instr.imm}"
+    if m in _R_TYPE:
+        return f"{m} {reg_name(instr.rd)}, {reg_name(instr.rs1)}, {reg_name(instr.rs2)}"
+    if m in ("lui", "auipc"):
+        return f"{m} {reg_name(instr.rd)}, {instr.imm:#x}"
+    if m == "jal":
+        return f"jal {reg_name(instr.rd)}, {pc + instr.imm:#x}"
+    if m == "jalr":
+        return f"jalr {reg_name(instr.rd)}, {instr.imm}({reg_name(instr.rs1)})"
+    if m.startswith("csr"):
+        return f"{m} {reg_name(instr.rd)}, {ops.get('csr', 0):#x}, {instr.rs1}"
+    if m.startswith("cv.l") or m.startswith("cv.s"):
+        data_reg = instr.rd if m.startswith("cv.l") else instr.rs2
+        return f"{m} {reg_name(data_reg)}, {instr.imm}({reg_name(instr.rs1)}!)"
+    if m.startswith(("cv.start", "cv.end", "cv.count", "cv.setup")):
+        return f"{m} {ops.get('loop', 0)}, ..."
+    if m.startswith("pv.") or m.startswith("cv."):
+        return f"{m} {reg_name(instr.rd)}, {reg_name(instr.rs1)}, {reg_name(instr.rs2)}"
+    if m.startswith(("xmr", "xmk")):
+        return (
+            f"{m} {reg_name(instr.rs1)}, {reg_name(instr.rs2)}, {reg_name(instr.rs3)}"
+            f"  # func5={ops.get('func5')}"
+        )
+    return m
+
+
+def disassemble(word: int, pc: int = 0) -> str:
+    """Decode and render the instruction word at ``pc``."""
+    return format_instruction(decode(word, pc), pc)

@@ -1,0 +1,219 @@
+"""Encoders and decoders for the six RV32 base instruction formats.
+
+Encoding functions take register indices and (signed) immediates and
+return a 32-bit word; decoding functions extract operand dictionaries.
+Immediates out of range raise ``ValueError`` at encode time so assembler
+bugs surface immediately instead of producing silently-wrong machine code.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.utils.bitops import bit, bits, mask, sign_extend
+
+OPCODE_LOAD = 0x03
+OPCODE_MISC_MEM = 0x0F
+OPCODE_OP_IMM = 0x13
+OPCODE_AUIPC = 0x17
+OPCODE_STORE = 0x23
+OPCODE_OP = 0x33
+OPCODE_LUI = 0x37
+OPCODE_BRANCH = 0x63
+OPCODE_JALR = 0x67
+OPCODE_JAL = 0x6F
+OPCODE_SYSTEM = 0x73
+OPCODE_CUSTOM_0 = 0x0B
+OPCODE_CUSTOM_1 = 0x2B
+OPCODE_CUSTOM_2 = 0x5B  # xmnmc lives here (paper section IV-A)
+OPCODE_CUSTOM_3 = 0x7B
+
+
+def _check_reg(value: int, name: str) -> int:
+    if not 0 <= value <= 31:
+        raise ValueError(f"{name}={value} is not a valid register index")
+    return value
+
+
+def _check_simm(value: int, width: int, name: str = "imm") -> int:
+    lo, hi = -(1 << (width - 1)), (1 << (width - 1)) - 1
+    if not lo <= value <= hi:
+        raise ValueError(f"{name}={value} does not fit in signed {width} bits")
+    return value & mask(width)
+
+
+def _check_uimm(value: int, width: int, name: str = "imm") -> int:
+    if not 0 <= value <= mask(width):
+        raise ValueError(f"{name}={value} does not fit in unsigned {width} bits")
+    return value
+
+
+def encode_r(opcode: int, rd: int, funct3: int, rs1: int, rs2: int, funct7: int) -> int:
+    """R-type: register-register ALU operations."""
+    return (
+        (funct7 << 25)
+        | (_check_reg(rs2, "rs2") << 20)
+        | (_check_reg(rs1, "rs1") << 15)
+        | (funct3 << 12)
+        | (_check_reg(rd, "rd") << 7)
+        | opcode
+    )
+
+
+def encode_i(opcode: int, rd: int, funct3: int, rs1: int, imm: int) -> int:
+    """I-type: immediates, loads, jalr."""
+    return (
+        (_check_simm(imm, 12) << 20)
+        | (_check_reg(rs1, "rs1") << 15)
+        | (funct3 << 12)
+        | (_check_reg(rd, "rd") << 7)
+        | opcode
+    )
+
+
+def encode_i_shift(opcode: int, rd: int, funct3: int, rs1: int, shamt: int, funct7: int) -> int:
+    """I-type shift: 5-bit shamt with funct7 selector (slli/srli/srai)."""
+    return (
+        (funct7 << 25)
+        | (_check_uimm(shamt, 5, "shamt") << 20)
+        | (_check_reg(rs1, "rs1") << 15)
+        | (funct3 << 12)
+        | (_check_reg(rd, "rd") << 7)
+        | opcode
+    )
+
+
+def encode_s(opcode: int, funct3: int, rs1: int, rs2: int, imm: int) -> int:
+    """S-type: stores."""
+    imm = _check_simm(imm, 12)
+    return (
+        (bits(imm, 11, 5) << 25)
+        | (_check_reg(rs2, "rs2") << 20)
+        | (_check_reg(rs1, "rs1") << 15)
+        | (funct3 << 12)
+        | (bits(imm, 4, 0) << 7)
+        | opcode
+    )
+
+
+def encode_b(opcode: int, funct3: int, rs1: int, rs2: int, imm: int) -> int:
+    """B-type: conditional branches (imm is a byte offset, must be even)."""
+    if imm % 2:
+        raise ValueError(f"branch offset {imm} is odd")
+    imm = _check_simm(imm, 13)
+    return (
+        (bit(imm, 12) << 31)
+        | (bits(imm, 10, 5) << 25)
+        | (_check_reg(rs2, "rs2") << 20)
+        | (_check_reg(rs1, "rs1") << 15)
+        | (funct3 << 12)
+        | (bits(imm, 4, 1) << 8)
+        | (bit(imm, 11) << 7)
+        | opcode
+    )
+
+
+def encode_u(opcode: int, rd: int, imm: int) -> int:
+    """U-type: lui/auipc (imm is the already-shifted 20-bit upper value)."""
+    return (_check_uimm(imm, 20) << 12) | (_check_reg(rd, "rd") << 7) | opcode
+
+
+def encode_j(opcode: int, rd: int, imm: int) -> int:
+    """J-type: jal (imm is a byte offset, must be even)."""
+    if imm % 2:
+        raise ValueError(f"jump offset {imm} is odd")
+    imm = _check_simm(imm, 21)
+    return (
+        (bit(imm, 20) << 31)
+        | (bits(imm, 10, 1) << 21)
+        | (bit(imm, 11) << 20)
+        | (bits(imm, 19, 12) << 12)
+        | (_check_reg(rd, "rd") << 7)
+        | opcode
+    )
+
+
+def encode_r4(opcode: int, rd: int, funct3: int, rs1: int, rs2: int, rs3: int, funct2: int) -> int:
+    """R4-type: three-source operations (used by xmnmc kernel instructions)."""
+    return (
+        (_check_reg(rs3, "rs3") << 27)
+        | (funct2 << 25)
+        | (_check_reg(rs2, "rs2") << 20)
+        | (_check_reg(rs1, "rs1") << 15)
+        | (funct3 << 12)
+        | (_check_reg(rd, "rd") << 7)
+        | opcode
+    )
+
+
+def decode_opcode(word: int) -> int:
+    return bits(word, 6, 0)
+
+
+def decode_r(word: int) -> Dict[str, int]:
+    return {
+        "rd": bits(word, 11, 7),
+        "funct3": bits(word, 14, 12),
+        "rs1": bits(word, 19, 15),
+        "rs2": bits(word, 24, 20),
+        "funct7": bits(word, 31, 25),
+    }
+
+
+def decode_i(word: int) -> Dict[str, int]:
+    return {
+        "rd": bits(word, 11, 7),
+        "funct3": bits(word, 14, 12),
+        "rs1": bits(word, 19, 15),
+        "imm": sign_extend(bits(word, 31, 20), 12),
+    }
+
+
+def decode_s(word: int) -> Dict[str, int]:
+    imm = (bits(word, 31, 25) << 5) | bits(word, 11, 7)
+    return {
+        "funct3": bits(word, 14, 12),
+        "rs1": bits(word, 19, 15),
+        "rs2": bits(word, 24, 20),
+        "imm": sign_extend(imm, 12),
+    }
+
+
+def decode_b(word: int) -> Dict[str, int]:
+    imm = (
+        (bit(word, 31) << 12)
+        | (bit(word, 7) << 11)
+        | (bits(word, 30, 25) << 5)
+        | (bits(word, 11, 8) << 1)
+    )
+    return {
+        "funct3": bits(word, 14, 12),
+        "rs1": bits(word, 19, 15),
+        "rs2": bits(word, 24, 20),
+        "imm": sign_extend(imm, 13),
+    }
+
+
+def decode_u(word: int) -> Dict[str, int]:
+    return {"rd": bits(word, 11, 7), "imm": bits(word, 31, 12)}
+
+
+def decode_j(word: int) -> Dict[str, int]:
+    imm = (
+        (bit(word, 31) << 20)
+        | (bits(word, 19, 12) << 12)
+        | (bit(word, 20) << 11)
+        | (bits(word, 30, 21) << 1)
+    )
+    return {"rd": bits(word, 11, 7), "imm": sign_extend(imm, 21)}
+
+
+def decode_r4(word: int) -> Dict[str, int]:
+    return {
+        "rd": bits(word, 11, 7),
+        "funct3": bits(word, 14, 12),
+        "rs1": bits(word, 19, 15),
+        "rs2": bits(word, 24, 20),
+        "funct2": bits(word, 26, 25),
+        "rs3": bits(word, 31, 27),
+    }

@@ -1,0 +1,59 @@
+"""The decoded-instruction record shared by the decoder, ISS and disassembler."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """A decoded RISC-V instruction.
+
+    Attributes:
+        mnemonic: canonical lower-case mnemonic, e.g. ``"addi"``.
+        raw: the raw 32-bit (or 16-bit for compressed) encoding.
+        length: 4 for standard encodings, 2 for compressed.
+        extension: which ISA extension defined it (``"i"``, ``"m"``,
+            ``"c"``, ``"xcvpulp"``, ``"xmnmc"``).
+        operands: decoded operand fields — register indices under
+            ``rd``/``rs1``/``rs2``/``rs3``, immediates under ``imm`` (already
+            sign-extended where the format requires it), and
+            extension-specific fields (``func5`` for xmnmc, etc.).
+    """
+
+    mnemonic: str
+    raw: int
+    length: int = 4
+    extension: str = "i"
+    operands: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def rd(self) -> int:
+        return self.operands.get("rd", 0)
+
+    @property
+    def rs1(self) -> int:
+        return self.operands.get("rs1", 0)
+
+    @property
+    def rs2(self) -> int:
+        return self.operands.get("rs2", 0)
+
+    @property
+    def rs3(self) -> int:
+        return self.operands.get("rs3", 0)
+
+    @property
+    def imm(self) -> int:
+        return self.operands.get("imm", 0)
+
+    def operand(self, name: str, default: Optional[int] = None) -> int:
+        value = self.operands.get(name, default)
+        if value is None:
+            raise KeyError(f"{self.mnemonic} has no operand {name!r}")
+        return value
+
+    def __str__(self) -> str:
+        pieces = ", ".join(f"{k}={v}" for k, v in self.operands.items())
+        return f"{self.mnemonic} {pieces}"

@@ -1,0 +1,185 @@
+"""RV32C compressed extension: expansion of 16-bit encodings.
+
+The CV32E40X fetches compressed instructions natively; for the ISS we
+expand each 16-bit encoding to its 32-bit equivalent and tag the resulting
+:class:`Instruction` with ``length=2`` so the PC advances correctly and
+fetch statistics stay honest.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.isa.instruction import Instruction
+from repro.utils.bitops import bit, bits, sign_extend
+
+
+def _rvc_reg(compressed: int) -> int:
+    """Map a 3-bit compressed register specifier to x8..x15."""
+    return compressed + 8
+
+
+def decode_compressed(halfword: int) -> Optional[Instruction]:
+    """Decode one 16-bit RVC encoding into its expanded instruction.
+
+    Returns None for reserved or unsupported encodings (the ISS raises an
+    illegal-instruction error in that case).
+    """
+    halfword &= 0xFFFF
+    quadrant = halfword & 0b11
+    funct3 = bits(halfword, 15, 13)
+
+    if halfword == 0:
+        return None  # defined illegal instruction
+
+    if quadrant == 0b00:
+        return _decode_q0(halfword, funct3)
+    if quadrant == 0b01:
+        return _decode_q1(halfword, funct3)
+    if quadrant == 0b10:
+        return _decode_q2(halfword, funct3)
+    return None
+
+
+def _make(mnemonic: str, raw: int, extension: str = "c", **operands: int) -> Instruction:
+    return Instruction(mnemonic, raw, length=2, extension=extension, operands=operands)
+
+
+def _decode_q0(halfword: int, funct3: int) -> Optional[Instruction]:
+    if funct3 == 0b000:  # c.addi4spn -> addi rd', x2, nzuimm
+        imm = (
+            (bits(halfword, 10, 7) << 6)
+            | (bits(halfword, 12, 11) << 4)
+            | (bit(halfword, 5) << 3)
+            | (bit(halfword, 6) << 2)
+        )
+        if imm == 0:
+            return None
+        return _make("addi", halfword, rd=_rvc_reg(bits(halfword, 4, 2)), rs1=2, imm=imm)
+    if funct3 == 0b010:  # c.lw -> lw rd', offset(rs1')
+        imm = (bit(halfword, 5) << 6) | (bits(halfword, 12, 10) << 3) | (bit(halfword, 6) << 2)
+        return _make(
+            "lw",
+            halfword,
+            rd=_rvc_reg(bits(halfword, 4, 2)),
+            rs1=_rvc_reg(bits(halfword, 9, 7)),
+            imm=imm,
+        )
+    if funct3 == 0b110:  # c.sw -> sw rs2', offset(rs1')
+        imm = (bit(halfword, 5) << 6) | (bits(halfword, 12, 10) << 3) | (bit(halfword, 6) << 2)
+        return _make(
+            "sw",
+            halfword,
+            rs1=_rvc_reg(bits(halfword, 9, 7)),
+            rs2=_rvc_reg(bits(halfword, 4, 2)),
+            imm=imm,
+        )
+    return None
+
+
+def _decode_q1(halfword: int, funct3: int) -> Optional[Instruction]:
+    rd = bits(halfword, 11, 7)
+    imm6 = sign_extend((bit(halfword, 12) << 5) | bits(halfword, 6, 2), 6)
+
+    if funct3 == 0b000:  # c.nop / c.addi
+        return _make("addi", halfword, rd=rd, rs1=rd, imm=imm6)
+    if funct3 == 0b001:  # c.jal (RV32) -> jal x1, offset
+        return _make("jal", halfword, rd=1, imm=_cj_imm(halfword))
+    if funct3 == 0b010:  # c.li -> addi rd, x0, imm
+        return _make("addi", halfword, rd=rd, rs1=0, imm=imm6)
+    if funct3 == 0b011:
+        if rd == 2:  # c.addi16sp
+            imm = sign_extend(
+                (bit(halfword, 12) << 9)
+                | (bits(halfword, 4, 3) << 7)
+                | (bit(halfword, 5) << 6)
+                | (bit(halfword, 2) << 5)
+                | (bit(halfword, 6) << 4),
+                10,
+            )
+            if imm == 0:
+                return None
+            return _make("addi", halfword, rd=2, rs1=2, imm=imm)
+        if imm6 == 0:
+            return None
+        return _make("lui", halfword, rd=rd, imm=imm6 & 0xFFFFF)  # c.lui
+    if funct3 == 0b100:
+        return _decode_q1_alu(halfword)
+    if funct3 == 0b101:  # c.j -> jal x0, offset
+        return _make("jal", halfword, rd=0, imm=_cj_imm(halfword))
+    if funct3 in (0b110, 0b111):  # c.beqz / c.bnez
+        imm = sign_extend(
+            (bit(halfword, 12) << 8)
+            | (bits(halfword, 6, 5) << 6)
+            | (bit(halfword, 2) << 5)
+            | (bits(halfword, 11, 10) << 3)
+            | (bits(halfword, 4, 3) << 1),
+            9,
+        )
+        mnemonic = "beq" if funct3 == 0b110 else "bne"
+        return _make(mnemonic, halfword, rs1=_rvc_reg(bits(halfword, 9, 7)), rs2=0, imm=imm)
+    return None
+
+
+def _decode_q1_alu(halfword: int) -> Optional[Instruction]:
+    rd = _rvc_reg(bits(halfword, 9, 7))
+    op2 = bits(halfword, 11, 10)
+    if op2 == 0b00:  # c.srli
+        shamt = (bit(halfword, 12) << 5) | bits(halfword, 6, 2)
+        return _make("srli", halfword, rd=rd, rs1=rd, imm=shamt & 0x1F)
+    if op2 == 0b01:  # c.srai
+        shamt = (bit(halfword, 12) << 5) | bits(halfword, 6, 2)
+        return _make("srai", halfword, rd=rd, rs1=rd, imm=shamt & 0x1F)
+    if op2 == 0b10:  # c.andi
+        imm = sign_extend((bit(halfword, 12) << 5) | bits(halfword, 6, 2), 6)
+        return _make("andi", halfword, rd=rd, rs1=rd, imm=imm)
+    # op2 == 0b11: register-register ops
+    if bit(halfword, 12):
+        return None  # c.subw/c.addw are RV64 only
+    rs2 = _rvc_reg(bits(halfword, 4, 2))
+    mnemonic = {0b00: "sub", 0b01: "xor", 0b10: "or", 0b11: "and"}[bits(halfword, 6, 5)]
+    return _make(mnemonic, halfword, rd=rd, rs1=rd, rs2=rs2)
+
+
+def _decode_q2(halfword: int, funct3: int) -> Optional[Instruction]:
+    rd = bits(halfword, 11, 7)
+    if funct3 == 0b000:  # c.slli
+        shamt = (bit(halfword, 12) << 5) | bits(halfword, 6, 2)
+        return _make("slli", halfword, rd=rd, rs1=rd, imm=shamt & 0x1F)
+    if funct3 == 0b010:  # c.lwsp
+        imm = (bits(halfword, 3, 2) << 6) | (bit(halfword, 12) << 5) | (bits(halfword, 6, 4) << 2)
+        if rd == 0:
+            return None
+        return _make("lw", halfword, rd=rd, rs1=2, imm=imm)
+    if funct3 == 0b100:
+        rs2 = bits(halfword, 6, 2)
+        if bit(halfword, 12) == 0:
+            if rs2 == 0:  # c.jr
+                if rd == 0:
+                    return None
+                return _make("jalr", halfword, rd=0, rs1=rd, imm=0)
+            return _make("add", halfword, rd=rd, rs1=0, rs2=rs2)  # c.mv
+        if rs2 == 0:
+            if rd == 0:  # c.ebreak
+                return _make("ebreak", halfword)
+            return _make("jalr", halfword, rd=1, rs1=rd, imm=0)  # c.jalr
+        return _make("add", halfword, rd=rd, rs1=rd, rs2=rs2)  # c.add
+    if funct3 == 0b110:  # c.swsp
+        imm = (bits(halfword, 8, 7) << 6) | (bits(halfword, 12, 9) << 2)
+        return _make("sw", halfword, rs1=2, rs2=bits(halfword, 6, 2), imm=imm)
+    return None
+
+
+def _cj_imm(halfword: int) -> int:
+    """The scrambled 11-bit CJ-format jump offset."""
+    return sign_extend(
+        (bit(halfword, 12) << 11)
+        | (bit(halfword, 8) << 10)
+        | (bits(halfword, 10, 9) << 8)
+        | (bit(halfword, 6) << 7)
+        | (bit(halfword, 7) << 6)
+        | (bit(halfword, 2) << 5)
+        | (bit(halfword, 11) << 4)
+        | (bits(halfword, 5, 3) << 1),
+        12,
+    )

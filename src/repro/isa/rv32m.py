@@ -1,0 +1,36 @@
+"""RV32M standard multiply/divide extension (funct7 = 0b0000001 in OP space)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.isa import fields
+from repro.isa.instruction import Instruction
+
+FUNCT7_MULDIV = 0b0000001
+
+_MULDIV = {
+    0b000: "mul",
+    0b001: "mulh",
+    0b010: "mulhsu",
+    0b011: "mulhu",
+    0b100: "div",
+    0b101: "divu",
+    0b110: "rem",
+    0b111: "remu",
+}
+
+MNEMONICS = sorted(_MULDIV.values())
+
+
+def decode_m(word: int) -> Optional[Instruction]:
+    """Decode an RV32M instruction, or None if the word is not RV32M."""
+    if fields.decode_opcode(word) != fields.OPCODE_OP:
+        return None
+    ops = fields.decode_r(word)
+    if ops.pop("funct7") != FUNCT7_MULDIV:
+        return None
+    mnemonic = _MULDIV.get(ops.pop("funct3"))
+    if mnemonic is None:
+        return None
+    return Instruction(mnemonic, word, extension="m", operands=ops)

@@ -1,0 +1,157 @@
+"""The `xmnmc` software-defined in-cache matrix ISA (paper section IV-A).
+
+Encoding (Custom-2 major opcode ``0x5b``, paper Table I):
+
+* ``func5`` occupies bits [11:7] (the rd field is free — matrix
+  instructions write no integer register).  ``func5 == 31`` encodes
+  ``xmr`` (matrix reserve); ``func5 == N`` for N in [0, 30] encodes the
+  software-decoded kernel ``xmkN``.
+* ``funct3`` encodes the element width suffix: 0 = ``.b`` (int8),
+  1 = ``.h`` (int16), 2 = ``.w`` (int32).
+* ``rs1``/``rs2``/``rs3`` name the three source registers whose *values*
+  carry the packed 16-bit operand pairs of Table I:
+
+  ===========  ==========  ==========  ==========  ==========  ==========  ==========
+  Mnemonic     hi(rs1)     lo(rs1)     hi(rs2)     lo(rs2)     hi(rs3)     lo(rs3)
+  ===========  ==========  ==========  ==========  ==========  ==========  ==========
+  xmr          hi(&A)      lo(&A)      A.stride    md          A.cols      A.rows
+  xmk0 GeMM    alpha       beta        ms3         md          ms1         ms2
+  xmk1 ReLU    alpha       --          --          md          ms1         --
+  xmk2 MaxP    stride      win_size    --          md          ms1         --
+  xmk3 Conv    --          --          --          md          ms1         ms2
+  xmk4 ConvL   --          --          --          md          ms1         ms2
+  ===========  ==========  ==========  ==========  ==========  ==========  ==========
+
+The *register values* are produced by the helper pack/unpack functions
+below, shared between the host-side intrinsics (:mod:`repro.core.api`) and
+the C-RT kernel decoder (:mod:`repro.runtime.decoder`), mirroring how the
+bridge samples opcode, func5 and the three operand registers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.isa import fields
+from repro.isa.instruction import Instruction
+from repro.utils.bitops import bits
+
+MAJOR_OPCODE = fields.OPCODE_CUSTOM_2  # 0x5b
+FUNC5_XMR = 31
+MAX_KERNEL_FUNC5 = 30
+
+#: funct3 encodings for the element-size suffix.
+SIZE_SUFFIXES = {"b": 0, "h": 1, "w": 2}
+SIZE_BYTES = {"b": 1, "h": 2, "w": 4}
+SUFFIX_BY_FUNCT3 = {v: k for k, v in SIZE_SUFFIXES.items()}
+
+
+def pack_pair(hi: int, lo: int) -> int:
+    """Pack two 16-bit values into one 32-bit register value."""
+    if not 0 <= hi <= 0xFFFF:
+        raise ValueError(f"hi field {hi} does not fit in 16 bits")
+    if not 0 <= lo <= 0xFFFF:
+        raise ValueError(f"lo field {lo} does not fit in 16 bits")
+    return (hi << 16) | lo
+
+
+def unpack_pair(value: int) -> Tuple[int, int]:
+    """Split a 32-bit register value into its (hi, lo) 16-bit fields."""
+    return (value >> 16) & 0xFFFF, value & 0xFFFF
+
+
+def encode_xmr(size: str, rs1: int, rs2: int, rs3: int) -> int:
+    """Encode ``xmr.[w|h|b]`` with operand registers rs1/rs2/rs3."""
+    return _encode(FUNC5_XMR, size, rs1, rs2, rs3)
+
+
+def encode_xmk(n: int, size: str, rs1: int, rs2: int, rs3: int) -> int:
+    """Encode ``xmkN.[w|h|b]`` for kernel slot ``n`` in [0, 30]."""
+    if not 0 <= n <= MAX_KERNEL_FUNC5:
+        raise ValueError(f"kernel index {n} outside [0, {MAX_KERNEL_FUNC5}]")
+    return _encode(n, size, rs1, rs2, rs3)
+
+
+def _encode(func5: int, size: str, rs1: int, rs2: int, rs3: int) -> int:
+    try:
+        funct3 = SIZE_SUFFIXES[size]
+    except KeyError:
+        raise ValueError(f"size suffix {size!r} must be one of w/h/b") from None
+    return fields.encode_r4(
+        MAJOR_OPCODE, rd=func5, funct3=funct3, rs1=rs1, rs2=rs2, rs3=rs3, funct2=0
+    )
+
+
+def decode_xmnmc(word: int) -> Optional[Instruction]:
+    """Decode a Custom-2 matrix instruction, or None."""
+    if fields.decode_opcode(word) != MAJOR_OPCODE:
+        return None
+    func5 = bits(word, 11, 7)
+    funct3 = bits(word, 14, 12)
+    suffix = SUFFIX_BY_FUNCT3.get(funct3)
+    if suffix is None:
+        return None
+    ops = fields.decode_r4(word)
+    operands = {
+        "rs1": ops["rs1"],
+        "rs2": ops["rs2"],
+        "rs3": ops["rs3"],
+        "func5": func5,
+        "size": funct3,
+    }
+    if func5 == FUNC5_XMR:
+        mnemonic = f"xmr.{suffix}"
+    else:
+        mnemonic = f"xmk{func5}.{suffix}"
+    return Instruction(mnemonic, word, extension="xmnmc", operands=operands)
+
+
+@dataclass(frozen=True)
+class OffloadRequest:
+    """What the CV-X-IF bridge samples from an offloaded matrix instruction.
+
+    This is the unit of transfer between the host CPU and the eCPU:
+    the decoded static fields (func5, element size) plus the dynamic
+    values of the three source registers at issue time.
+    """
+
+    func5: int
+    size_suffix: str  # "b" / "h" / "w"
+    rs1_value: int
+    rs2_value: int
+    rs3_value: int
+    instr_id: int = 0  # host-assigned sequence number for commit/kill
+
+    @property
+    def is_reserve(self) -> bool:
+        return self.func5 == FUNC5_XMR
+
+    @property
+    def element_bytes(self) -> int:
+        return SIZE_BYTES[self.size_suffix]
+
+    def pairs(self) -> Tuple[Tuple[int, int], Tuple[int, int], Tuple[int, int]]:
+        """The three (hi, lo) 16-bit operand pairs of Table I."""
+        return (
+            unpack_pair(self.rs1_value),
+            unpack_pair(self.rs2_value),
+            unpack_pair(self.rs3_value),
+        )
+
+
+def request_from_instruction(
+    instruction: Instruction, rs1_value: int, rs2_value: int, rs3_value: int, instr_id: int = 0
+) -> OffloadRequest:
+    """Build the bridge-level offload request for a decoded xmnmc instruction."""
+    if instruction.extension != "xmnmc":
+        raise ValueError(f"{instruction.mnemonic} is not an xmnmc instruction")
+    suffix = SUFFIX_BY_FUNCT3[instruction.operand("size")]
+    return OffloadRequest(
+        func5=instruction.operand("func5"),
+        size_suffix=suffix,
+        rs1_value=rs1_value & 0xFFFFFFFF,
+        rs2_value=rs2_value & 0xFFFFFFFF,
+        rs3_value=rs3_value & 0xFFFFFFFF,
+        instr_id=instr_id,
+    )

@@ -1,0 +1,36 @@
+"""The Cache Runtime (C-RT) — the software stack on the eCPU (paper IV-B).
+
+C-RT is a single-threaded, preemptive runtime with static allocation.
+Its three core modules, mirrored one-to-one here:
+
+* **Kernel Decoder** (:mod:`repro.runtime.decoder`) — interrupt-driven
+  software decoding of offloaded matrix instructions, operand region
+  registration in the Address Table, logical-matrix renaming for
+  reservation hazards;
+* **Kernel Scheduler** (:mod:`repro.runtime.scheduler`) — VPU selection
+  (fewest dirty cache lines first), kernel execution, operand release;
+* **Matrix Allocator** (:mod:`repro.runtime.allocator`) — lock-protected
+  2D DMA programming that moves operands between the memory system and
+  VPU vector registers in the kernel's layout.
+
+Kernels themselves (:mod:`repro.runtime.kernels`) are micro-programs
+expressed against the :class:`~repro.runtime.context.KernelContext` API,
+compiled down to the custom vector ISA of :mod:`repro.vpu.visa`.
+"""
+
+from repro.runtime.matrix import MatrixBinding, MatrixMap
+from repro.runtime.queue import KernelQueue, QueuedKernel
+from repro.runtime.kernel_lib import KernelLibrary, KernelSpec
+from repro.runtime.context import KernelContext
+from repro.runtime.crt import CacheRuntime
+
+__all__ = [
+    "MatrixBinding",
+    "MatrixMap",
+    "KernelQueue",
+    "QueuedKernel",
+    "KernelLibrary",
+    "KernelSpec",
+    "KernelContext",
+    "CacheRuntime",
+]

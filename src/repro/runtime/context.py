@@ -1,0 +1,186 @@
+"""The micro-program API kernels are written against.
+
+A kernel body is a generator that receives a :class:`KernelContext` bound
+to the VPU the scheduler selected.  The context exposes:
+
+* register-window management (``claim`` / ``release``);
+* DMA in/out through the Matrix Allocator (charged to the *allocation*
+  and *writeback* phase buckets of Figure 3);
+* vector-instruction dispatch (charged to *compute*, with the pipelined
+  ``max(issue, execute)`` cost of the eCPU/VPU pair);
+* scalar element reads (the eCPU fetching a filter coefficient out of a
+  vector register to use as a ``.vs`` scalar operand).
+
+Keeping phase accounting inside the context means kernels cannot forget
+to charge a phase — every effect they can cause is a context call.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List, Optional
+
+from repro.runtime.allocator import MatrixAllocator, RegisterWindow
+from repro.runtime.matrix import MatrixBinding
+from repro.runtime.phases import PhaseBreakdown
+from repro.vpu.dispatcher import Dispatcher
+from repro.vpu.visa import ElementType, VectorOp, VectorOpcode
+
+
+class KernelContext:
+    """Execution context handed to a kernel body by the scheduler."""
+
+    #: eCPU cycles to read one element out of a vector register via the
+    #: memory-mapped window (load + address computation in the C-RT).
+    SCALAR_READ_CYCLES = 4
+
+    def __init__(
+        self,
+        vpu_index: int,
+        etype: ElementType,
+        allocator: MatrixAllocator,
+        dispatcher: Dispatcher,
+        phases: PhaseBreakdown,
+    ) -> None:
+        self.vpu_index = vpu_index
+        self.etype = etype
+        self.allocator = allocator
+        self.dispatcher = dispatcher
+        self.phases = phases
+        self._windows: List[RegisterWindow] = []
+
+    # -- register windows ---------------------------------------------------
+
+    @property
+    def vpu(self):
+        return self.dispatcher.vpu(self.vpu_index)
+
+    @property
+    def max_vl(self) -> int:
+        return self.vpu.vrf.max_vl(self.etype)
+
+    def free_regs(self) -> int:
+        return self.allocator.free_regs(self.vpu_index)
+
+    def claim(self, count: int) -> RegisterWindow:
+        window = self.allocator.claim(self.vpu_index, count)
+        self._windows.append(window)
+        return window
+
+    def release_all(self) -> None:
+        """Return every window claimed through this context (scheduler epilogue)."""
+        for window in self._windows:
+            if window.vregs:
+                self.allocator.release(window)
+        self._windows.clear()
+
+    # -- data movement --------------------------------------------------------
+
+    def load_rows(
+        self,
+        window: RegisterWindow,
+        matrix: MatrixBinding,
+        row_start: int,
+        n_rows: int,
+        reg_start: int = 0,
+    ) -> Generator:
+        cycles = yield from self.allocator.load_rows(
+            window, matrix, row_start, n_rows, reg_start
+        )
+        self.phases.add("allocation", cycles)
+        return cycles
+
+    def load_packed(
+        self,
+        window: RegisterWindow,
+        matrix: MatrixBinding,
+        reg_index: int = 0,
+    ) -> Generator:
+        cycles = yield from self.allocator.load_packed(window, matrix, reg_index)
+        self.phases.add("allocation", cycles)
+        return cycles
+
+    def load_row_set(self, specs) -> Generator:
+        """Synchronous batched row load (one lock acquisition)."""
+        cycles = yield from self.allocator.load_row_set(specs)
+        self.phases.add("allocation", cycles)
+        return cycles
+
+    def prefetch_row_set(self, specs):
+        """Start a double-buffered row load running concurrently with compute.
+
+        Returns a handle to pass to :meth:`wait_prefetch`.  Only the
+        *exposed* wait time (DMA cycles not hidden under compute) is
+        charged to the allocation phase — this is the wall-clock
+        attribution behind Figure 3's allocation share.
+        """
+        sim = self.allocator.sim
+        generator = self.allocator.load_row_set(specs)
+        return sim.process(generator, name=f"prefetch.vpu{self.vpu_index}")
+
+    def wait_prefetch(self, handle) -> Generator:
+        """Join an outstanding prefetch; charge only the exposed wait."""
+        if handle is None:
+            return 0
+        sim = self.allocator.sim
+        started = sim.now
+        if not handle.finished:
+            yield handle
+        exposed = sim.now - started
+        self.phases.add("allocation", exposed)
+        return exposed
+
+    def store_rows(
+        self,
+        window: RegisterWindow,
+        matrix: MatrixBinding,
+        row_start: int,
+        n_rows: int,
+        reg_start: int = 0,
+        n_cols: Optional[int] = None,
+    ) -> Generator:
+        cycles = yield from self.allocator.store_rows(
+            window, matrix, row_start, n_rows, reg_start, n_cols
+        )
+        self.phases.add("writeback", cycles)
+        return cycles
+
+    # -- compute ---------------------------------------------------------------
+
+    def vop(
+        self,
+        opcode: VectorOpcode,
+        vd: int,
+        vs1: int = 0,
+        vs2: int = 0,
+        vl: int = 0,
+        scalar: int = 0,
+        offset: int = 0,
+        stride: int = 1,
+        vd_offset: int = 0,
+        etype: Optional[ElementType] = None,
+    ) -> Generator:
+        """Dispatch one vector instruction; yields its pipelined cost."""
+        op = VectorOp(
+            opcode=opcode,
+            etype=etype or self.etype,
+            vd=vd,
+            vs1=vs1,
+            vs2=vs2,
+            vl=vl,
+            scalar=scalar,
+            offset=offset,
+            stride=stride,
+            vd_offset=vd_offset,
+        )
+        cost = self.dispatcher.dispatch(self.vpu_index, op)
+        self.phases.add("compute", cost)
+        yield cost
+        return cost
+
+    def read_element(self, vreg: int, index: int, etype: Optional[ElementType] = None) -> Generator:
+        """eCPU reads one element from a vector register (returns its value)."""
+        etype = etype or self.etype
+        value = int(self.vpu.vrf.view(vreg, etype)[index])
+        self.phases.add("compute", self.SCALAR_READ_CYCLES)
+        yield self.SCALAR_READ_CYCLES
+        return value

@@ -1,0 +1,74 @@
+"""The user-configurable kernel library (paper IV-B.1).
+
+Kernels are looked up by ``func5`` with O(1) access.  Each entry couples:
+
+* a *preamble* — runs in the decoder's interrupt context; it resolves
+  logical matrix registers to bindings, validates shapes and returns the
+  operand lists the Address Table must guard;
+* a *body* — the micro-program generator executed by the scheduler on a
+  VPU through the :class:`~repro.runtime.context.KernelContext` API.
+
+Because the library is a runtime-registered table, new complex
+instructions can be added without touching the simulator — the paper's
+"software-based ISA extensibility" (see ``examples/custom_kernel.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Generator, List, Optional, Tuple
+
+from repro.isa.xmnmc import MAX_KERNEL_FUNC5, OffloadRequest
+from repro.runtime.matrix import MatrixBinding, MatrixMap
+
+#: Preamble result: (dest binding or None, source bindings, scalar params).
+PreambleResult = Tuple[Optional[MatrixBinding], List[MatrixBinding], Dict[str, int]]
+Preamble = Callable[[OffloadRequest, MatrixMap], PreambleResult]
+#: Body: generator executed in the scheduler (KernelContext, QueuedKernel).
+Body = Callable[..., Generator]
+
+
+@dataclass(frozen=True)
+class KernelSpec:
+    """One software-defined complex instruction."""
+
+    func5: int
+    name: str
+    preamble: Preamble
+    body: Body
+    description: str = ""
+
+
+class KernelLibrary:
+    """func5 -> kernel dispatch table with user registration."""
+
+    def __init__(self) -> None:
+        self._by_func5: Dict[int, KernelSpec] = {}
+
+    def register(self, spec: KernelSpec, replace: bool = False) -> None:
+        """Install a kernel in slot ``spec.func5``.
+
+        ``replace=True`` allows updating an existing slot, mirroring the
+        paper's reprogrammable software decoder.
+        """
+        if not 0 <= spec.func5 <= MAX_KERNEL_FUNC5:
+            raise ValueError(f"func5 {spec.func5} outside [0, {MAX_KERNEL_FUNC5}]")
+        if spec.func5 in self._by_func5 and not replace:
+            raise ValueError(
+                f"kernel slot {spec.func5} already holds "
+                f"{self._by_func5[spec.func5].name!r}"
+            )
+        self._by_func5[spec.func5] = spec
+
+    def lookup(self, func5: int) -> Optional[KernelSpec]:
+        """O(1) lookup by func5; None for unrecognised operations."""
+        return self._by_func5.get(func5)
+
+    def names(self) -> Dict[int, str]:
+        return {func5: spec.name for func5, spec in sorted(self._by_func5.items())}
+
+    def __len__(self) -> int:
+        return len(self._by_func5)
+
+    def __contains__(self, func5: int) -> bool:
+        return func5 in self._by_func5

@@ -1,0 +1,41 @@
+"""The five complex matrix kernels of paper Table I.
+
+==========  ======  ==============================================
+Mnemonic    func5   Operation
+==========  ======  ==============================================
+``xmk0``    0       GeMM:      D = alpha * (A @ B) + beta * C
+``xmk1``    1       LeakyReLU: D = max(X, 0) + (min(X, 0) >> alpha)
+``xmk2``    2       MaxPool:   2D max pooling, window/stride params
+``xmk3``    3       2D Conv:   valid convolution, single channel
+``xmk4``    4       3-channel 2D Conv Layer: conv + ReLU + 2x2 pool
+==========  ======  ==============================================
+
+Each module exports a :class:`~repro.runtime.kernel_lib.KernelSpec`;
+:func:`install_all` registers them in a library in their paper slots.
+"""
+
+from repro.runtime.kernel_lib import KernelLibrary
+from repro.runtime.kernels.gemm import GEMM_SPEC
+from repro.runtime.kernels.leaky_relu import LEAKY_RELU_SPEC
+from repro.runtime.kernels.maxpool import MAXPOOL_SPEC
+from repro.runtime.kernels.conv2d import CONV2D_SPEC
+from repro.runtime.kernels.conv_layer import CONV_LAYER_SPEC
+
+ALL_SPECS = (GEMM_SPEC, LEAKY_RELU_SPEC, MAXPOOL_SPEC, CONV2D_SPEC, CONV_LAYER_SPEC)
+
+
+def install_all(library: KernelLibrary) -> None:
+    """Register the default Table I kernels (slots 0..4)."""
+    for spec in ALL_SPECS:
+        library.register(spec)
+
+
+__all__ = [
+    "ALL_SPECS",
+    "install_all",
+    "GEMM_SPEC",
+    "LEAKY_RELU_SPEC",
+    "MAXPOOL_SPEC",
+    "CONV2D_SPEC",
+    "CONV_LAYER_SPEC",
+]

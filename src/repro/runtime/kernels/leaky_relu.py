@@ -1,0 +1,71 @@
+"""``xmk1`` — LeakyReLU activation (paper Table I).
+
+``D = max(X, 0) + (min(X, 0) >> alpha)`` — the integer formulation of
+leaky ReLU where the negative slope is a power of two (``2**-alpha``),
+standard practice in integer-only edge inference.  ``alpha = 0`` makes
+the negative side pass through (identity); large alpha approaches plain
+ReLU.  Operand packing: rs1 = (alpha, -), rs2 = (-, md), rs3 = (ms1, -).
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional, Tuple
+
+from repro.isa.xmnmc import OffloadRequest
+from repro.runtime.context import KernelContext
+from repro.runtime.kernel_lib import KernelSpec, PreambleResult
+from repro.runtime.kernels.common import check_shape, resolve, shard_rows
+from repro.runtime.matrix import MatrixMap
+from repro.runtime.queue import QueuedKernel
+from repro.vpu.visa import VectorOpcode
+
+
+def leaky_relu_preamble(request: OffloadRequest, matrix_map: MatrixMap) -> PreambleResult:
+    (alpha, _), (_, md), (ms1, _) = request.pairs()
+    x = resolve(matrix_map, ms1)
+    d = resolve(matrix_map, md)
+    check_shape(d, x.rows, x.cols, "destination")
+    if not 0 <= alpha <= 31:
+        raise ValueError(f"LeakyReLU shift alpha={alpha} outside [0, 31]")
+    return d, [x], {"alpha": alpha}
+
+
+def leaky_relu_body(
+    kc: KernelContext,
+    kernel: QueuedKernel,
+    shard: Optional[Tuple[int, int]] = None,
+) -> Generator:
+    (x,) = kernel.sources
+    d = kernel.dest
+    alpha = kernel.scalars["alpha"]
+    row_start, n_rows = shard_rows(x.rows, shard or (0, 1))
+    if n_rows == 0:
+        return
+
+    src_win = kc.claim(1)
+    pos_win = kc.claim(1)
+    neg_win = kc.claim(1)
+    for i in range(row_start, row_start + n_rows):
+        yield from kc.load_rows(src_win, x, i, 1)
+        yield from kc.vop(
+            VectorOpcode.VMAX_VS, vd=pos_win[0], vs1=src_win[0], scalar=0, vl=x.cols
+        )
+        yield from kc.vop(
+            VectorOpcode.VMIN_VS, vd=neg_win[0], vs1=src_win[0], scalar=0, vl=x.cols
+        )
+        yield from kc.vop(
+            VectorOpcode.VSRA_VS, vd=neg_win[0], vs1=neg_win[0], scalar=alpha, vl=x.cols
+        )
+        yield from kc.vop(
+            VectorOpcode.VADD_VV, vd=pos_win[0], vs1=pos_win[0], vs2=neg_win[0], vl=x.cols
+        )
+        yield from kc.store_rows(pos_win, d, i, 1)
+
+
+LEAKY_RELU_SPEC = KernelSpec(
+    func5=1,
+    name="leaky_relu",
+    preamble=leaky_relu_preamble,
+    body=leaky_relu_body,
+    description="D = max(X, 0) + (min(X, 0) >> alpha)",
+)

@@ -1,0 +1,76 @@
+"""``xmk2`` — 2D max pooling (paper Table I).
+
+Operand packing: rs1 = (stride, win_size), rs2 = (-, md), rs3 = (ms1, -).
+Output shape follows floor semantics with no padding.
+
+Micro-program: one output row per pooling window of input rows.  The
+strided-gather addressing of ``vmv``/``vmax.vv`` extracts every
+``stride``-th element, so a whole output row is produced with
+``window**2`` vector instructions regardless of width.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional, Tuple
+
+from repro.isa.xmnmc import OffloadRequest
+from repro.runtime.context import KernelContext
+from repro.runtime.kernel_lib import KernelSpec, PreambleResult
+from repro.runtime.kernels.common import check_shape, pool_output_shape, resolve, shard_rows
+from repro.runtime.matrix import MatrixMap
+from repro.runtime.queue import QueuedKernel
+from repro.vpu.visa import VectorOpcode
+
+
+def maxpool_preamble(request: OffloadRequest, matrix_map: MatrixMap) -> PreambleResult:
+    (stride, window), (_, md), (ms1, _) = request.pairs()
+    x = resolve(matrix_map, ms1)
+    d = resolve(matrix_map, md)
+    if window < 1 or stride < 1:
+        raise ValueError(f"maxpool window={window}, stride={stride} must be >= 1")
+    out_rows, out_cols = pool_output_shape(x.rows, x.cols, window, stride)
+    check_shape(d, out_rows, out_cols, "destination")
+    return d, [x], {"stride": stride, "window": window}
+
+
+def maxpool_body(
+    kc: KernelContext,
+    kernel: QueuedKernel,
+    shard: Optional[Tuple[int, int]] = None,
+) -> Generator:
+    (x,) = kernel.sources
+    d = kernel.dest
+    stride = kernel.scalars["stride"]
+    window = kernel.scalars["window"]
+    out_rows, out_cols = pool_output_shape(x.rows, x.cols, window, stride)
+    row_start, n_rows = shard_rows(out_rows, shard or (0, 1))
+    if n_rows == 0:
+        return
+
+    in_win = kc.claim(window)
+    acc_win = kc.claim(1)
+    for j in range(row_start, row_start + n_rows):
+        yield from kc.load_rows(in_win, x, j * stride, window)
+        first = True
+        for dr in range(window):
+            for dc in range(window):
+                opcode = VectorOpcode.VMV if first else VectorOpcode.VMAX_VV
+                yield from kc.vop(
+                    opcode,
+                    vd=acc_win[0],
+                    vs1=in_win[dr],
+                    vl=out_cols,
+                    offset=dc,
+                    stride=stride,
+                )
+                first = False
+        yield from kc.store_rows(acc_win, d, j, 1)
+
+
+MAXPOOL_SPEC = KernelSpec(
+    func5=2,
+    name="maxpool",
+    preamble=maxpool_preamble,
+    body=maxpool_body,
+    description="2D max pooling with window/stride parameters",
+)

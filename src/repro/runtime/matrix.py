@@ -1,0 +1,133 @@
+"""Logical matrix registers, bindings and the renaming matrix map.
+
+``xmr`` binds a memory region and shape to a logical matrix register
+(``m0``, ``m1``, ...) *without* loading data — allocation is deferred
+until a kernel needs the operand (paper IV-A.1).  The C-RT matrix map
+holds one binding per logical register.
+
+Renaming (paper IV-B.1): when an ``xmr`` overwrites a logical register
+whose old binding is still referenced by a queued/running kernel, the
+decoder does not stall; kernels capture *binding objects*, not register
+names, so re-binding a register is race-free by construction.  The map
+counts these events so tests can assert the hazard was actually exercised.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.vpu.visa import ElementType
+
+_binding_ids = itertools.count()
+
+
+@dataclass
+class MatrixBinding:
+    """One (possibly renamed) physical matrix descriptor.
+
+    Attributes:
+        address: base address of the matrix in system memory.
+        rows / cols: shape in elements.
+        stride: row-to-row distance in *elements* (>= cols; 1 in the
+            paper's Listing 1 means densely packed, i.e. stride == cols —
+            we normalise that at bind time).
+        etype: element width.
+        pending_uses: kernels queued/running that read or write this
+            binding; the decoder uses it to detect reservation hazards.
+    """
+
+    address: int
+    rows: int
+    cols: int
+    stride: int
+    etype: ElementType
+    register: int = -1
+    binding_id: int = field(default_factory=lambda: next(_binding_ids))
+    pending_uses: int = 0
+
+    def __post_init__(self) -> None:
+        if self.rows <= 0 or self.cols <= 0:
+            raise ValueError(f"matrix shape {self.rows}x{self.cols} must be positive")
+        if self.stride < self.cols:
+            raise ValueError(f"stride {self.stride} smaller than cols {self.cols}")
+
+    @property
+    def row_bytes(self) -> int:
+        return self.cols * self.etype.nbytes
+
+    @property
+    def stride_bytes(self) -> int:
+        return self.stride * self.etype.nbytes
+
+    @property
+    def total_bytes(self) -> int:
+        return self.rows * self.row_bytes
+
+    @property
+    def end_address(self) -> int:
+        """One past the last byte the matrix region can touch."""
+        return self.address + (self.rows - 1) * self.stride_bytes + self.row_bytes
+
+    def row_address(self, row: int) -> int:
+        if not 0 <= row < self.rows:
+            raise IndexError(f"row {row} outside matrix of {self.rows} rows")
+        return self.address + row * self.stride_bytes
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<m{self.register}#{self.binding_id} {self.rows}x{self.cols}"
+            f".{self.etype.suffix} @{self.address:#x}>"
+        )
+
+
+class MatrixMap:
+    """The C-RT's statically sized map of logical matrix registers."""
+
+    def __init__(self, n_registers: int) -> None:
+        if n_registers <= 0:
+            raise ValueError("need at least one logical matrix register")
+        self.n_registers = n_registers
+        self._bindings: Dict[int, MatrixBinding] = {}
+        self.rename_count = 0
+
+    def bind(
+        self,
+        register: int,
+        address: int,
+        rows: int,
+        cols: int,
+        stride: int,
+        etype: ElementType,
+    ) -> MatrixBinding:
+        """Bind a logical register; renames transparently if the old binding
+        is still in use (the decoder's hazard checker, paper IV-B.1)."""
+        if not 0 <= register < self.n_registers:
+            raise IndexError(
+                f"matrix register m{register} outside 0..{self.n_registers - 1}"
+            )
+        if stride <= 1:
+            stride = cols  # Listing 1 convention: stride 1 == densely packed
+        old = self._bindings.get(register)
+        if old is not None and old.pending_uses > 0:
+            self.rename_count += 1
+        binding = MatrixBinding(
+            address=address, rows=rows, cols=cols, stride=stride,
+            etype=etype, register=register,
+        )
+        self._bindings[register] = binding
+        return binding
+
+    def resolve(self, register: int) -> MatrixBinding:
+        """Current binding of a logical register; raises if unbound."""
+        binding = self._bindings.get(register)
+        if binding is None:
+            raise KeyError(f"matrix register m{register} is not bound (missing xmr?)")
+        return binding
+
+    def is_bound(self, register: int) -> bool:
+        return register in self._bindings
+
+    def clear(self) -> None:
+        self._bindings.clear()

@@ -1,0 +1,59 @@
+"""Per-kernel execution-phase cycle accounting (paper Figure 3).
+
+The xmnmc abstraction costs cycles in four places: software decoding
+(preamble), operand allocation DMA, the compute phase proper, and the
+result write-back DMA.  Figure 3 of the paper plots exactly this
+breakdown, so every kernel execution in the system model fills in a
+:class:`PhaseBreakdown` that the benchmark harness reads back.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+PHASES = ("preamble", "allocation", "compute", "writeback")
+
+
+@dataclass
+class PhaseBreakdown:
+    """Cycle totals by phase for one kernel (or an aggregate of kernels)."""
+
+    cycles: Dict[str, int] = field(default_factory=lambda: {p: 0 for p in PHASES})
+
+    def add(self, phase: str, amount: int) -> None:
+        if phase not in self.cycles:
+            raise KeyError(f"unknown phase {phase!r}; expected one of {PHASES}")
+        if amount < 0:
+            raise ValueError(f"cannot add negative cycles ({amount}) to {phase}")
+        self.cycles[phase] += amount
+
+    @property
+    def total(self) -> int:
+        return sum(self.cycles.values())
+
+    @property
+    def non_compute(self) -> int:
+        return self.total - self.cycles["compute"]
+
+    def fraction(self, phase: str) -> float:
+        """Share of the total spent in ``phase`` (0.0 when nothing ran)."""
+        total = self.total
+        return self.cycles[phase] / total if total else 0.0
+
+    def overhead_fraction(self) -> float:
+        """Non-compute share of the total — the paper's 'overhead'."""
+        total = self.total
+        return self.non_compute / total if total else 0.0
+
+    def merge(self, other: "PhaseBreakdown") -> "PhaseBreakdown":
+        for phase, amount in other.cycles.items():
+            self.cycles[phase] += amount
+        return self
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(self.cycles)
+
+    def __str__(self) -> str:
+        parts = ", ".join(f"{p}={self.cycles[p]}" for p in PHASES)
+        return f"PhaseBreakdown({parts}, total={self.total})"

@@ -1,0 +1,194 @@
+"""The Kernel Scheduler (paper IV-B.2).
+
+Runs as the C-RT main loop on the eCPU: pops scheduled kernels off the
+queue, selects a VPU — preferring the one with the *fewest dirty cache
+lines*, so claiming its registers for compute causes the least write-back
+traffic — executes the kernel body, then releases operands:
+
+* source regions are released (unblocking WAR-stalled host stores);
+* the destination region is released after write-back completes
+  (unblocking RAW/RAW-stalled host accesses);
+* claimed vector registers return to the free pool and their lines to
+  the cache.
+
+A ``multi_vpu`` kernel body may be sharded across every free VPU; the
+scheduler then runs one context per VPU concurrently and joins them —
+the paper's "multi-instance mode" (section V-C).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Generator, List, Optional
+
+from repro.cache.controller import LlcController
+from repro.runtime.allocator import MatrixAllocator
+from repro.runtime.context import KernelContext
+from repro.runtime.kernel_lib import KernelLibrary
+from repro.runtime.phases import PhaseBreakdown
+from repro.runtime.queue import KernelQueue, QueuedKernel
+from repro.sim.kernel import Simulator
+from repro.sim.stats import StatsRegistry
+from repro.sim.trace import Tracer
+from repro.vpu.dispatcher import Dispatcher
+
+
+class KernelScheduler:
+    """C-RT main loop: VPU selection, kernel execution, operand release."""
+
+    #: eCPU cycles for one scheduling decision (queue pop + policy + setup).
+    SCHEDULE_CYCLES = 400
+
+    def __init__(
+        self,
+        sim: Simulator,
+        queue: KernelQueue,
+        library: KernelLibrary,
+        dispatcher: Dispatcher,
+        allocator: MatrixAllocator,
+        controller: LlcController,
+        stats: Optional[StatsRegistry] = None,
+        tracer: Optional[Tracer] = None,
+        multi_vpu: bool = False,
+        vpu_policy: str = "fewest_dirty",
+    ) -> None:
+        self.sim = sim
+        self.queue = queue
+        self.library = library
+        self.dispatcher = dispatcher
+        self.allocator = allocator
+        self.controller = controller
+        self.stats = stats or StatsRegistry()
+        self.tracer = tracer or Tracer(enabled=False)
+        self.multi_vpu = multi_vpu
+        self.vpu_policy = vpu_policy
+        self.completed: List[QueuedKernel] = []
+        self.breakdowns: Dict[int, PhaseBreakdown] = {}
+        self._stop = False
+
+    # -- VPU selection policies (ablation bench compares them) ---------------
+
+    def select_vpu(self) -> int:
+        free = self.dispatcher.free_vpus()
+        if not free:
+            raise RuntimeError("no free VPU (scheduler runs kernels to completion)")
+        if self.vpu_policy == "fewest_dirty":
+            return min(free, key=lambda v: (self.controller.ct.dirty_line_count(v), v))
+        if self.vpu_policy == "round_robin":
+            return free[len(self.completed) % len(free)]
+        if self.vpu_policy == "first_free":
+            return free[0]
+        raise ValueError(f"unknown VPU policy {self.vpu_policy!r}")
+
+    # -- execution -----------------------------------------------------------------
+
+    def run_forever(self) -> Generator:
+        """Simulation process: serve the queue until :meth:`stop` is called."""
+        while not self._stop:
+            kernel = yield from self.queue.pop_wait()
+            yield from self.execute(kernel)
+
+    def stop(self) -> None:
+        self._stop = True
+
+    def execute(self, kernel: QueuedKernel) -> Generator:
+        """Run one kernel to completion (simulation process)."""
+        spec = self.library.lookup(kernel.func5)
+        if spec is None:
+            raise RuntimeError(f"kernel {kernel.func5} vanished from the library")
+        phases = PhaseBreakdown()
+        phases.add("preamble", kernel.preamble_cycles + self.SCHEDULE_CYCLES)
+        yield self.SCHEDULE_CYCLES
+
+        if self.multi_vpu and len(self.dispatcher.free_vpus()) > 1:
+            yield from self._execute_multi(kernel, spec.body, phases)
+        else:
+            vpu_index = self.select_vpu()
+            yield from self._execute_single(kernel, spec.body, vpu_index, phases)
+
+        self._release_operands(kernel)
+        self.breakdowns[kernel.kernel_id] = phases
+        self.completed.append(kernel)
+        if kernel.done is not None:
+            kernel.done.fire(phases)
+        self.stats.counter("scheduler.kernels").add()
+        self.tracer.log(
+            self.sim.now, "scheduler", "kernel_done",
+            kernel=kernel.kernel_id, name=kernel.name, cycles=phases.total,
+        )
+
+    def _execute_single(
+        self, kernel: QueuedKernel, body: Callable, vpu_index: int, phases: PhaseBreakdown
+    ) -> Generator:
+        self.dispatcher.claim(vpu_index, kernel.kernel_id)
+        context = KernelContext(
+            vpu_index, kernel.etype, self.allocator, self.dispatcher, phases
+        )
+        self.tracer.log(
+            self.sim.now, "scheduler", "kernel_start",
+            kernel=kernel.kernel_id, name=kernel.name, vpu=vpu_index,
+        )
+        try:
+            yield from body(context, kernel)
+        finally:
+            context.release_all()
+            self.dispatcher.release(vpu_index)
+
+    def _execute_multi(
+        self, kernel: QueuedKernel, body: Callable, phases: PhaseBreakdown
+    ) -> Generator:
+        """Shard the kernel across all free VPUs and join.
+
+        Each shard receives ``shard=(index, count)``; bodies that support
+        sharding partition their output rows accordingly.  Per-shard phase
+        cycles land in per-shard breakdowns; the merged breakdown keeps the
+        *maximum* compute time (shards run concurrently) and the *sum* of
+        DMA phases (the bus is shared).
+        """
+        vpus = self.dispatcher.free_vpus()
+        shard_phases = [PhaseBreakdown() for _ in vpus]
+        processes = []
+        for i, vpu_index in enumerate(vpus):
+            self.dispatcher.claim(vpu_index, kernel.kernel_id)
+            context = KernelContext(
+                vpu_index, kernel.etype, self.allocator, self.dispatcher, shard_phases[i]
+            )
+            generator = self._shard_wrapper(body, context, kernel, i, len(vpus))
+            processes.append(
+                self.sim.process(generator, name=f"kernel{kernel.kernel_id}.shard{i}")
+            )
+        yield self.sim.all_of([p.done_event for p in processes], name="shards_done")
+        for vpu_index in vpus:
+            self.dispatcher.release(vpu_index)
+        merged = self._merge_shard_phases(shard_phases)
+        phases.merge(merged)
+
+    def _shard_wrapper(
+        self, body: Callable, context: KernelContext, kernel: QueuedKernel,
+        shard_index: int, shard_count: int,
+    ) -> Generator:
+        try:
+            yield from body(context, kernel, shard=(shard_index, shard_count))
+        finally:
+            context.release_all()
+
+    @staticmethod
+    def _merge_shard_phases(shards: List[PhaseBreakdown]) -> PhaseBreakdown:
+        merged = PhaseBreakdown()
+        for phase in ("preamble", "allocation", "writeback"):
+            merged.add(phase, sum(s.cycles[phase] for s in shards))
+        merged.add("compute", max((s.cycles["compute"] for s in shards), default=0))
+        return merged
+
+    def _release_operands(self, kernel: QueuedKernel) -> None:
+        """Free AT entries and drop binding references (hazard release)."""
+        at = self.allocator.controller.at
+        for binding in kernel.sources:
+            binding.pending_uses -= 1
+            at.release(binding.binding_id)
+            self.controller.clear_roles_for_region(binding.address, binding.end_address)
+        if kernel.dest is not None:
+            kernel.dest.pending_uses -= 1
+            at.release(kernel.dest.binding_id)
+            self.controller.clear_roles_for_region(
+                kernel.dest.address, kernel.dest.end_address
+            )

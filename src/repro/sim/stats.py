@@ -1,0 +1,103 @@
+"""Statistics primitives for simulation models.
+
+Components register :class:`Counter` and :class:`Histogram` objects in a
+shared :class:`StatsRegistry`; the evaluation layer reads them back by
+dotted name (``"llc.hits"``, ``"dma.bytes"``) when building tables.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+
+class Counter:
+    """A monotonically increasing named counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def add(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease (got {amount})")
+        self.value += amount
+
+    def reset(self) -> None:
+        self.value = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Counter({self.name!r}, {self.value})"
+
+
+class Histogram:
+    """A sample accumulator tracking count / sum / min / max / mean."""
+
+    __slots__ = ("name", "count", "total", "minimum", "maximum")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0
+        self.minimum: Optional[int] = None
+        self.maximum: Optional[int] = None
+
+    def record(self, sample: int) -> None:
+        self.count += 1
+        self.total += sample
+        if self.minimum is None or sample < self.minimum:
+            self.minimum = sample
+        if self.maximum is None or sample > self.maximum:
+            self.maximum = sample
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def reset(self) -> None:
+        self.count = 0
+        self.total = 0
+        self.minimum = None
+        self.maximum = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Histogram({self.name!r}, n={self.count}, mean={self.mean:.2f})"
+
+
+class StatsRegistry:
+    """Namespace of counters and histograms shared across one simulation."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        """Get or create the counter called ``name``."""
+        if name not in self._counters:
+            self._counters[name] = Counter(name)
+        return self._counters[name]
+
+    def histogram(self, name: str) -> Histogram:
+        """Get or create the histogram called ``name``."""
+        if name not in self._histograms:
+            self._histograms[name] = Histogram(name)
+        return self._histograms[name]
+
+    def value(self, name: str) -> int:
+        """Read a counter's current value (0 if never touched)."""
+        counter = self._counters.get(name)
+        return counter.value if counter else 0
+
+    def counters(self) -> Dict[str, int]:
+        """Snapshot of all counter values, sorted by name."""
+        return {name: c.value for name, c in sorted(self._counters.items())}
+
+    def histograms(self) -> List[Histogram]:
+        return [self._histograms[name] for name in sorted(self._histograms)]
+
+    def reset(self) -> None:
+        for counter in self._counters.values():
+            counter.reset()
+        for histogram in self._histograms.values():
+            histogram.reset()

@@ -1,0 +1,71 @@
+"""Cycle-stamped tracing for simulation debugging and test assertions.
+
+Tests use the tracer to assert *ordering* properties that counters cannot
+express — e.g. that a host store to a kernel source blocked until the
+allocator finished copying it (the WAR hazard rule of paper §III-A.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One trace record: when, who, what, and free-form details."""
+
+    cycle: int
+    source: str
+    kind: str
+    details: Dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        detail_text = " ".join(f"{k}={v}" for k, v in self.details.items())
+        return f"[{self.cycle:>10}] {self.source:<12} {self.kind:<20} {detail_text}"
+
+
+class Tracer:
+    """Append-only event log.  Disabled tracers drop events with near-zero cost."""
+
+    def __init__(self, enabled: bool = True, capacity: Optional[int] = None) -> None:
+        self.enabled = enabled
+        self.capacity = capacity
+        self.events: List[TraceEvent] = []
+
+    def log(self, cycle: int, source: str, kind: str, **details: Any) -> None:
+        if not self.enabled:
+            return
+        if self.capacity is not None and len(self.events) >= self.capacity:
+            return
+        self.events.append(TraceEvent(cycle, source, kind, details))
+
+    def filter(self, source: Optional[str] = None, kind: Optional[str] = None) -> List[TraceEvent]:
+        """Return events matching the given source and/or kind."""
+        selected = self.events
+        if source is not None:
+            selected = [e for e in selected if e.source == source]
+        if kind is not None:
+            selected = [e for e in selected if e.kind == kind]
+        return selected
+
+    def first(self, kind: str) -> Optional[TraceEvent]:
+        """First event of the given kind, or None."""
+        for event in self.events:
+            if event.kind == kind:
+                return event
+        return None
+
+    def last(self, kind: str) -> Optional[TraceEvent]:
+        """Last event of the given kind, or None."""
+        for event in reversed(self.events):
+            if event.kind == kind:
+                return event
+        return None
+
+    def dump(self) -> str:
+        """Human-readable rendering of the whole trace."""
+        return "\n".join(str(event) for event in self.events)
+
+    def clear(self) -> None:
+        self.events.clear()

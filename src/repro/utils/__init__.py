@@ -1,0 +1,36 @@
+"""Low-level utilities shared by the whole reproduction.
+
+This package contains the bit-manipulation helpers used by the ISA
+encoders/decoders (:mod:`repro.utils.bitops`) and fixed-width integer
+arithmetic matching RV32 semantics (:mod:`repro.utils.fixedint`).
+"""
+
+from repro.utils.bitops import (
+    bit,
+    bits,
+    mask,
+    sign_extend,
+    to_signed,
+    to_unsigned,
+)
+from repro.utils.fixedint import (
+    sat,
+    wrap,
+    wrap8,
+    wrap16,
+    wrap32,
+)
+
+__all__ = [
+    "bit",
+    "bits",
+    "mask",
+    "sign_extend",
+    "to_signed",
+    "to_unsigned",
+    "sat",
+    "wrap",
+    "wrap8",
+    "wrap16",
+    "wrap32",
+]

@@ -1,0 +1,93 @@
+"""Bit-field manipulation helpers.
+
+All RISC-V instruction encoding and decoding in :mod:`repro.isa` is built
+on these primitives.  Conventions follow the RISC-V specification: bit 0 is
+the least-significant bit and ranges are inclusive on both ends, so
+``bits(word, 14, 12)`` extracts ``funct3``.
+"""
+
+from __future__ import annotations
+
+
+def mask(width: int) -> int:
+    """Return an all-ones mask of ``width`` bits.
+
+    >>> hex(mask(12))
+    '0xfff'
+    """
+    if width < 0:
+        raise ValueError(f"mask width must be non-negative, got {width}")
+    return (1 << width) - 1
+
+
+def bit(value: int, pos: int) -> int:
+    """Extract the single bit at ``pos`` (0 or 1)."""
+    return (value >> pos) & 1
+
+
+def bits(value: int, hi: int, lo: int) -> int:
+    """Extract the inclusive bit range ``[hi:lo]`` of ``value``.
+
+    >>> bits(0xdeadbeef, 31, 28)
+    13
+    """
+    if hi < lo:
+        raise ValueError(f"bit range [{hi}:{lo}] is inverted")
+    return (value >> lo) & mask(hi - lo + 1)
+
+
+def set_bits(value: int, hi: int, lo: int, field: int) -> int:
+    """Return ``value`` with the inclusive bit range ``[hi:lo]`` replaced.
+
+    ``field`` must fit in the range width; excess bits raise ``ValueError``
+    rather than silently corrupting neighbouring fields.
+    """
+    if hi < lo:
+        raise ValueError(f"bit range [{hi}:{lo}] is inverted")
+    width = hi - lo + 1
+    if field & ~mask(width):
+        raise ValueError(f"field {field:#x} does not fit in {width} bits")
+    cleared = value & ~(mask(width) << lo)
+    return cleared | (field << lo)
+
+
+def sign_extend(value: int, width: int) -> int:
+    """Sign-extend the ``width``-bit ``value`` to a Python int.
+
+    >>> sign_extend(0xfff, 12)
+    -1
+    >>> sign_extend(0x7ff, 12)
+    2047
+    """
+    value &= mask(width)
+    sign_bit = 1 << (width - 1)
+    return (value ^ sign_bit) - sign_bit
+
+
+def to_signed(value: int, width: int = 32) -> int:
+    """Reinterpret an unsigned ``width``-bit value as two's-complement."""
+    return sign_extend(value, width)
+
+
+def to_unsigned(value: int, width: int = 32) -> int:
+    """Reinterpret a (possibly negative) int as an unsigned ``width``-bit value."""
+    return value & mask(width)
+
+
+def align_down(value: int, alignment: int) -> int:
+    """Round ``value`` down to a multiple of ``alignment`` (a power of two)."""
+    if alignment & (alignment - 1):
+        raise ValueError(f"alignment {alignment} is not a power of two")
+    return value & ~(alignment - 1)
+
+
+def align_up(value: int, alignment: int) -> int:
+    """Round ``value`` up to a multiple of ``alignment`` (a power of two)."""
+    if alignment & (alignment - 1):
+        raise ValueError(f"alignment {alignment} is not a power of two")
+    return (value + alignment - 1) & ~(alignment - 1)
+
+
+def is_aligned(value: int, alignment: int) -> bool:
+    """True when ``value`` is a multiple of ``alignment`` (a power of two)."""
+    return align_down(value, alignment) == value

@@ -1,0 +1,120 @@
+"""Fixed-width integer arithmetic with RV32 wrap-around semantics.
+
+The ISS (:mod:`repro.cpu`) and the VPU datapath (:mod:`repro.vpu`) both
+need arithmetic that wraps modulo 2^N like hardware registers do, plus the
+saturating helpers used by packed-SIMD averaging/clipping instructions.
+"""
+
+from __future__ import annotations
+
+_WIDTH_MASKS = {8: 0xFF, 16: 0xFFFF, 32: 0xFFFFFFFF, 64: 0xFFFFFFFFFFFFFFFF}
+
+
+def wrap(value: int, width: int) -> int:
+    """Wrap ``value`` to an unsigned ``width``-bit integer (two's complement)."""
+    try:
+        return value & _WIDTH_MASKS[width]
+    except KeyError:
+        return value & ((1 << width) - 1)
+
+
+def wrap8(value: int) -> int:
+    """Wrap to unsigned 8 bits."""
+    return value & 0xFF
+
+
+def wrap16(value: int) -> int:
+    """Wrap to unsigned 16 bits."""
+    return value & 0xFFFF
+
+
+def wrap32(value: int) -> int:
+    """Wrap to unsigned 32 bits."""
+    return value & 0xFFFFFFFF
+
+
+def sat(value: int, width: int, signed: bool = True) -> int:
+    """Saturate ``value`` to the representable range of ``width`` bits.
+
+    Unlike :func:`wrap`, the result is returned as a *signed* Python int
+    when ``signed`` is true (this is what SIMD clip instructions produce).
+    """
+    if signed:
+        lo = -(1 << (width - 1))
+        hi = (1 << (width - 1)) - 1
+    else:
+        lo = 0
+        hi = (1 << width) - 1
+    if value < lo:
+        return lo
+    if value > hi:
+        return hi
+    return value
+
+
+def mulh_signed(a: int, b: int) -> int:
+    """Upper 32 bits of a signed 32x32 -> 64 multiply (RV32M ``mulh``)."""
+    from repro.utils.bitops import to_signed
+
+    product = to_signed(a, 32) * to_signed(b, 32)
+    return wrap32(product >> 32)
+
+
+def mulh_unsigned(a: int, b: int) -> int:
+    """Upper 32 bits of an unsigned 32x32 -> 64 multiply (``mulhu``)."""
+    product = wrap32(a) * wrap32(b)
+    return wrap32(product >> 32)
+
+
+def mulh_signed_unsigned(a: int, b: int) -> int:
+    """Upper 32 bits of signed×unsigned multiply (``mulhsu``)."""
+    from repro.utils.bitops import to_signed
+
+    product = to_signed(a, 32) * wrap32(b)
+    return wrap32(product >> 32)
+
+
+def div_signed(a: int, b: int) -> int:
+    """RV32M ``div``: round toward zero; x/0 = -1; overflow wraps."""
+    from repro.utils.bitops import to_signed
+
+    sa, sb = to_signed(a, 32), to_signed(b, 32)
+    if sb == 0:
+        return 0xFFFFFFFF
+    if sa == -(1 << 31) and sb == -1:  # signed overflow case from the spec
+        return wrap32(sa)
+    quotient = abs(sa) // abs(sb)
+    if (sa < 0) != (sb < 0):
+        quotient = -quotient
+    return wrap32(quotient)
+
+
+def rem_signed(a: int, b: int) -> int:
+    """RV32M ``rem``: sign of dividend; x%0 = x; overflow gives 0."""
+    from repro.utils.bitops import to_signed
+
+    sa, sb = to_signed(a, 32), to_signed(b, 32)
+    if sb == 0:
+        return wrap32(sa)
+    if sa == -(1 << 31) and sb == -1:
+        return 0
+    remainder = abs(sa) % abs(sb)
+    if sa < 0:
+        remainder = -remainder
+    return wrap32(remainder)
+
+
+def div_unsigned(a: int, b: int) -> int:
+    """RV32M ``divu``: x/0 = 2^32-1."""
+    a, b = wrap32(a), wrap32(b)
+    if b == 0:
+        return 0xFFFFFFFF
+    return a // b
+
+
+def rem_unsigned(a: int, b: int) -> int:
+    """RV32M ``remu``: x%0 = x."""
+    a, b = wrap32(a), wrap32(b)
+    if b == 0:
+        return a
+    return a % b

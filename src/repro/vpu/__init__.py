@@ -1,0 +1,16 @@
+"""Near-memory Vector Processing Units (NM-Carus instances, paper III).
+
+Each VPU owns a slice of the LLC data array as its vector register file
+(``vregs_per_vpu`` registers of ``line_bytes`` each) and executes the
+custom vector-like RISC-V extension of the NM-Carus IP: vector-vector and
+vector-scalar arithmetic over 8/16/32-bit elements, processed by
+``lanes`` 32-bit lanes with sub-word SIMD packing (4/2/1 elements per
+lane per cycle for b/h/w).
+"""
+
+from repro.vpu.visa import ElementType, VectorOp
+from repro.vpu.vrf import VectorRegisterFile
+from repro.vpu.vpu import Vpu
+from repro.vpu.dispatcher import Dispatcher
+
+__all__ = ["ElementType", "VectorOp", "VectorRegisterFile", "Vpu", "Dispatcher"]

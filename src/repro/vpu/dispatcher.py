@@ -1,0 +1,74 @@
+"""The eCPU-to-VPU dispatcher (paper section III: "a dispatcher carries
+out the distribution to the selected VPUs, keeping the architecture
+modular and scalable").
+
+The dispatcher owns all VPU instances, tracks which kernel currently
+occupies each, and charges the per-instruction *issue* cost: the eCPU's
+software loop that prepares and dispatches each vector instruction.
+Dispatch and VPU execution are pipelined — while the VPU crunches one
+vector instruction the eCPU prepares the next — so the cost of one issued
+operation is ``max(issue_cycles, vpu_cycles)`` once the pipeline is full.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.sim.stats import StatsRegistry
+from repro.vpu.vpu import Vpu
+from repro.vpu.visa import VectorOp
+
+
+class Dispatcher:
+    """Routes vector instructions from the eCPU to the selected VPU."""
+
+    def __init__(
+        self,
+        vpus: List[Vpu],
+        issue_cycles: int,
+        stats: Optional[StatsRegistry] = None,
+    ) -> None:
+        if not vpus:
+            raise ValueError("dispatcher needs at least one VPU")
+        self.vpus = vpus
+        self.issue_cycles = issue_cycles
+        self.stats = stats or StatsRegistry()
+        self._owner: Dict[int, Optional[int]] = {vpu.index: None for vpu in vpus}
+
+    @property
+    def n_vpus(self) -> int:
+        return len(self.vpus)
+
+    def vpu(self, index: int) -> Vpu:
+        return self.vpus[index]
+
+    # -- occupancy tracking (used by the Kernel Scheduler) -----------------
+
+    def claim(self, vpu_index: int, kernel_id: int) -> None:
+        if self._owner[vpu_index] is not None:
+            raise RuntimeError(
+                f"VPU {vpu_index} already claimed by kernel {self._owner[vpu_index]}"
+            )
+        self._owner[vpu_index] = kernel_id
+
+    def release(self, vpu_index: int) -> None:
+        self._owner[vpu_index] = None
+
+    def owner(self, vpu_index: int) -> Optional[int]:
+        return self._owner[vpu_index]
+
+    def free_vpus(self) -> List[int]:
+        return [index for index, owner in self._owner.items() if owner is None]
+
+    # -- dispatch ------------------------------------------------------------
+
+    def dispatch(self, vpu_index: int, op: VectorOp) -> int:
+        """Execute ``op`` on VPU ``vpu_index``; return the pipelined cycle cost."""
+        vpu = self.vpus[vpu_index]
+        op_cycles = vpu.execute(op)
+        cost = max(self.issue_cycles, op_cycles)
+        self.stats.counter("dispatch.ops").add()
+        self.stats.counter("dispatch.cycles").add(cost)
+        if self.issue_cycles >= op_cycles:
+            self.stats.counter("dispatch.issue_bound").add()
+        return cost

@@ -1,0 +1,138 @@
+"""The VPU execution model: functional semantics + lane-accurate timing.
+
+Timing model (from the NM-Carus microarchitecture the paper builds on):
+
+* a vector instruction streams its elements through ``lanes`` 32-bit
+  lanes; contiguous (stride-1) accesses pack ``4 / element_bytes``
+  elements per lane per cycle (sub-word SIMD), so the throughput is
+  ``lanes * elems_per_word`` elements/cycle;
+* strided/gather accesses defeat packing: one element per lane per cycle;
+* every instruction pays a small fixed ``startup`` cost (decode + first
+  operand fetch);
+* reductions pay an extra ``log2(lanes)`` merge cost.
+
+Functional semantics use wrap-around two's-complement arithmetic in the
+element width, matching the RTL datapath.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.sim.stats import StatsRegistry
+from repro.vpu.visa import ElementType, STRIDED_SOURCES, VectorOp, VectorOpcode
+from repro.vpu.vrf import VectorRegisterFile
+
+
+class Vpu:
+    """One near-memory vector processing unit."""
+
+    STARTUP_CYCLES = 2
+
+    def __init__(
+        self,
+        index: int,
+        vrf: VectorRegisterFile,
+        lanes: int,
+        stats: Optional[StatsRegistry] = None,
+    ) -> None:
+        if lanes < 1:
+            raise ValueError("a VPU needs at least one lane")
+        self.index = index
+        self.vrf = vrf
+        self.lanes = lanes
+        self.stats = stats or StatsRegistry()
+
+    # -- timing ----------------------------------------------------------
+
+    def elems_per_cycle(self, etype: ElementType, stride: int = 1) -> int:
+        """Element throughput for the given element type and access stride."""
+        if stride == 1:
+            return self.lanes * etype.elems_per_word
+        return self.lanes
+
+    def op_cycles(self, op: VectorOp) -> int:
+        """Cycle cost of executing ``op`` on this VPU."""
+        if op.vl == 0:
+            return self.STARTUP_CYCLES
+        stride = op.stride if op.opcode in STRIDED_SOURCES else 1
+        throughput = self.elems_per_cycle(op.etype, stride)
+        cycles = self.STARTUP_CYCLES + math.ceil(op.vl / throughput)
+        if op.opcode is VectorOpcode.VREDSUM:
+            cycles += max(1, int(math.log2(self.lanes)) if self.lanes > 1 else 1)
+        return cycles
+
+    # -- functional execution ------------------------------------------------
+
+    def execute(self, op: VectorOp) -> int:
+        """Execute ``op`` functionally; return its cycle cost."""
+        cycles = self.op_cycles(op)
+        self.stats.counter(f"vpu{self.index}.ops").add()
+        self.stats.counter(f"vpu{self.index}.cycles").add(cycles)
+        self.stats.counter(f"vpu{self.index}.elems").add(op.vl)
+        if op.vl == 0:
+            return cycles
+
+        etype = op.etype
+        dtype = etype.np_dtype
+        dst_view = self.vrf.view(op.vd, etype)
+        dst = dst_view[op.vd_offset : op.vd_offset + op.vl]
+        if len(dst) != op.vl:
+            raise ValueError(
+                f"vl={op.vl} at vd_offset={op.vd_offset} overflows register {op.vd}"
+            )
+
+        if op.opcode is VectorOpcode.VCLEAR:
+            dst[:] = 0
+            return cycles
+
+        src = self._gather(op.vs1, etype, op.vl, op.offset, op.stride)
+
+        if op.opcode is VectorOpcode.VMV:
+            dst[:] = src
+        elif op.opcode is VectorOpcode.VADD_VV:
+            other = self.vrf.view(op.vs2, etype)[: op.vl]
+            dst[:] = (src.astype(np.int64) + other.astype(np.int64)).astype(dtype)
+        elif op.opcode is VectorOpcode.VMACC_VS:
+            acc = dst.astype(np.int64) + src.astype(np.int64) * int(op.scalar)
+            dst[:] = acc.astype(dtype)
+        elif op.opcode is VectorOpcode.VMUL_VS:
+            dst[:] = (src.astype(np.int64) * int(op.scalar)).astype(dtype)
+        elif op.opcode is VectorOpcode.VADD_VS:
+            dst[:] = (src.astype(np.int64) + int(op.scalar)).astype(dtype)
+        elif op.opcode is VectorOpcode.VMAX_VV:
+            dst[:] = np.maximum(dst, src)
+        elif op.opcode is VectorOpcode.VMAX_VS:
+            dst[:] = np.maximum(src, dtype(op.scalar))
+        elif op.opcode is VectorOpcode.VMIN_VS:
+            dst[:] = np.minimum(src, dtype(op.scalar))
+        elif op.opcode is VectorOpcode.VSRA_VS:
+            dst[:] = src >> int(op.scalar)
+        elif op.opcode is VectorOpcode.VREDSUM:
+            total = int(src.astype(np.int64).sum())
+            dst_view[op.vd_offset] = dtype(np.int64(total) & np.int64(-1))
+        else:  # pragma: no cover - enum is closed
+            raise NotImplementedError(op.opcode)
+        return cycles
+
+    def _gather(
+        self, vs: int, etype: ElementType, vl: int, offset: int, stride: int
+    ) -> np.ndarray:
+        view = self.vrf.view(vs, etype)
+        if stride == 1:
+            src = view[offset : offset + vl]
+            if len(src) != vl:
+                raise ValueError(
+                    f"vl={vl} at offset={offset} overflows source register {vs}"
+                )
+            return src.copy()
+        indices = offset + stride * np.arange(vl)
+        if indices[-1] >= len(view):
+            raise ValueError(
+                f"strided access (off={offset}, stride={stride}, vl={vl}) "
+                f"overflows source register {vs}"
+            )
+        return view[indices]

@@ -1,0 +1,58 @@
+"""The vector register file: typed views over a VPU's cache lines.
+
+A vector register *is* a cache line (paper III-A.1).  The VRF wraps the
+``CacheLine`` objects of one VPU's slice and hands out numpy views in the
+requested element type, so VPU writes are visible to the cache controller
+(and thus the host) without copies.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.cache.line import CacheLine
+from repro.vpu.visa import ElementType
+
+
+class VectorRegisterFile:
+    """Typed accessors over one VPU's vector registers."""
+
+    def __init__(self, lines: List[CacheLine]) -> None:
+        if not lines:
+            raise ValueError("a VRF needs at least one line")
+        self.lines = lines
+        self.line_bytes = lines[0].size
+
+    @property
+    def n_regs(self) -> int:
+        return len(self.lines)
+
+    def max_vl(self, etype: ElementType) -> int:
+        """Maximum vector length for the element type (one full line)."""
+        return self.line_bytes // etype.nbytes
+
+    def view(self, index: int, etype: ElementType) -> np.ndarray:
+        """A mutable typed view of the whole register ``index``."""
+        if not 0 <= index < self.n_regs:
+            raise IndexError(f"vector register {index} out of range 0..{self.n_regs - 1}")
+        return self.lines[index].data.view(etype.np_dtype)
+
+    def read(self, index: int, etype: ElementType, vl: int) -> np.ndarray:
+        """A copy of the first ``vl`` elements of register ``index``."""
+        return self.view(index, etype)[:vl].copy()
+
+    def write(self, index: int, values: np.ndarray, offset: int = 0) -> None:
+        """Write ``values`` (typed array) into register ``index`` at element offset."""
+        etype = ElementType.from_bytes(values.dtype.itemsize)
+        view = self.view(index, etype)
+        if offset + len(values) > len(view):
+            raise ValueError(
+                f"write of {len(values)} elements at offset {offset} "
+                f"overflows register {index}"
+            )
+        view[offset : offset + len(values)] = values
+
+    def fill(self, index: int, value: int, etype: ElementType) -> None:
+        self.view(index, etype)[:] = value

@@ -1,0 +1,5 @@
+"""The CV-X-IF bridge between host CPU and eCPU (paper section III-B)."""
+
+from repro.xbridge.bridge import Bridge, OffloadOutcome
+
+__all__ = ["Bridge", "OffloadOutcome"]

@@ -1,0 +1,188 @@
+"""Tests for cache lines, the CT, approximate LRU and the AT."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cache.address_table import AddressTable, HazardKind, OperandKind
+from repro.cache.cache_table import CacheTable
+from repro.cache.line import LineRole
+from repro.cache.lru import ApproxLru
+from repro.sim.kernel import Simulator
+
+
+class TestCacheLine:
+    def test_vrf_backing_is_shared(self):
+        ct = CacheTable(n_vpus=1, vregs_per_vpu=2, line_bytes=64)
+        line = ct.lines[0]
+        line.write_bytes(0, b"\x11\x22")
+        assert ct.storage[0] == 0x11  # same buffer
+
+    def test_compute_claim_release(self):
+        ct = CacheTable(1, 2, 64)
+        line = ct.lines[0]
+        ct.bind(line, 0x100)
+        ct.claim_for_compute(line)
+        assert line.is_compute and not line.valid
+        assert ct.lookup(0x100) is None
+        line.release_from_compute()
+        assert line.role is LineRole.NONE
+
+    def test_release_requires_compute_state(self):
+        ct = CacheTable(1, 2, 64)
+        with pytest.raises(RuntimeError):
+            ct.lines[0].release_from_compute()
+
+
+class TestCacheTable:
+    def test_line_count_matches_vrf_capacity(self):
+        ct = CacheTable(n_vpus=4, vregs_per_vpu=32, line_bytes=1024)
+        assert ct.n_lines == 128  # paper III-A.1
+
+    def test_lookup_by_tag(self):
+        ct = CacheTable(2, 2, 64)
+        ct.bind(ct.lines[0], 0x1000)
+        assert ct.lookup(0x1000) is ct.lines[0]
+        assert ct.lookup(0x103F) is ct.lines[0]
+        assert ct.lookup(0x1040) is None
+
+    def test_rebind_moves_tag(self):
+        ct = CacheTable(1, 2, 64)
+        ct.bind(ct.lines[0], 0x100)
+        ct.bind(ct.lines[0], 0x200)
+        assert ct.lookup(0x100) is None
+        assert ct.lookup(0x200) is ct.lines[0]
+
+    def test_bind_compute_line_rejected(self):
+        ct = CacheTable(1, 2, 64)
+        ct.claim_for_compute(ct.lines[0])
+        with pytest.raises(RuntimeError):
+            ct.bind(ct.lines[0], 0)
+
+    def test_vpu_line_slices(self):
+        ct = CacheTable(n_vpus=2, vregs_per_vpu=3, line_bytes=64)
+        assert [l.index for l in ct.vpu_lines(0)] == [0, 1, 2]
+        assert [l.index for l in ct.vpu_lines(1)] == [3, 4, 5]
+        with pytest.raises(IndexError):
+            ct.vpu_lines(2)
+
+    def test_dirty_line_count(self):
+        ct = CacheTable(2, 2, 64)
+        ct.bind(ct.lines[0], 0)
+        ct.lines[0].dirty = True
+        ct.bind(ct.lines[2], 0x100)
+        ct.lines[2].dirty = True
+        assert ct.dirty_line_count(0) == 1
+        assert ct.dirty_line_count(1) == 1
+
+    def test_non_power_of_two_line_rejected(self):
+        with pytest.raises(ValueError):
+            CacheTable(1, 1, 100)
+
+    def test_occupancy(self):
+        ct = CacheTable(1, 4, 64)
+        ct.bind(ct.lines[0], 0)
+        ct.claim_for_compute(ct.lines[1])
+        occ = ct.occupancy()
+        assert occ["valid"] == 1 and occ["compute"] == 1
+
+
+class TestApproxLru:
+    def test_victim_prefers_invalid(self):
+        ct = CacheTable(1, 4, 64)
+        ct.bind(ct.lines[0], 0)
+        victim = ct.select_victim()
+        assert not victim.valid
+
+    def test_victim_is_oldest(self):
+        ct = CacheTable(1, 3, 64)
+        for i, line in enumerate(ct.lines):
+            ct.bind(line, i * 64)
+        # touch lines 1 and 2 repeatedly; line 0 ages out
+        for _ in range(5):
+            ct.touch(ct.lines[1])
+            ct.touch(ct.lines[2])
+        assert ct.select_victim() is ct.lines[0]
+
+    def test_compute_lines_never_victims(self):
+        ct = CacheTable(1, 2, 64)
+        ct.claim_for_compute(ct.lines[0])
+        ct.bind(ct.lines[1], 0)
+        for _ in range(10):
+            ct.touch(ct.lines[1])
+        assert ct.select_victim() is ct.lines[1]
+
+    def test_counters_saturate(self):
+        lru = ApproxLru(counter_bits=2)
+        ct = CacheTable(1, 2, 64)
+        for _ in range(10):
+            lru.touch(ct.lines[0], ct.lines)
+        assert ct.lines[1].lru_counter == 3  # saturated at 2^2-1
+
+    def test_empty_candidates(self):
+        assert ApproxLru().select_victim([]) is None
+
+    @given(st.lists(st.integers(0, 3), min_size=1, max_size=60))
+    @settings(max_examples=30, deadline=None)
+    def test_most_recently_touched_never_evicted(self, accesses):
+        ct = CacheTable(1, 4, 64)
+        for i, line in enumerate(ct.lines):
+            ct.bind(line, i * 64)
+        last = None
+        for index in accesses:
+            ct.touch(ct.lines[index])
+            last = ct.lines[index]
+        assert ct.select_victim() is not last
+
+
+class TestAddressTable:
+    def test_register_and_lookup(self):
+        at = AddressTable(4)
+        entry = at.register(0x100, 0x200, OperandKind.SOURCE, matrix_id=1)
+        assert at.lookup(0x100) is entry
+        assert at.lookup(0x1FF) is entry
+        assert at.lookup(0x200) is None
+
+    def test_capacity_enforced(self):
+        at = AddressTable(1)
+        at.register(0, 16, OperandKind.SOURCE, 1)
+        with pytest.raises(RuntimeError, match="full"):
+            at.register(16, 32, OperandKind.DEST, 2)
+
+    def test_released_entries_garbage_collected(self):
+        at = AddressTable(1)
+        at.register(0, 16, OperandKind.SOURCE, 1)
+        at.release(1)
+        at.register(16, 32, OperandKind.DEST, 2)  # no overflow after release
+
+    def test_hazard_classification(self):
+        at = AddressTable(4)
+        at.register(0x000, 0x100, OperandKind.SOURCE, 1)
+        at.register(0x100, 0x200, OperandKind.DEST, 2)
+        assert at.hazard_for(0x10, 4, is_write=True) is HazardKind.WAR
+        assert at.hazard_for(0x10, 4, is_write=False) is None  # reads of sources OK
+        assert at.hazard_for(0x110, 4, is_write=False) is HazardKind.RAW
+        assert at.hazard_for(0x110, 4, is_write=True) is HazardKind.WAW
+        assert at.hazard_for(0x300, 4, is_write=True) is None
+
+    def test_release_fires_event(self):
+        sim = Simulator()
+        at = AddressTable(4, sim)
+        entry = at.register(0, 64, OperandKind.DEST, 7)
+        assert not entry.released.fired
+        assert at.release(7) == 1
+        assert entry.released.fired
+
+    def test_release_by_kind(self):
+        at = AddressTable(4)
+        at.register(0, 64, OperandKind.SOURCE, 7)
+        at.register(64, 128, OperandKind.DEST, 7)
+        assert at.release_source_block(7) == 1
+        assert at.hazard_for(70, 4, is_write=False) is HazardKind.RAW  # dest still busy
+
+    def test_range_overlap_semantics(self):
+        at = AddressTable(4)
+        at.register(0x100, 0x110, OperandKind.DEST, 1)
+        # 4-byte access straddling the start blocks
+        assert at.hazard_for(0xFE, 4, is_write=False) is HazardKind.RAW
+        assert at.hazard_for(0xFC, 4, is_write=False) is None

@@ -1,0 +1,71 @@
+"""Cycle-timing model tests for the CV32E40X/PX pipelines."""
+
+from repro.cpu.core import Cpu
+from repro.cpu.timing import CV32E40PX_TIMING, CV32E40X_TIMING
+from repro.isa.asm import assemble
+from repro.mem.memory import MainMemory
+
+
+def run(source: str, timing=CV32E40X_TIMING, wait_states: int = 0) -> Cpu:
+    program = assemble(source)
+    memory = MainMemory(64 * 1024)
+    memory.write_block(0, bytes(program.data))
+    cpu = Cpu(memory, timing=timing, memory_wait_states=wait_states)
+    cpu.run()
+    return cpu
+
+
+def test_single_cycle_alu_chain():
+    cpu = run("addi a0, zero, 1\naddi a0, a0, 1\naddi a0, a0, 1\nebreak")
+    # 3 ALU ops + ebreak(raises before charging) -> 3 cycles
+    assert cpu.cycles == 3
+
+
+def test_taken_branch_penalty():
+    not_taken = run("li a0, 1\nbeqz a0, skip\nskip:\nebreak")
+    taken = run("li a0, 0\nbeqz a0, skip\nnop\nskip:\nebreak")
+    # same retired instruction count on the branch path, +2 flush cycles
+    assert taken.cycles - not_taken.cycles == 2
+
+
+def test_jump_penalty():
+    jump = run("j skip\nnop\nskip:\nebreak")
+    straight = run("nop\nebreak")
+    assert jump.cycles - straight.cycles == 1
+
+
+def test_mulh_slower_than_mul():
+    mul = run("li a0, 3\nli a1, 4\nmul a2, a0, a1\nebreak")
+    mulh = run("li a0, 3\nli a1, 4\nmulh a2, a0, a1\nebreak")
+    assert mulh.cycles - mul.cycles == 4  # 5-cycle mulh vs 1-cycle mul
+
+
+def test_divider_is_iterative():
+    div = run("li a0, 100\nli a1, 3\ndiv a2, a0, a1\nebreak")
+    mul = run("li a0, 100\nli a1, 3\nmul a2, a0, a1\nebreak")
+    assert div.cycles > mul.cycles + 10
+
+
+def test_memory_wait_states_charged():
+    source = "li a0, 0x100\nlw a1, 0(a0)\nsw a1, 4(a0)\nebreak"
+    fast = run(source, wait_states=0)
+    slow = run(source, wait_states=3)
+    assert slow.cycles - fast.cycles == 6  # 3 per access, 2 accesses
+
+
+def test_instret_counts_instructions_not_cycles():
+    cpu = run("li a0, 9\nli a1, 3\ndiv a2, a0, a1\nebreak")
+    assert cpu.instret == 3
+    assert cpu.cycles > cpu.instret
+
+
+def test_px_timing_matches_base_for_shared_ops():
+    base = run("li a0, 1\nli a1, 2\nadd a2, a0, a1\nebreak", CV32E40X_TIMING)
+    px = run("li a0, 1\nli a1, 2\nadd a2, a0, a1\nebreak", CV32E40PX_TIMING)
+    assert base.cycles == px.cycles
+
+
+def test_simd_is_single_cycle():
+    cpu = run("li a0, 1\nli a1, 2\npv.add.b a2, a0, a1\nebreak", CV32E40PX_TIMING)
+    plain = run("li a0, 1\nli a1, 2\nadd a2, a0, a1\nebreak", CV32E40PX_TIMING)
+    assert cpu.cycles == plain.cycles

@@ -1,0 +1,212 @@
+"""ISS tests for the XCVPULP extension: SIMD, MAC, hw loops, post-increment."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cpu.core import Cpu
+from repro.isa.asm import assemble
+from repro.mem.memory import MainMemory
+from repro.utils.bitops import to_signed
+from repro.utils.fixedint import wrap32
+
+
+def run(source: str) -> Cpu:
+    program = assemble(source)
+    memory = MainMemory(64 * 1024)
+    memory.write_block(0, bytes(program.data))
+    cpu = Cpu(memory)
+    cpu.run()
+    return cpu
+
+
+def pack_bytes(values) -> int:
+    return int.from_bytes(bytes(v & 0xFF for v in values), "little")
+
+
+class TestPackedSimd:
+    def test_pv_add_b(self):
+        cpu = run(
+            f"li a0, {pack_bytes([1, 2, 3, 4])}\n"
+            f"li a1, {pack_bytes([10, 20, 30, 40])}\n"
+            "pv.add.b a2, a0, a1\nebreak"
+        )
+        assert cpu.regs[12] == pack_bytes([11, 22, 33, 44])
+
+    def test_pv_add_b_wraps_lanes(self):
+        cpu = run(
+            f"li a0, {pack_bytes([127, 0, 0, 0])}\n"
+            f"li a1, {pack_bytes([1, 0, 0, 0])}\n"
+            "pv.add.b a2, a0, a1\nebreak"
+        )
+        assert cpu.regs[12] & 0xFF == 0x80  # 127 + 1 wraps to -128
+
+    def test_pv_dotsp_b(self):
+        cpu = run(
+            f"li a0, {pack_bytes([1, -2, 3, -4])}\n"
+            f"li a1, {pack_bytes([5, 6, 7, 8])}\n"
+            "pv.dotsp.b a2, a0, a1\nebreak"
+        )
+        assert to_signed(cpu.regs[12]) == 1 * 5 - 2 * 6 + 3 * 7 - 4 * 8
+
+    def test_pv_sdotsp_accumulates(self):
+        cpu = run(
+            "li a2, 100\n"
+            f"li a0, {pack_bytes([1, 1, 1, 1])}\n"
+            f"li a1, {pack_bytes([2, 2, 2, 2])}\n"
+            "pv.sdotsp.b a2, a0, a1\nebreak"
+        )
+        assert cpu.regs[12] == 108
+
+    def test_pv_dotsp_h(self):
+        word = (np.int16(-3).astype(np.uint16) .item() << 16) | 7
+        cpu = run(
+            f"li a0, {word}\nli a1, {(2 << 16) | 4}\npv.dotsp.h a2, a0, a1\nebreak"
+        )
+        assert to_signed(cpu.regs[12]) == 7 * 4 + (-3) * 2
+
+    def test_pv_max_min(self):
+        cpu = run(
+            f"li a0, {pack_bytes([1, -5, 3, -1])}\n"
+            f"li a1, {pack_bytes([0, 0, 0, 0])}\n"
+            "pv.max.b a2, a0, a1\npv.min.b a3, a0, a1\nebreak"
+        )
+        assert cpu.regs[12] == pack_bytes([1, 0, 3, 0])
+        assert cpu.regs[13] == pack_bytes([0, -5, 0, -1])
+
+    def test_pv_extract_insert(self):
+        cpu = run(
+            f"li a0, {pack_bytes([10, 20, 30, 40])}\n"
+            "li a1, 2\npv.extract.b a2, a0, a1\n"
+            "li a3, 0\nli a4, 99\nli a5, 1\n"
+            f"li a3, {pack_bytes([1, 2, 3, 4])}\n"
+            "pv.insert.b a3, a4, a5\nebreak"
+        )
+        assert cpu.regs[12] == 30
+        assert cpu.regs[13] == pack_bytes([1, 99, 3, 4])
+
+    @given(st.lists(st.integers(-128, 127), min_size=4, max_size=4),
+           st.lists(st.integers(-128, 127), min_size=4, max_size=4))
+    @settings(max_examples=25, deadline=None)
+    def test_dotsp_matches_numpy(self, a, b):
+        cpu = run(
+            f"li a0, {pack_bytes(a)}\nli a1, {pack_bytes(b)}\n"
+            "pv.dotsp.b a2, a0, a1\nebreak"
+        )
+        expected = int(np.dot(np.array(a, np.int64), np.array(b, np.int64)))
+        assert cpu.regs[12] == wrap32(expected)
+
+
+class TestScalarDsp:
+    def test_cv_mac_msu(self):
+        cpu = run("li a0, 10\nli a1, 3\nli a2, 4\ncv.mac a0, a1, a2\nebreak")
+        assert cpu.regs[10] == 22
+        cpu = run("li a0, 10\nli a1, 3\nli a2, 4\ncv.msu a0, a1, a2\nebreak")
+        assert to_signed(cpu.regs[10]) == -2
+
+    def test_cv_minmax_abs(self):
+        cpu = run(
+            "li a0, -7\nli a1, 3\n"
+            "cv.min a2, a0, a1\ncv.max a3, a0, a1\ncv.abs a4, a0\nebreak"
+        )
+        assert to_signed(cpu.regs[12]) == -7
+        assert cpu.regs[13] == 3
+        assert cpu.regs[14] == 7
+
+    def test_cv_clip(self):
+        cpu = run("li a0, 300\nli a1, 8\ncv.clip a2, a0, a1\nebreak")
+        assert cpu.regs[12] == 127
+
+
+class TestPostIncrement:
+    def test_load_advances_pointer(self):
+        cpu = run(
+            """
+                li a1, 0x1000
+                li t0, 11
+                sw t0, 0(a1)
+                li t0, 22
+                sw t0, 4(a1)
+                cv.lw a2, 4(a1!)
+                cv.lw a3, 4(a1!)
+                ebreak
+            """
+        )
+        assert cpu.regs[12] == 11 and cpu.regs[13] == 22
+        assert cpu.regs[11] == 0x1008
+
+    def test_store_advances_pointer(self):
+        cpu = run(
+            """
+                li a1, 0x1000
+                li t0, 7
+                cv.sw t0, 4(a1!)
+                cv.sw t0, 4(a1!)
+                lw a2, 0x0(zero)
+                ebreak
+            """
+        )
+        assert cpu.regs[11] == 0x1008
+        assert cpu.memory.read_u32(0x1000) == 7
+        assert cpu.memory.read_u32(0x1004) == 7
+
+
+class TestHardwareLoops:
+    def test_setup_loop_count(self):
+        cpu = run(
+            """
+                li a0, 0
+                li t0, 8
+                cv.setup 0, t0, done
+                addi a0, a0, 1
+            done:
+                ebreak
+            """
+        )
+        assert cpu.regs[10] == 8
+
+    def test_multi_instruction_body(self):
+        cpu = run(
+            """
+                li a0, 0
+                li a1, 0
+                li t0, 5
+                cv.setup 0, t0, done
+                addi a0, a0, 1
+                addi a1, a1, 2
+            done:
+                ebreak
+            """
+        )
+        assert cpu.regs[10] == 5 and cpu.regs[11] == 10
+
+    def test_nested_loops(self):
+        cpu = run(
+            """
+                li a0, 0
+                li t0, 3
+                cv.setup 1, t0, outer_done
+                li t1, 4
+                cv.setup 0, t1, inner_done
+                addi a0, a0, 1
+            inner_done:
+                nop
+            outer_done:
+                ebreak
+            """
+        )
+        assert cpu.regs[10] == 12
+
+    def test_loop_has_no_branch_penalty(self):
+        body = """
+            li a0, 0
+            li t0, {n}
+            cv.setup 0, t0, done
+            addi a0, a0, 1
+        done:
+            ebreak
+        """
+        cpu10 = run(body.format(n=10))
+        cpu11 = run(body.format(n=11))
+        # one more iteration costs exactly one cycle (single-cycle addi)
+        assert cpu11.cycles - cpu10.cycles == 1

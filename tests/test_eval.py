@@ -1,0 +1,136 @@
+"""Evaluation-layer tests: area model (Table II), throughput, figure series."""
+
+import pytest
+
+from repro.core.config import ArcaneConfig
+from repro.eval.area import AreaModel, BASELINE_TOTAL_KGE, UM2_PER_GE
+from repro.eval.calibration import PAPER_ANCHORS, anchor
+from repro.eval.figures import measure_conv_layer
+from repro.eval.tables import paper_vs_measured, render_table
+from repro.eval.throughput import SOTA_COMPARISONS, ThroughputModel
+
+
+class TestAreaModel:
+    """The area model must reproduce Table II almost exactly."""
+
+    def test_baseline_total(self):
+        assert BASELINE_TOTAL_KGE == pytest.approx(1640, abs=1)
+        model = AreaModel()
+        assert model.baseline().total_mm2 == pytest.approx(2.36, rel=0.01)
+
+    @pytest.mark.parametrize(
+        "lanes,paper_kge,paper_overhead",
+        [(2, 1996, 21.7), (4, 2105, 28.3), (8, 2318, 41.3)],
+    )
+    def test_table2_rows(self, lanes, paper_kge, paper_overhead):
+        model = AreaModel()
+        config = ArcaneConfig(lanes=lanes)
+        assert model.arcane(config).total_kge == pytest.approx(paper_kge, rel=0.005)
+        assert model.overhead_percent(config) == pytest.approx(paper_overhead, abs=0.5)
+
+    def test_table2_dict_shape(self):
+        table = AreaModel().table2()
+        assert len(table) == 4
+        assert "X-HEEP (4 DMem banks)" in table
+
+    def test_area_grows_with_lanes(self):
+        model = AreaModel()
+        areas = [model.arcane(ArcaneConfig(lanes=l)).total_kge for l in (2, 4, 8)]
+        assert areas == sorted(areas)
+
+    def test_figure2_shares_sum_to_one(self):
+        breakdown = AreaModel().arcane(ArcaneConfig(lanes=4))
+        assert sum(breakdown.shares().values()) == pytest.approx(1.0)
+
+    def test_figure2_key_shares(self):
+        """4-lane split: pad ring ~12%, IMem ~28-29%, core ~2-3% (Fig. 2)."""
+        breakdown = AreaModel().arcane(ArcaneConfig(lanes=4))
+        assert breakdown.share("pad_ring") == pytest.approx(0.12, abs=0.01)
+        assert breakdown.share("imem") == pytest.approx(0.29, abs=0.02)
+        assert breakdown.share("cv32e40px") == pytest.approx(0.025, abs=0.01)
+
+    def test_llc_subsystem_near_half(self):
+        """Paper Fig. 2: LLC subsystem ~52% of the 4-lane system."""
+        model = AreaModel()
+        config = ArcaneConfig(lanes=4)
+        share = model.llc_subsystem_kge(config) / model.arcane(config).total_kge
+        assert share == pytest.approx(0.52, abs=0.03)
+
+    def test_density_constant(self):
+        assert UM2_PER_GE == pytest.approx(1.439, abs=0.01)
+
+
+class TestThroughput:
+    def test_peak_gops_formula(self):
+        model = ThroughputModel()
+        assert model.peak_gops(ArcaneConfig(lanes=8), 265.0) == pytest.approx(16.96)
+        assert model.peak_gops(ArcaneConfig(lanes=2), 250.0) == pytest.approx(4.0)
+
+    def test_paper_17gops_anchor(self):
+        measured = ThroughputModel().peak_gops(ArcaneConfig(lanes=8), 265.0)
+        assert measured == pytest.approx(anchor("peak_throughput").paper_value, rel=0.01)
+
+    def test_area_efficiency_matches_paper(self):
+        """Paper: 9.2 GOPS/mm^2 for ARCANE vs 9.1 for BLADE."""
+        efficiency = ThroughputModel().area_efficiency(ArcaneConfig(lanes=8), 265.0)
+        assert efficiency == pytest.approx(9.2, abs=0.4)
+        assert SOTA_COMPARISONS["blade"].gops_per_mm2 == pytest.approx(9.1, abs=0.1)
+
+    def test_versus_table(self):
+        rows = ThroughputModel().versus(ArcaneConfig(lanes=8))
+        assert set(rows) == {"ARCANE", "BLADE", "Intel CNC"}
+        # paper: BLADE 3.2x below ARCANE, CNC 1.47x above
+        assert rows["BLADE"]["ratio_vs_arcane"] == pytest.approx(1 / 3.2, abs=0.05)
+        assert rows["Intel CNC"]["ratio_vs_arcane"] == pytest.approx(1.47, abs=0.05)
+
+
+class TestCalibrationRegistry:
+    def test_all_anchors_have_sources(self):
+        for entry in PAPER_ANCHORS:
+            assert entry.source
+            assert entry.paper_value > 0
+
+    def test_lookup(self):
+        assert anchor("area_overhead_8lane").paper_value == 41.3
+        with pytest.raises(KeyError):
+            anchor("nonexistent")
+
+
+class TestFigureSeries:
+    def test_measure_point_fields(self):
+        point = measure_conv_layer(16, 3, dtype="int8", lanes=4, verify=True)
+        assert point.arcane_cycles > 0
+        assert point.scalar_cycles > point.arcane_cycles  # ARCANE wins at 16x16
+        assert 0 < point.breakdown.overhead_fraction() < 1
+
+    def test_more_lanes_never_slower_int32(self):
+        slow = measure_conv_layer(32, 3, dtype="int32", lanes=2)
+        fast = measure_conv_layer(32, 3, dtype="int32", lanes=8)
+        assert fast.arcane_cycles <= slow.arcane_cycles
+
+    def test_int8_faster_than_int32(self):
+        i8 = measure_conv_layer(32, 3, dtype="int8", lanes=4)
+        i32 = measure_conv_layer(32, 3, dtype="int32", lanes=4)
+        assert i8.arcane_cycles < i32.arcane_cycles
+
+    def test_speedup_grows_with_size(self):
+        small = measure_conv_layer(16, 3, dtype="int8", lanes=8)
+        large = measure_conv_layer(64, 3, dtype="int8", lanes=8)
+        assert large.speedup_vs_scalar > small.speedup_vs_scalar
+
+    def test_preamble_share_shrinks_with_size(self):
+        small = measure_conv_layer(16, 3, dtype="int32", lanes=4)
+        large = measure_conv_layer(64, 3, dtype="int32", lanes=4)
+        assert small.breakdown.fraction("preamble") > large.breakdown.fraction("preamble")
+
+
+class TestTables:
+    def test_render_alignment(self):
+        text = render_table(["a", "metric"], [[1, 2.5], [300, "x"]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert len(set(len(line) for line in lines[1:])) == 1  # aligned
+
+    def test_paper_vs_measured(self):
+        text = paper_vs_measured([["speedup", 30.0, 28.5]], "Anchors")
+        assert "paper" in text and "measured" in text

@@ -1,0 +1,50 @@
+"""Tests for the one-shot reproduction report generator."""
+
+from repro.eval.report import (
+    anchors_section,
+    build_report,
+    fig3_section,
+    fig4_section,
+    sota_section,
+    table2_section,
+)
+
+
+def test_table2_section_contents():
+    text = table2_section()
+    assert "ARCANE 4 VPUs x 8 lanes" in text
+    assert "+41.4%" in text or "+41.3%" in text
+    assert "X-HEEP baseline" in text
+
+
+def test_fig3_section_fast_grid():
+    text = fig3_section(fast=True)
+    assert "preamble" in text and "compute" in text
+    assert "(16, 32, 64)" in text
+
+
+def test_fig4_section_fast_grid():
+    text = fig4_section(fast=True)
+    assert "CV32E40PX" in text
+    assert text.count("int8") >= 3
+
+
+def test_sota_section():
+    text = sota_section()
+    assert "BLADE" in text and "Intel CNC" in text and "75x" in text
+
+
+def test_anchors_section_lists_all():
+    from repro.eval.calibration import PAPER_ANCHORS
+
+    text = anchors_section()
+    for entry in PAPER_ANCHORS:
+        assert entry.name in text
+
+
+def test_full_fast_report():
+    report = build_report(fast=True)
+    assert "Table II" in report
+    assert "Figure 3" in report
+    assert "Figure 4" in report
+    assert "rerun without --fast" in report  # headline grid skipped

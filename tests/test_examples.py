@@ -1,0 +1,30 @@
+"""Smoke tests: every shipped example runs to completion and verifies."""
+
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = [
+    "examples/quickstart.py",
+    "examples/cnn_inference.py",
+    "examples/custom_kernel.py",
+    "examples/cache_behavior.py",
+    "examples/ecpu_firmware.py",
+]
+
+
+@pytest.mark.parametrize("path", EXAMPLES)
+def test_example_runs(path, capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv", [path])
+    runpy.run_path(path, run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip()  # every example narrates what it verified
+
+
+def test_design_space_example(capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv", ["examples/design_space.py", "16"])
+    runpy.run_path("examples/design_space.py", run_name="__main__")
+    out = capsys.readouterr().out
+    assert "design space" in out
+    assert "speedup" in out

@@ -1,0 +1,178 @@
+"""Assembler tests: syntax, pseudo-instructions, directives, errors."""
+
+import pytest
+
+from repro.isa.asm import AssemblerError, assemble, parse_register
+from repro.isa.decode import decode
+from repro.isa.disasm import disassemble
+
+
+class TestRegisters:
+    def test_abi_names(self):
+        assert parse_register("zero") == 0
+        assert parse_register("ra") == 1
+        assert parse_register("sp") == 2
+        assert parse_register("a0") == 10
+        assert parse_register("t6") == 31
+        assert parse_register("fp") == parse_register("s0") == 8
+
+    def test_numeric_names(self):
+        assert parse_register("x0") == 0
+        assert parse_register("x31") == 31
+
+    def test_invalid(self):
+        with pytest.raises(AssemblerError):
+            parse_register("x32")
+        with pytest.raises(AssemblerError):
+            parse_register("q7")
+
+
+class TestLabels:
+    def test_forward_and_backward(self):
+        program = assemble(
+            """
+            start:
+                j end
+                nop
+            end:
+                j start
+            """
+        )
+        first = decode(program.words()[0])
+        last = decode(program.words()[2])
+        assert first.imm == 8
+        assert last.imm == -8
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(AssemblerError, match="duplicate"):
+            assemble("a:\n nop\na:\n nop")
+
+    def test_undefined_symbol(self):
+        with pytest.raises(AssemblerError, match="undefined"):
+            assemble("j nowhere")
+
+    def test_label_address_in_symbols(self):
+        program = assemble("nop\nnop\nhere:\n nop", base=0x100)
+        assert program.symbols["here"] == 0x108
+
+
+class TestPseudoInstructions:
+    def test_li_small(self):
+        program = assemble("li a0, 42")
+        assert program.size == 4
+        assert decode(program.words()[0]).imm == 42
+
+    def test_li_large_expands(self):
+        program = assemble("li a0, 0x12345678")
+        assert program.size == 8
+
+    def test_li32_always_two_instructions(self):
+        assert assemble("li32 a0, 1").size == 8
+        assert assemble("li32 a0, 0x12345678").size == 8
+
+    def test_mv_not_neg(self):
+        for text in ("mv a0, a1", "not a0, a1", "neg a0, a1"):
+            assert assemble(text).size == 4
+
+    def test_ret_is_jalr_ra(self):
+        instr = decode(assemble("ret").words()[0])
+        assert instr.mnemonic == "jalr" and instr.rs1 == 1 and instr.rd == 0
+
+    def test_branch_pseudos(self):
+        program = assemble("target:\n beqz a0, target\n bnez a1, target\n blez a2, target")
+        mnemonics = [decode(w).mnemonic for w in program.words()]
+        assert mnemonics == ["beq", "bne", "bge"]
+
+    def test_swapped_branches(self):
+        instr = decode(assemble("t:\n bgt a0, a1, t").words()[0])
+        assert instr.mnemonic == "blt"
+        assert instr.rs1 == 11 and instr.rs2 == 10  # operands swapped
+
+
+class TestDirectives:
+    def test_word_half_byte(self):
+        program = assemble(".word 0xdeadbeef\n.half 0x1234\n.byte 0x56")
+        assert program.data[:4] == (0xDEADBEEF).to_bytes(4, "little")
+        assert program.data[4:6] == (0x1234).to_bytes(2, "little")
+        assert program.data[6] == 0x56
+
+    def test_zero_and_align(self):
+        program = assemble(".byte 1\n.align 2\n.word 2")
+        assert program.size == 8
+        assert program.data[1:4] == b"\x00\x00\x00"
+
+    def test_word_with_symbol(self):
+        program = assemble("entry:\n nop\n.word entry", base=0x40)
+        assert program.data[4:8] == (0x40).to_bytes(4, "little")
+
+
+class TestMemoryOperands:
+    def test_load_store_forms(self):
+        program = assemble("lw a0, 4(sp)\nsw a0, -4(sp)\nlb a1, 0(a2)")
+        lw, sw, lb = [decode(w) for w in program.words()]
+        assert lw.imm == 4 and sw.imm == -4 and lb.imm == 0
+
+    def test_postincrement_requires_custom_mnemonic(self):
+        with pytest.raises(AssemblerError, match="post-increment"):
+            assemble("lw a0, 4(sp!)")
+        with pytest.raises(AssemblerError, match="post-increment"):
+            assemble("cv.lw a0, 4(sp)")
+
+    def test_bad_operand_syntax(self):
+        with pytest.raises(AssemblerError):
+            assemble("lw a0, 4[sp]")
+
+
+class TestXcvpulpSyntax:
+    def test_postincrement_load(self):
+        instr = decode(assemble("cv.lw a0, 4(a1!)").words()[0])
+        assert instr.mnemonic == "cv.lw" and instr.imm == 4
+
+    def test_hardware_loop_setup(self):
+        program = assemble("cv.setup 0, t0, end\nnop\nend:\n nop")
+        instr = decode(program.words()[0])
+        assert instr.mnemonic == "cv.setup"
+        assert instr.operand("loop") == 0
+        assert instr.imm == 4  # (end - pc) / 2
+
+    def test_simd_needs_suffix(self):
+        with pytest.raises(AssemblerError, match="suffix"):
+            assemble("pv.add a0, a1, a2")
+
+    def test_simd_encodings(self):
+        for text in ("pv.add.b a0, a1, a2", "pv.sdotsp.h a0, a1, a2",
+                     "pv.max.b a0, a1, a2", "cv.mac a0, a1, a2"):
+            instr = decode(assemble(text).words()[0])
+            assert instr.extension == "xcvpulp"
+
+
+class TestXmnmcSyntax:
+    def test_xmr_and_xmk(self):
+        program = assemble("xmr.w a0, a1, a2\nxmk4.b a0, a1, a2")
+        xmr, xmk = [decode(w) for w in program.words()]
+        assert xmr.mnemonic == "xmr.w"
+        assert xmk.mnemonic == "xmk4.b"
+
+
+class TestErrors:
+    def test_unknown_mnemonic_with_line_number(self):
+        with pytest.raises(AssemblerError, match="line 2"):
+            assemble("nop\nfrobnicate a0, a1")
+
+    def test_branch_out_of_range(self):
+        body = "target:\n" + "nop\n" * 1100 + "beq a0, a1, target"
+        with pytest.raises(AssemblerError):
+            assemble(body)
+
+
+class TestDisassembler:
+    @pytest.mark.parametrize(
+        "text",
+        ["add a0, a1, a2", "addi a0, a1, -5", "lw a0, 4(sp)", "sw a0, 4(sp)",
+         "lui a0, 0x12", "jal ra, 0x0", "cv.lw a0, 4(a1!)", "pv.add.b a0, a1, a2",
+         "xmk0.w a0, a1, a2"],
+    )
+    def test_roundtrip_mnemonic(self, text):
+        word = assemble(text).words()[0]
+        rendered = disassemble(word)
+        assert rendered.split()[0] == text.split()[0]

@@ -1,0 +1,115 @@
+"""Decoder tests: RV32I/M plus dispatch behaviour and error cases."""
+
+import pytest
+
+from repro.isa import fields
+from repro.isa.asm import assemble
+from repro.isa.decode import DecodeError, decode
+
+
+def asm1(text: str) -> int:
+    """Assemble a single instruction and return its word."""
+    return assemble(text).words()[0]
+
+
+class TestRv32iDecode:
+    @pytest.mark.parametrize(
+        "text,mnemonic",
+        [
+            ("add a0, a1, a2", "add"),
+            ("sub a0, a1, a2", "sub"),
+            ("xor a0, a1, a2", "xor"),
+            ("sltu a0, a1, a2", "sltu"),
+            ("addi a0, a1, -5", "addi"),
+            ("andi a0, a1, 255", "andi"),
+            ("slli a0, a1, 3", "slli"),
+            ("srai a0, a1, 3", "srai"),
+            ("srli a0, a1, 3", "srli"),
+            ("lw a0, 8(sp)", "lw"),
+            ("lbu a0, 0(a1)", "lbu"),
+            ("sh a0, 2(a1)", "sh"),
+            ("lui a0, 0x12345", "lui"),
+            ("auipc a0, 0x1", "auipc"),
+            ("jalr ra, 0(a0)", "jalr"),
+            ("ecall", "ecall"),
+            ("ebreak", "ebreak"),
+            ("fence", "fence"),
+        ],
+    )
+    def test_mnemonics(self, text, mnemonic):
+        assert decode(asm1(text)).mnemonic == mnemonic
+
+    def test_branch_offsets(self):
+        program = assemble("target:\n    nop\n    beq a0, a1, target")
+        word = program.words()[1]
+        instr = decode(word)
+        assert instr.mnemonic == "beq"
+        assert instr.imm == -4
+
+    def test_jal_offset(self):
+        program = assemble("    jal ra, target\n    nop\ntarget:\n    nop")
+        instr = decode(program.words()[0])
+        assert instr.mnemonic == "jal"
+        assert instr.imm == 8
+
+    def test_load_imm_sign(self):
+        instr = decode(asm1("lw a0, -4(sp)"))
+        assert instr.imm == -4
+
+    def test_operand_accessor_raises_for_missing(self):
+        instr = decode(asm1("add a0, a1, a2"))
+        with pytest.raises(KeyError):
+            instr.operand("csr")
+
+
+class TestRv32mDecode:
+    @pytest.mark.parametrize(
+        "text", ["mul a0, a1, a2", "mulh a0, a1, a2", "mulhu a0, a1, a2",
+                 "mulhsu a0, a1, a2", "div a0, a1, a2", "divu a0, a1, a2",
+                 "rem a0, a1, a2", "remu a0, a1, a2"],
+    )
+    def test_muldiv(self, text):
+        instr = decode(asm1(text))
+        assert instr.mnemonic == text.split()[0]
+        assert instr.extension == "m"
+
+
+class TestCsrDecode:
+    def test_csrrw(self):
+        instr = decode(asm1("csrrw a0, 0x305, a1"))
+        assert instr.mnemonic == "csrrw"
+        assert instr.operand("csr") == 0x305
+
+    def test_csrrsi(self):
+        instr = decode(asm1("csrrsi zero, 0x300, 8"))
+        assert instr.mnemonic == "csrrsi"
+        assert instr.rs1 == 8  # zimm travels in the rs1 field
+
+    def test_mret_wfi(self):
+        assert decode(asm1("mret")).mnemonic == "mret"
+        assert decode(asm1("wfi")).mnemonic == "wfi"
+
+
+class TestDecodeErrors:
+    def test_all_zero_is_illegal(self):
+        with pytest.raises(DecodeError):
+            decode(0)
+
+    def test_unknown_major_opcode(self):
+        with pytest.raises(DecodeError):
+            decode(0x0000007F | (1 << 30))
+
+    def test_error_carries_pc(self):
+        try:
+            decode(0, pc=0x100)
+        except DecodeError as error:
+            assert error.pc == 0x100
+            assert "0x00000100" in str(error)
+        else:  # pragma: no cover
+            pytest.fail("expected DecodeError")
+
+    def test_bad_funct7_in_op(self):
+        # funct7=0x20 is only valid for sub/sra
+        word = fields.encode_r(fields.OPCODE_OP, 1, 0b100, 1, 1, 0b0100000)
+        with pytest.raises(DecodeError):
+            decode(word)

@@ -1,0 +1,92 @@
+"""Encode/decode round-trip tests for the RV32 instruction formats."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa import fields
+
+regs = st.integers(min_value=0, max_value=31)
+funct3s = st.integers(min_value=0, max_value=7)
+
+
+class TestRType:
+    @given(regs, regs, regs, funct3s)
+    def test_roundtrip(self, rd, rs1, rs2, funct3):
+        word = fields.encode_r(fields.OPCODE_OP, rd, funct3, rs1, rs2, 0b0100000)
+        decoded = fields.decode_r(word)
+        assert decoded["rd"] == rd
+        assert decoded["rs1"] == rs1
+        assert decoded["rs2"] == rs2
+        assert decoded["funct3"] == funct3
+        assert decoded["funct7"] == 0b0100000
+
+    def test_bad_register_rejected(self):
+        with pytest.raises(ValueError):
+            fields.encode_r(fields.OPCODE_OP, 32, 0, 0, 0, 0)
+
+
+class TestIType:
+    @given(regs, regs, st.integers(min_value=-2048, max_value=2047))
+    def test_roundtrip(self, rd, rs1, imm):
+        word = fields.encode_i(fields.OPCODE_OP_IMM, rd, 0, rs1, imm)
+        decoded = fields.decode_i(word)
+        assert decoded["imm"] == imm
+        assert decoded["rd"] == rd
+        assert decoded["rs1"] == rs1
+
+    def test_imm_overflow_rejected(self):
+        with pytest.raises(ValueError):
+            fields.encode_i(fields.OPCODE_OP_IMM, 1, 0, 1, 5000)
+
+
+class TestSType:
+    @given(regs, regs, st.integers(min_value=-2048, max_value=2047))
+    def test_roundtrip(self, rs1, rs2, imm):
+        word = fields.encode_s(fields.OPCODE_STORE, 0b010, rs1, rs2, imm)
+        decoded = fields.decode_s(word)
+        assert decoded["imm"] == imm
+        assert decoded["rs1"] == rs1
+        assert decoded["rs2"] == rs2
+
+
+class TestBType:
+    @given(regs, regs, st.integers(min_value=-2048, max_value=2047).map(lambda v: v * 2))
+    def test_roundtrip(self, rs1, rs2, imm):
+        word = fields.encode_b(fields.OPCODE_BRANCH, 0b001, rs1, rs2, imm)
+        decoded = fields.decode_b(word)
+        assert decoded["imm"] == imm
+
+    def test_odd_offset_rejected(self):
+        with pytest.raises(ValueError):
+            fields.encode_b(fields.OPCODE_BRANCH, 0, 1, 2, 3)
+
+
+class TestUJTypes:
+    @given(regs, st.integers(min_value=0, max_value=(1 << 20) - 1))
+    def test_u_roundtrip(self, rd, imm):
+        word = fields.encode_u(fields.OPCODE_LUI, rd, imm)
+        decoded = fields.decode_u(word)
+        assert decoded["imm"] == imm
+        assert decoded["rd"] == rd
+
+    @given(regs, st.integers(min_value=-(1 << 19), max_value=(1 << 19) - 1).map(lambda v: v * 2))
+    def test_j_roundtrip(self, rd, imm):
+        word = fields.encode_j(fields.OPCODE_JAL, rd, imm)
+        decoded = fields.decode_j(word)
+        assert decoded["imm"] == imm
+        assert decoded["rd"] == rd
+
+
+class TestR4Type:
+    @given(regs, regs, regs, regs)
+    def test_roundtrip(self, rd, rs1, rs2, rs3):
+        word = fields.encode_r4(fields.OPCODE_CUSTOM_2, rd, 2, rs1, rs2, rs3, 0)
+        decoded = fields.decode_r4(word)
+        assert decoded["rs3"] == rs3
+        assert decoded["rs1"] == rs1
+        assert decoded["rs2"] == rs2
+        assert decoded["rd"] == rd
+
+    def test_opcode_preserved(self):
+        word = fields.encode_r4(fields.OPCODE_CUSTOM_2, 1, 2, 3, 4, 5, 0)
+        assert fields.decode_opcode(word) == 0x5B

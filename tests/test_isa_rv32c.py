@@ -1,0 +1,126 @@
+"""RV32C expansion tests: each compressed encoding maps to its 32-bit twin."""
+
+import pytest
+
+from repro.isa.decode import DecodeError, decode
+from repro.isa.rv32c import decode_compressed
+
+
+def test_c_addi():
+    # c.addi x8, 1 -> 000 0 01000 00001 01
+    halfword = 0b000_0_01000_00001_01
+    instr = decode_compressed(halfword)
+    assert instr.mnemonic == "addi"
+    assert instr.rd == 8 and instr.rs1 == 8 and instr.imm == 1
+    assert instr.length == 2
+
+
+def test_c_li():
+    halfword = 0b010_0_01010_00101_01  # c.li x10, 5
+    instr = decode_compressed(halfword)
+    assert instr.mnemonic == "addi"
+    assert instr.rd == 10 and instr.rs1 == 0 and instr.imm == 5
+
+
+def test_c_li_negative():
+    halfword = 0b010_1_01010_11111_01  # c.li x10, -1
+    instr = decode_compressed(halfword)
+    assert instr.imm == -1
+
+
+def test_c_mv_and_c_add():
+    mv = 0b100_0_00101_00110_10  # c.mv x5, x6
+    instr = decode_compressed(mv)
+    assert instr.mnemonic == "add" and instr.rs1 == 0 and instr.rs2 == 6
+
+    add = 0b100_1_00101_00110_10  # c.add x5, x6
+    instr = decode_compressed(add)
+    assert instr.mnemonic == "add" and instr.rs1 == 5 and instr.rs2 == 6
+
+
+def test_c_jr_and_c_jalr():
+    jr = 0b100_0_00101_00000_10  # c.jr x5
+    instr = decode_compressed(jr)
+    assert instr.mnemonic == "jalr" and instr.rd == 0 and instr.rs1 == 5
+
+    jalr = 0b100_1_00101_00000_10  # c.jalr x5
+    instr = decode_compressed(jalr)
+    assert instr.mnemonic == "jalr" and instr.rd == 1
+
+
+def test_c_ebreak():
+    assert decode_compressed(0b100_1_00000_00000_10).mnemonic == "ebreak"
+
+
+def test_c_lwsp_swsp():
+    lwsp = 0b010_0_00101_00100_10  # c.lwsp x5, 4(sp) ... uimm[4:2]=001
+    instr = decode_compressed(lwsp)
+    assert instr.mnemonic == "lw" and instr.rs1 == 2 and instr.imm == 4
+
+    swsp = 0b110_000100_00101_10  # c.swsp x5, 4(sp)
+    instr = decode_compressed(swsp)
+    assert instr.mnemonic == "sw" and instr.rs1 == 2 and instr.rs2 == 5
+    assert instr.imm == 4
+
+
+def test_c_lw_sw():
+    # uimm[5:3]=001 (8) plus uimm[2]=1 (4) -> offset 12
+    lw = 0b010_001_000_10_001_00  # c.lw x9, 12(x8)
+    instr = decode_compressed(lw)
+    assert instr.mnemonic == "lw" and instr.rs1 == 8 and instr.rd == 9
+    assert instr.imm == 12
+
+    sw = 0b110_001_000_10_001_00  # c.sw x9, 12(x8)
+    instr = decode_compressed(sw)
+    assert instr.mnemonic == "sw" and instr.rs2 == 9 and instr.imm == 12
+
+
+def test_c_alu_ops():
+    # c.sub x8, x9: 100 0 11 000 00 001 01
+    sub = 0b100_0_11_000_00_001_01
+    instr = decode_compressed(sub)
+    assert instr.mnemonic == "sub" and instr.rd == 8 and instr.rs2 == 9
+
+    and_ = 0b100_0_11_000_11_001_01
+    assert decode_compressed(and_).mnemonic == "and"
+
+
+def test_c_andi():
+    halfword = 0b100_0_10_001_00111_01  # c.andi x9, 7
+    instr = decode_compressed(halfword)
+    assert instr.mnemonic == "andi" and instr.imm == 7
+
+
+def test_c_slli():
+    halfword = 0b000_0_00101_00011_10  # c.slli x5, 3
+    instr = decode_compressed(halfword)
+    assert instr.mnemonic == "slli" and instr.imm == 3
+
+
+def test_c_j_roundtrip_offset():
+    # c.j with offset -2 loops to the previous halfword.
+    instr = decode_compressed(0b101_1_1_1_1_0_1_11111_01)
+    assert instr.mnemonic == "jal" and instr.rd == 0
+    assert instr.imm % 2 == 0
+
+
+def test_c_beqz():
+    halfword = 0b110_0_00_001_00000_01  # c.beqz x9, 0... offset 0
+    instr = decode_compressed(halfword)
+    assert instr.mnemonic == "beq" and instr.rs2 == 0 and instr.rs1 == 9
+
+
+def test_zero_halfword_is_illegal():
+    assert decode_compressed(0) is None
+    with pytest.raises(DecodeError):
+        decode(0x00000000)
+
+
+def test_decode_dispatches_compressed():
+    instr = decode(0b010_0_01010_00101_01)  # c.li buried in a 32-bit fetch
+    assert instr.length == 2
+    assert instr.extension == "c"
+
+
+def test_c_addi4spn_zero_imm_illegal():
+    assert decode_compressed(0b000_00000000_001_00) is None

@@ -1,0 +1,104 @@
+"""Tests for the xmnmc custom matrix ISA encoding (paper IV-A, Table I)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa.decode import decode
+from repro.isa.xmnmc import (
+    FUNC5_XMR,
+    MAJOR_OPCODE,
+    MAX_KERNEL_FUNC5,
+    OffloadRequest,
+    decode_xmnmc,
+    encode_xmk,
+    encode_xmr,
+    pack_pair,
+    request_from_instruction,
+    unpack_pair,
+)
+
+regs = st.integers(min_value=0, max_value=31)
+u16 = st.integers(min_value=0, max_value=0xFFFF)
+
+
+class TestPairPacking:
+    @given(u16, u16)
+    def test_roundtrip(self, hi, lo):
+        assert unpack_pair(pack_pair(hi, lo)) == (hi, lo)
+
+    def test_overflow_rejected(self):
+        with pytest.raises(ValueError):
+            pack_pair(0x10000, 0)
+        with pytest.raises(ValueError):
+            pack_pair(0, -1)
+
+
+class TestEncoding:
+    @given(regs, regs, regs, st.sampled_from(["w", "h", "b"]))
+    def test_xmr_roundtrip(self, rs1, rs2, rs3, size):
+        word = encode_xmr(size, rs1, rs2, rs3)
+        instr = decode_xmnmc(word)
+        assert instr.mnemonic == f"xmr.{size}"
+        assert instr.operand("func5") == FUNC5_XMR
+        assert (instr.rs1, instr.rs2, instr.rs3) == (rs1, rs2, rs3)
+
+    @given(
+        st.integers(min_value=0, max_value=MAX_KERNEL_FUNC5),
+        regs, regs, regs, st.sampled_from(["w", "h", "b"]),
+    )
+    def test_xmk_roundtrip(self, n, rs1, rs2, rs3, size):
+        word = encode_xmk(n, size, rs1, rs2, rs3)
+        instr = decode_xmnmc(word)
+        assert instr.mnemonic == f"xmk{n}.{size}"
+        assert instr.operand("func5") == n
+
+    def test_major_opcode_is_custom2(self):
+        word = encode_xmk(0, "w", 1, 2, 3)
+        assert word & 0x7F == MAJOR_OPCODE == 0x5B
+
+    def test_kernel_index_bounds(self):
+        with pytest.raises(ValueError):
+            encode_xmk(31, "w", 0, 0, 0)  # 31 is reserved for xmr
+        with pytest.raises(ValueError):
+            encode_xmk(-1, "w", 0, 0, 0)
+
+    def test_bad_size_suffix(self):
+        with pytest.raises(ValueError):
+            encode_xmr("d", 0, 0, 0)
+
+    def test_unified_decoder_dispatches(self):
+        instr = decode(encode_xmk(4, "b", 10, 11, 12))
+        assert instr.extension == "xmnmc"
+        assert instr.mnemonic == "xmk4.b"
+
+
+class TestOffloadRequest:
+    def test_pairs_follow_table1(self):
+        request = OffloadRequest(
+            func5=0, size_suffix="w",
+            rs1_value=pack_pair(2, 1),       # alpha=2, beta=1
+            rs2_value=pack_pair(3, 4),       # ms3=3, md=4
+            rs3_value=pack_pair(5, 6),       # ms1=5, ms2=6
+        )
+        assert request.pairs() == ((2, 1), (3, 4), (5, 6))
+        assert request.element_bytes == 4
+        assert not request.is_reserve
+
+    def test_xmr_flag(self):
+        request = OffloadRequest(func5=FUNC5_XMR, size_suffix="b",
+                                 rs1_value=0, rs2_value=0, rs3_value=0)
+        assert request.is_reserve
+        assert request.element_bytes == 1
+
+    def test_request_from_instruction_samples_registers(self):
+        instr = decode(encode_xmk(2, "h", 1, 2, 3))
+        request = request_from_instruction(instr, 0xAABB0011, 0x22334455, 0x66778899, 9)
+        assert request.func5 == 2
+        assert request.size_suffix == "h"
+        assert request.rs1_value == 0xAABB0011
+        assert request.instr_id == 9
+
+    def test_request_from_wrong_extension_rejected(self):
+        instr = decode(0x00000013)  # addi x0, x0, 0
+        with pytest.raises(ValueError):
+            request_from_instruction(instr, 0, 0, 0)

@@ -1,0 +1,172 @@
+"""Cross-cutting property-based tests (hypothesis).
+
+The heavyweight invariants:
+
+* the LLC controller is *transparent*: any interleaving of host reads and
+  writes through the cache observes exactly the same values as a flat
+  memory (write-back, eviction, refill and approximate-LRU are invisible
+  to software semantics);
+* assembled `li` materialises every 32-bit constant exactly;
+* the conv-layer micro-program equals the golden model for arbitrary
+  shapes/data (in test_kernels.py);
+* phase breakdowns merge associatively.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.cpu.core import Cpu
+from repro.isa.asm import assemble
+from repro.mem.memory import MainMemory
+from repro.runtime.phases import PHASES, PhaseBreakdown
+from repro.utils.bitops import to_signed
+
+from tests.conftest import CacheHarness
+
+
+@st.composite
+def host_operations(draw):
+    """A random sequence of aligned host accesses within a small region."""
+    ops = []
+    for _ in range(draw(st.integers(1, 40))):
+        size = draw(st.sampled_from([1, 2, 4]))
+        # region spans several cache lines (64 B lines in the harness)
+        slot = draw(st.integers(0, 127))
+        address = 0x1000 + slot * 4 + draw(st.sampled_from(
+            [0] if size == 4 else ([0, 2] if size == 2 else [0, 1, 2, 3])
+        ))
+        if draw(st.booleans()):
+            value = draw(st.integers(0, (1 << (8 * size)) - 1))
+            ops.append(("write", address, size, value))
+        else:
+            ops.append(("read", address, size))
+    return ops
+
+
+@given(host_operations())
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_cache_is_transparent_to_software(ops):
+    """Cache + memory together behave exactly like one flat memory."""
+    cache = CacheHarness(n_vpus=2, vregs=2, line_bytes=64)  # tiny: forces evictions
+    reference = MainMemory(64 * 1024)
+
+    for op in ops:
+        if op[0] == "write":
+            _, address, size, value = op
+            cache.write(address, value, size)
+            if size == 4:
+                reference.write_u32(address, value)
+            elif size == 2:
+                reference.write_u16(address, value)
+            else:
+                reference.write_u8(address, value)
+        else:
+            _, address, size = op
+            got = cache.read(address, size)
+            if size == 4:
+                expected = reference.read_u32(address)
+            elif size == 2:
+                expected = reference.read_u16(address)
+            else:
+                expected = reference.read_u8(address)
+            assert got == expected
+
+    # after a flush, main memory itself converges to the reference
+    cache.controller.flush()
+    assert bytes(cache.memory.read_block(0x1000, 512)) == bytes(
+        reference.read_block(0x1000, 512)
+    )
+
+
+@given(st.integers(min_value=-(1 << 31), max_value=(1 << 31) - 1))
+@settings(max_examples=60, deadline=None)
+def test_li_materialises_any_constant(value):
+    program = assemble(f"li a0, {value}\nebreak")
+    memory = MainMemory(4096)
+    memory.write_block(0, bytes(program.data))
+    cpu = Cpu(memory)
+    cpu.run()
+    assert to_signed(cpu.regs[10]) == value
+
+
+@given(
+    st.lists(
+        st.tuples(st.sampled_from(PHASES), st.integers(0, 10_000)),
+        max_size=30,
+    )
+)
+@settings(max_examples=40, deadline=None)
+def test_phase_breakdown_merge_equals_sum(entries):
+    split_a, split_b, together = PhaseBreakdown(), PhaseBreakdown(), PhaseBreakdown()
+    for index, (phase, amount) in enumerate(entries):
+        (split_a if index % 2 else split_b).add(phase, amount)
+        together.add(phase, amount)
+    split_a.merge(split_b)
+    assert split_a.cycles == together.cycles
+    assert split_a.total == together.total
+
+
+@given(st.integers(0, 255), st.integers(1, 8), st.integers(1, 16))
+@settings(max_examples=40, deadline=None)
+def test_bus_2d_cost_additive(row_bytes, rows_a, rows_b):
+    """Transferring A+B rows costs exactly the sum of the two transfers."""
+    from repro.mem.bus import BusModel
+
+    bus = BusModel(offchip_latency=10)
+    combined = bus.transfer_2d_cycles(row_bytes, rows_a + rows_b, offchip=True)
+    split = (bus.transfer_2d_cycles(row_bytes, rows_a, offchip=True)
+             + bus.transfer_2d_cycles(row_bytes, rows_b, offchip=True))
+    assert combined == split
+
+
+@given(
+    rows=st.integers(1, 6), cols=st.integers(1, 24),
+    alpha=st.integers(0, 7), seed=st.integers(0, 2**16),
+    dtype=st.sampled_from([np.int8, np.int16, np.int32]),
+)
+@settings(max_examples=15, deadline=None)
+def test_leaky_relu_kernel_property(rows, cols, alpha, seed, dtype):
+    """Arbitrary shapes/dtypes/shifts: xmk1 == golden model."""
+    from repro.baselines.reference import ref_leaky_relu
+    from repro.core.config import ArcaneConfig
+    from repro.core.system import ArcaneSystem
+
+    rng = np.random.default_rng(seed)
+    info = np.iinfo(dtype)
+    x = rng.integers(info.min, int(info.max) + 1, (rows, cols)).astype(dtype)
+    system = ArcaneSystem(
+        ArcaneConfig(n_vpus=2, lanes=4, line_bytes=256, vpu_kib=4, main_memory_kib=512)
+    )
+    mx = system.place_matrix(x)
+    out = system.alloc_matrix((rows, cols), dtype)
+    with system.program() as prog:
+        prog.xmr(0, mx).xmr(1, out)
+        prog.leaky_relu(dest=1, src=0, alpha=alpha, suffix=mx.etype.suffix)
+    assert np.array_equal(system.read_matrix(out), ref_leaky_relu(x, alpha))
+
+
+@given(
+    m=st.integers(1, 5), k=st.integers(1, 6), n=st.integers(1, 12),
+    alpha=st.integers(-3, 3), beta=st.integers(-2, 2), seed=st.integers(0, 999),
+)
+@settings(max_examples=12, deadline=None)
+def test_gemm_kernel_property(m, k, n, alpha, beta, seed):
+    """Arbitrary GeMM shapes and scalar parameters: xmk0 == golden."""
+    from repro.baselines.reference import ref_gemm
+    from repro.core.config import ArcaneConfig
+    from repro.core.system import ArcaneSystem
+
+    rng = np.random.default_rng(seed)
+    a = rng.integers(-9, 9, (m, k)).astype(np.int32)
+    b = rng.integers(-9, 9, (k, n)).astype(np.int32)
+    c = rng.integers(-9, 9, (m, n)).astype(np.int32)
+    system = ArcaneSystem(
+        ArcaneConfig(n_vpus=2, lanes=4, line_bytes=256, vpu_kib=4, main_memory_kib=512)
+    )
+    ma, mb, mc = (system.place_matrix(x) for x in (a, b, c))
+    md = system.alloc_matrix((m, n), np.int32)
+    with system.program() as prog:
+        prog.xmr(0, ma).xmr(1, mb).xmr(2, mc).xmr(3, md)
+        prog.gemm(dest=3, a=0, b=1, c=2, alpha=alpha, beta=beta)
+    assert np.array_equal(system.read_matrix(md), ref_gemm(a, b, c, alpha, beta))

@@ -1,0 +1,227 @@
+"""Runtime-flow tests: bridge handshake, decoder, allocator, prefetch."""
+
+import numpy as np
+import pytest
+
+from repro.cache.address_table import OperandKind
+from repro.core.config import ArcaneConfig
+from repro.core.system import ArcaneSystem
+from repro.isa.xmnmc import FUNC5_XMR, OffloadRequest, pack_pair
+from repro.runtime.matrix import MatrixBinding
+from repro.vpu.visa import ElementType
+from repro.xbridge.bridge import OffloadOutcome
+
+CFG = ArcaneConfig(n_vpus=2, lanes=4, line_bytes=256, vpu_kib=4, main_memory_kib=512)
+
+
+def xmr_request(md, address, rows, cols, suffix="w", instr_id=1):
+    return OffloadRequest(
+        func5=FUNC5_XMR, size_suffix=suffix,
+        rs1_value=address,
+        rs2_value=pack_pair(cols, md),
+        rs3_value=pack_pair(cols, rows),
+        instr_id=instr_id,
+    )
+
+
+class TestBridge:
+    def test_xmr_accepted(self):
+        system = ArcaneSystem(CFG)
+        bridge = system.llc.bridge
+        outcome = system.sim.run_process(bridge.offload(xmr_request(0, 0x10000, 4, 4)))
+        assert outcome is OffloadOutcome.ACCEPTED
+        assert system.stats.value("bridge.accepted") == 1
+
+    def test_unknown_kernel_killed(self):
+        system = ArcaneSystem(CFG)
+        request = OffloadRequest(func5=29, size_suffix="w",
+                                 rs1_value=0, rs2_value=0, rs3_value=0)
+        outcome = system.sim.run_process(system.llc.bridge.offload(request))
+        assert outcome is OffloadOutcome.KILLED
+        assert system.stats.value("decoder.rejected") == 1
+
+    def test_single_buffered_contention(self):
+        """Two simultaneous offloads serialize through the bridge."""
+        system = ArcaneSystem(CFG)
+        bridge = system.llc.bridge
+        order = []
+
+        def host(idx):
+            outcome = yield from bridge.offload(
+                xmr_request(idx, 0x10000 + idx * 0x1000, 2, 2, instr_id=idx + 1)
+            )
+            order.append((idx, system.sim.now))
+            return outcome
+
+        system.sim.process(host(0))
+        system.sim.process(host(1))
+        system.sim.run()
+        assert len(order) == 2
+        assert order[0][1] < order[1][1]  # strictly serialized
+        assert system.stats.value("bridge.contended") >= 1
+
+    def test_host_stall_is_decode_bounded(self):
+        """The offload handshake cost is decode latency, not kernel latency."""
+        system = ArcaneSystem(CFG)
+        start = system.sim.now
+        system.sim.run_process(system.llc.bridge.offload(xmr_request(0, 0x10000, 4, 4)))
+        handshake = system.sim.now - start
+        costs = system.llc.runtime.decoder.costs
+        expected = (system.llc.bridge.costs.sample + system.llc.bridge.costs.respond
+                    + costs.interrupt_entry + costs.xmr_bind)
+        assert handshake == expected
+
+
+class TestDecoderEffects:
+    def test_xmr_binds_matrix_map(self):
+        system = ArcaneSystem(CFG)
+        system.sim.run_process(system.llc.bridge.offload(xmr_request(3, 0x12000, 5, 6)))
+        binding = system.llc.runtime.matrix_map.resolve(3)
+        assert binding.address == 0x12000
+        assert (binding.rows, binding.cols) == (5, 6)
+
+    def test_kernel_decode_registers_at_entries(self, rng):
+        system = ArcaneSystem(CFG)
+        x = system.place_matrix(rng.integers(-4, 4, (4, 8)).astype(np.int32))
+        out = system.alloc_matrix((4, 8), np.int32)
+
+        captured = {}
+        original_execute = system.llc.runtime.scheduler.execute
+
+        def capture_execute(kernel):
+            # snapshot the AT exactly when the kernel starts executing
+            captured["busy"] = [
+                (entry.kind, entry.start) for entry in system.llc.address_table.busy_entries()
+            ]
+            return original_execute(kernel)
+
+        system.llc.runtime.scheduler.execute = capture_execute
+        with system.program() as prog:
+            prog.xmr(0, x).xmr(1, out)
+            prog.leaky_relu(dest=1, src=0, alpha=0)
+        kinds = {kind for kind, _ in captured["busy"]}
+        assert OperandKind.SOURCE in kinds and OperandKind.DEST in kinds
+        # released after completion
+        assert system.llc.address_table.busy_entries() == []
+
+    def test_preamble_cycles_attributed(self, rng):
+        system = ArcaneSystem(CFG)
+        x = system.place_matrix(rng.integers(-4, 4, (4, 8)).astype(np.int32))
+        out = system.alloc_matrix((4, 8), np.int32)
+        with system.program() as prog:
+            prog.xmr(0, x).xmr(1, out)
+            prog.leaky_relu(dest=1, src=0, alpha=0)
+        breakdown = next(iter(system.last_report.per_kernel.values()))
+        costs = system.llc.runtime.decoder.costs
+        minimum = 2 * (costs.interrupt_entry + costs.xmr_bind) + costs.kernel_preamble
+        assert breakdown.cycles["preamble"] >= minimum
+
+
+class TestAllocator:
+    def make(self):
+        system = ArcaneSystem(CFG)
+        return system, system.llc.runtime.allocator
+
+    def test_claim_release_freelist(self):
+        system, allocator = self.make()
+        total = CFG.vregs_per_vpu
+        window = allocator.claim(0, 4)
+        assert allocator.free_regs(0) == total - 4
+        allocator.release(window)
+        assert allocator.free_regs(0) == total
+
+    def test_claim_overflow(self):
+        system, allocator = self.make()
+        with pytest.raises(RuntimeError, match="free vregs"):
+            allocator.claim(0, CFG.vregs_per_vpu + 1)
+
+    def test_claimed_lines_marked_compute(self):
+        system, allocator = self.make()
+        window = allocator.claim(1, 2)
+        lines = system.llc.cache_table.vpu_lines(1)
+        assert all(lines[reg].is_compute for reg in window.vregs)
+        allocator.release(window)
+        assert not any(line.is_compute for line in lines)
+
+    def test_claim_evicts_dirty_line_to_memory(self, rng):
+        system, allocator = self.make()
+        # dirty a cached line inside VPU 0's slice via a host write
+        address = 0x20000
+        system.sim.run_process(system.llc.controller.host_write(address, 77, 4))
+        line = system.llc.cache_table.lookup(address)
+        assert line is not None and line.dirty
+        # claim every register of the VPU owning that line
+        vpu_index = line.index // CFG.vregs_per_vpu
+        window = allocator.claim(vpu_index, CFG.vregs_per_vpu)
+        assert system.memory.read_u32(address) == 77  # flushed before claiming
+
+    def test_load_rows_functional(self, rng):
+        system, allocator = self.make()
+        data = rng.integers(-9, 9, (4, 16)).astype(np.int32)
+        handle = system.place_matrix(data)
+        binding = MatrixBinding(handle.address, 4, 16, 16, ElementType.W)
+        window = allocator.claim(0, 4)
+        system.sim.run_process(allocator.load_rows(window, binding, 0, 4))
+        vpu = system.llc.vpus[0]
+        for row in range(4):
+            loaded = vpu.vrf.view(window[row], ElementType.W)[:16]
+            assert np.array_equal(loaded, data[row])
+
+    def test_store_rows_lands_in_cache_dirty(self, rng):
+        system, allocator = self.make()
+        out = system.alloc_matrix((2, 16), np.int32)
+        binding = MatrixBinding(out.address, 2, 16, 16, ElementType.W)
+        window = allocator.claim(0, 2)
+        vpu = system.llc.vpus[0]
+        vpu.vrf.write(window[0], np.arange(16, dtype=np.int32))
+        vpu.vrf.write(window[1], np.arange(16, 32, dtype=np.int32))
+        system.sim.run_process(allocator.store_rows(window, binding, 0, 2))
+        line = system.llc.cache_table.lookup(out.address)
+        assert line is not None and line.dirty  # fetch-on-write (III-A.4)
+        assert np.array_equal(
+            system.read_matrix(out), np.arange(32, dtype=np.int32).reshape(2, 16)
+        )
+
+    def test_lock_released_after_transfers(self):
+        system, allocator = self.make()
+        data = np.zeros((2, 8), dtype=np.int32)
+        handle = system.place_matrix(data)
+        binding = MatrixBinding(handle.address, 2, 8, 8, ElementType.W)
+        window = allocator.claim(0, 2)
+        system.sim.run_process(allocator.load_rows(window, binding, 0, 2))
+        assert not system.llc.controller.locked
+
+    def test_load_packed_rejects_oversize(self, rng):
+        system, allocator = self.make()
+        max_vl = system.llc.vpus[0].vrf.max_vl(ElementType.W)
+        big = system.place_matrix(np.zeros((max_vl, 2), dtype=np.int32))
+        binding = MatrixBinding(big.address, max_vl, 2, 2, ElementType.W)
+        window = allocator.claim(0, 1)
+        with pytest.raises(ValueError, match="does not fit"):
+            system.sim.run_process(allocator.load_packed(window, binding))
+
+
+class TestPrefetchOverlap:
+    def test_prefetch_hides_dma_under_compute(self, rng):
+        """With double buffering, only the *exposed* DMA wait is charged to
+        the allocation phase, so its share stays small on a compute-heavy
+        2-lane configuration even though the raw DMA volume is large."""
+        from repro.eval.figures import measure_conv_layer
+
+        point = measure_conv_layer(64, 3, dtype="int8", lanes=2)
+        assert point.breakdown.fraction("allocation") < 0.15
+        assert point.breakdown.cycles["compute"] > 5 * point.breakdown.cycles["allocation"]
+
+    def test_sequential_loads_cost_more_than_overlapped(self, rng):
+        """gemm (synchronous loads) shows a higher allocation share than
+        conv2d (prefetched) for a comparable data volume."""
+        system = ArcaneSystem(CFG)
+        a = system.place_matrix(rng.integers(-4, 4, (8, 16)).astype(np.int32))
+        b = system.place_matrix(rng.integers(-4, 4, (16, 16)).astype(np.int32))
+        c = system.place_matrix(np.zeros((8, 16), dtype=np.int32))
+        d = system.alloc_matrix((8, 16), np.int32)
+        with system.program() as prog:
+            prog.xmr(0, a).xmr(1, b).xmr(2, c).xmr(3, d)
+            prog.gemm(dest=3, a=0, b=1, c=2, alpha=1, beta=0)
+        gemm_alloc = next(iter(system.last_report.per_kernel.values())).fraction("allocation")
+        assert gemm_alloc > 0.0

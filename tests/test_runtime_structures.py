@@ -1,0 +1,200 @@
+"""Tests for C-RT data structures: matrix map (renaming), queue, library."""
+
+import pytest
+
+from repro.isa.xmnmc import OffloadRequest, pack_pair
+from repro.runtime.kernel_lib import KernelLibrary, KernelSpec
+from repro.runtime.matrix import MatrixBinding, MatrixMap
+from repro.runtime.phases import PhaseBreakdown
+from repro.runtime.queue import KernelQueue, QueuedKernel
+from repro.sim.kernel import Simulator
+from repro.vpu.visa import ElementType
+
+
+class TestMatrixBinding:
+    def test_geometry(self):
+        binding = MatrixBinding(address=0x1000, rows=4, cols=6, stride=8,
+                                etype=ElementType.H)
+        assert binding.row_bytes == 12
+        assert binding.stride_bytes == 16
+        assert binding.total_bytes == 48
+        assert binding.row_address(2) == 0x1000 + 32
+        assert binding.end_address == 0x1000 + 3 * 16 + 12
+
+    def test_row_bounds(self):
+        binding = MatrixBinding(0, 2, 2, 2, ElementType.B)
+        with pytest.raises(IndexError):
+            binding.row_address(2)
+
+    def test_invalid_shape(self):
+        with pytest.raises(ValueError):
+            MatrixBinding(0, 0, 4, 4, ElementType.B)
+        with pytest.raises(ValueError):
+            MatrixBinding(0, 4, 4, 2, ElementType.B)  # stride < cols
+
+
+class TestMatrixMap:
+    def test_bind_resolve(self):
+        matrix_map = MatrixMap(4)
+        binding = matrix_map.bind(0, 0x100, 3, 3, 3, ElementType.W)
+        assert matrix_map.resolve(0) is binding
+        assert matrix_map.is_bound(0)
+        assert not matrix_map.is_bound(1)
+
+    def test_unbound_register_raises(self):
+        with pytest.raises(KeyError, match="xmr"):
+            MatrixMap(4).resolve(0)
+
+    def test_register_range_enforced(self):
+        with pytest.raises(IndexError):
+            MatrixMap(2).bind(2, 0, 1, 1, 1, ElementType.B)
+
+    def test_listing1_stride_convention(self):
+        # stride 1 in Listing 1 means densely packed -> stride == cols
+        binding = MatrixMap(2).bind(0, 0, 4, 7, 1, ElementType.W)
+        assert binding.stride == 7
+
+    def test_rebind_without_pending_uses_is_not_a_rename(self):
+        matrix_map = MatrixMap(2)
+        matrix_map.bind(0, 0x100, 2, 2, 2, ElementType.B)
+        matrix_map.bind(0, 0x200, 2, 2, 2, ElementType.B)
+        assert matrix_map.rename_count == 0
+
+    def test_rebind_with_pending_use_renames(self):
+        matrix_map = MatrixMap(2)
+        old = matrix_map.bind(0, 0x100, 2, 2, 2, ElementType.B)
+        old.pending_uses += 1  # a queued kernel holds it
+        new = matrix_map.bind(0, 0x200, 2, 2, 2, ElementType.B)
+        assert matrix_map.rename_count == 1
+        assert new is not old
+        assert old.address == 0x100  # old binding untouched (kernel still safe)
+
+
+class TestKernelQueue:
+    def make_kernel(self, kernel_id=0):
+        return QueuedKernel(kernel_id=kernel_id, func5=0, name="k",
+                            etype=ElementType.W, dest=None, sources=[])
+
+    def test_fifo_order(self):
+        queue = KernelQueue(4)
+        for i in range(3):
+            queue.push(self.make_kernel(i))
+        assert [queue.pop().kernel_id for _ in range(3)] == [0, 1, 2]
+
+    def test_capacity(self):
+        queue = KernelQueue(1)
+        queue.push(self.make_kernel())
+        assert queue.full
+        with pytest.raises(OverflowError):
+            queue.push(self.make_kernel(1))
+
+    def test_pop_empty(self):
+        with pytest.raises(IndexError):
+            KernelQueue(1).pop()
+
+    def test_push_wait_backpressure(self):
+        sim = Simulator()
+        queue = KernelQueue(1, sim)
+        queue.push(self.make_kernel(0))
+        done = []
+
+        def producer():
+            yield from queue.push_wait(self.make_kernel(1))
+            done.append(sim.now)
+
+        def consumer():
+            yield 30
+            queue.pop()
+
+        sim.process(producer())
+        sim.process(consumer())
+        sim.run()
+        assert done[0] >= 30
+
+    def test_pop_wait_blocks_until_push(self):
+        sim = Simulator()
+        queue = KernelQueue(2, sim)
+        got = []
+
+        def consumer():
+            kernel = yield from queue.pop_wait()
+            got.append((sim.now, kernel.kernel_id))
+
+        def producer():
+            yield 25
+            queue.push(self.make_kernel(9))
+
+        sim.process(consumer())
+        sim.process(producer())
+        sim.run()
+        assert got == [(25, 9)]
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            KernelQueue(0)
+
+
+class TestKernelLibrary:
+    def make_spec(self, func5=0, name="k"):
+        return KernelSpec(func5=func5, name=name,
+                          preamble=lambda req, mm: (None, [], {}),
+                          body=lambda kc, k: iter(()))
+
+    def test_register_lookup(self):
+        library = KernelLibrary()
+        spec = self.make_spec(3)
+        library.register(spec)
+        assert library.lookup(3) is spec
+        assert library.lookup(4) is None
+        assert 3 in library and len(library) == 1
+
+    def test_slot_conflict(self):
+        library = KernelLibrary()
+        library.register(self.make_spec(0, "a"))
+        with pytest.raises(ValueError, match="already holds"):
+            library.register(self.make_spec(0, "b"))
+        library.register(self.make_spec(0, "b"), replace=True)  # reprogrammable
+        assert library.lookup(0).name == "b"
+
+    def test_func5_range(self):
+        library = KernelLibrary()
+        with pytest.raises(ValueError):
+            library.register(self.make_spec(31))  # xmr slot is reserved
+
+    def test_names(self):
+        library = KernelLibrary()
+        library.register(self.make_spec(2, "two"))
+        library.register(self.make_spec(1, "one"))
+        assert library.names() == {1: "one", 2: "two"}
+
+
+class TestPhaseBreakdown:
+    def test_accumulate_and_fractions(self):
+        phases = PhaseBreakdown()
+        phases.add("preamble", 10)
+        phases.add("compute", 80)
+        phases.add("allocation", 5)
+        phases.add("writeback", 5)
+        assert phases.total == 100
+        assert phases.fraction("compute") == 0.8
+        assert phases.overhead_fraction() == 0.2
+        assert phases.non_compute == 20
+
+    def test_unknown_phase(self):
+        with pytest.raises(KeyError):
+            PhaseBreakdown().add("cooldown", 1)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            PhaseBreakdown().add("compute", -1)
+
+    def test_merge(self):
+        a, b = PhaseBreakdown(), PhaseBreakdown()
+        a.add("compute", 10)
+        b.add("compute", 5)
+        b.add("preamble", 1)
+        a.merge(b)
+        assert a.cycles["compute"] == 15 and a.cycles["preamble"] == 1
+
+    def test_empty_fractions(self):
+        assert PhaseBreakdown().overhead_fraction() == 0.0

@@ -1,0 +1,241 @@
+"""Tests for the event-driven simulation kernel."""
+
+import pytest
+
+from repro.sim.kernel import Event, Simulator, SimulationError
+
+
+def test_simple_delay():
+    sim = Simulator()
+    log = []
+
+    def proc():
+        yield 5
+        log.append(sim.now)
+        yield 3
+        log.append(sim.now)
+
+    sim.process(proc())
+    sim.run()
+    assert log == [5, 8]
+
+
+def test_fifo_order_same_cycle():
+    sim = Simulator()
+    order = []
+
+    def make(name):
+        def proc():
+            yield 10
+            order.append(name)
+        return proc
+
+    for name in "abc":
+        sim.process(make(name)())
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_event_wakes_waiters():
+    sim = Simulator()
+    gate = sim.event("gate")
+    log = []
+
+    def waiter():
+        payload = yield gate
+        log.append((sim.now, payload))
+
+    def firer():
+        yield 7
+        gate.fire("go")
+
+    sim.process(waiter())
+    sim.process(firer())
+    sim.run()
+    assert log == [(7, "go")]
+
+
+def test_fired_event_wakes_late_waiter_immediately():
+    sim = Simulator()
+    gate = sim.event()
+    gate.fire(123)
+    log = []
+
+    def late():
+        yield 4
+        value = yield gate
+        log.append((sim.now, value))
+
+    sim.process(late())
+    sim.run()
+    assert log == [(4, 123)]
+
+
+def test_event_reset_allows_refire():
+    sim = Simulator()
+    gate = sim.event()
+    gate.fire()
+    gate.reset()
+    assert not gate.fired
+    gate.fire("again")
+    assert gate.payload == "again"
+
+
+def test_event_reset_with_waiters_rejected():
+    sim = Simulator()
+    gate = sim.event()
+
+    def waiter():
+        yield gate
+
+    sim.process(waiter())
+    sim.run(until=0)
+    with pytest.raises(SimulationError):
+        gate.reset()
+
+
+def test_wait_for_process_result():
+    sim = Simulator()
+
+    def child():
+        yield 9
+        return "done"
+
+    def parent():
+        result = yield sim.process(child())
+        return (sim.now, result)
+
+    assert sim.run_process(parent()) == (9, "done")
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+
+    def bad():
+        yield -1
+
+    sim.process(bad())
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_bool_yield_rejected():
+    sim = Simulator()
+
+    def bad():
+        yield True
+
+    sim.process(bad())
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_unsupported_yield_rejected():
+    sim = Simulator()
+
+    def bad():
+        yield "nope"
+
+    sim.process(bad())
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_run_until_pauses_clock():
+    sim = Simulator()
+
+    def proc():
+        yield 100
+
+    sim.process(proc())
+    sim.run(until=40)
+    assert sim.now == 40
+    sim.run()
+    assert sim.now == 100
+
+
+def test_all_of_waits_for_every_event():
+    sim = Simulator()
+    events = [sim.event(f"e{i}") for i in range(3)]
+    combined = sim.all_of(events)
+    log = []
+
+    def waiter():
+        yield combined
+        log.append(sim.now)
+
+    def firer():
+        for i, event in enumerate(events):
+            yield 10
+            event.fire()
+
+    sim.process(waiter())
+    sim.process(firer())
+    sim.run()
+    assert log == [30]
+
+
+def test_all_of_empty_fires_immediately():
+    sim = Simulator()
+    assert sim.all_of([]).fired
+
+
+def test_exceptions_propagate():
+    sim = Simulator()
+
+    def bad():
+        yield 1
+        raise RuntimeError("boom")
+
+    sim.process(bad())
+    with pytest.raises(RuntimeError, match="boom"):
+        sim.run()
+
+
+def test_livelock_guard():
+    sim = Simulator()
+
+    def spinner():
+        while True:
+            yield 0
+
+    sim.process(spinner())
+    with pytest.raises(SimulationError, match="livelock"):
+        sim.run(max_events=1000)
+
+
+def test_run_process_detects_deadlock():
+    sim = Simulator()
+    never = sim.event()
+
+    def stuck():
+        yield never
+
+    with pytest.raises(SimulationError, match="did not finish"):
+        sim.run_process(stuck())
+
+
+def test_determinism_across_runs():
+    def build():
+        sim = Simulator()
+        trace = []
+
+        def worker(name, delays):
+            for d in delays:
+                yield d
+                trace.append((sim.now, name))
+
+        sim.process(worker("a", [3, 3, 3]))
+        sim.process(worker("b", [2, 4, 3]))
+        sim.run()
+        return trace
+
+    assert build() == build()
+
+
+def test_timeout_call():
+    sim = Simulator()
+    fired = []
+    sim.timeout_call(15, lambda: fired.append(sim.now))
+    sim.run()
+    assert fired == [15]

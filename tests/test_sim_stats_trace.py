@@ -1,0 +1,103 @@
+"""Tests for simulation statistics and tracing."""
+
+import pytest
+
+from repro.sim.stats import Counter, Histogram, StatsRegistry
+from repro.sim.trace import TraceEvent, Tracer
+
+
+class TestCounter:
+    def test_accumulates(self):
+        counter = Counter("hits")
+        counter.add()
+        counter.add(4)
+        assert counter.value == 5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter("x").add(-1)
+
+    def test_reset(self):
+        counter = Counter("x")
+        counter.add(3)
+        counter.reset()
+        assert counter.value == 0
+
+
+class TestHistogram:
+    def test_statistics(self):
+        histogram = Histogram("lat")
+        for sample in (4, 10, 1):
+            histogram.record(sample)
+        assert histogram.count == 3
+        assert histogram.total == 15
+        assert histogram.minimum == 1
+        assert histogram.maximum == 10
+        assert histogram.mean == 5.0
+
+    def test_empty_mean_is_zero(self):
+        assert Histogram("x").mean == 0.0
+
+
+class TestStatsRegistry:
+    def test_counter_identity(self):
+        registry = StatsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+
+    def test_value_of_untouched_counter(self):
+        assert StatsRegistry().value("never") == 0
+
+    def test_counters_snapshot_sorted(self):
+        registry = StatsRegistry()
+        registry.counter("z").add(1)
+        registry.counter("a").add(2)
+        assert list(registry.counters()) == ["a", "z"]
+
+    def test_reset_all(self):
+        registry = StatsRegistry()
+        registry.counter("a").add(5)
+        registry.histogram("h").record(3)
+        registry.reset()
+        assert registry.value("a") == 0
+        assert registry.histogram("h").count == 0
+
+
+class TestTracer:
+    def test_log_and_filter(self):
+        tracer = Tracer()
+        tracer.log(1, "host", "read", addr=0x10)
+        tracer.log(2, "host", "write", addr=0x20)
+        tracer.log(3, "dma", "read", addr=0x30)
+        assert len(tracer.filter(source="host")) == 2
+        assert len(tracer.filter(kind="read")) == 2
+        assert len(tracer.filter(source="dma", kind="read")) == 1
+
+    def test_first_and_last(self):
+        tracer = Tracer()
+        tracer.log(1, "a", "evt", n=1)
+        tracer.log(5, "a", "evt", n=2)
+        assert tracer.first("evt").details["n"] == 1
+        assert tracer.last("evt").details["n"] == 2
+        assert tracer.first("missing") is None
+
+    def test_disabled_tracer_drops(self):
+        tracer = Tracer(enabled=False)
+        tracer.log(1, "a", "evt")
+        assert tracer.events == []
+
+    def test_capacity_cap(self):
+        tracer = Tracer(capacity=2)
+        for i in range(5):
+            tracer.log(i, "a", "evt")
+        assert len(tracer.events) == 2
+
+    def test_dump_renders_lines(self):
+        tracer = Tracer()
+        tracer.log(7, "llc", "hit", addr=4)
+        text = tracer.dump()
+        assert "llc" in text and "hit" in text
+
+    def test_event_is_frozen(self):
+        event = TraceEvent(1, "a", "b")
+        with pytest.raises(AttributeError):
+            event.cycle = 2

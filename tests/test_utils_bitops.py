@@ -1,0 +1,117 @@
+"""Unit and property tests for repro.utils.bitops."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.bitops import (
+    align_down,
+    align_up,
+    bit,
+    bits,
+    is_aligned,
+    mask,
+    set_bits,
+    sign_extend,
+    to_signed,
+    to_unsigned,
+)
+
+
+class TestMask:
+    def test_small_masks(self):
+        assert mask(0) == 0
+        assert mask(1) == 1
+        assert mask(12) == 0xFFF
+        assert mask(32) == 0xFFFFFFFF
+
+    def test_negative_width_rejected(self):
+        with pytest.raises(ValueError):
+            mask(-1)
+
+
+class TestBitExtraction:
+    def test_bit(self):
+        assert bit(0b1010, 1) == 1
+        assert bit(0b1010, 0) == 0
+        assert bit(1 << 31, 31) == 1
+
+    def test_bits_funct3(self):
+        word = 0x0000A003  # funct3 = bits[14:12]
+        assert bits(word, 14, 12) == 0b010
+
+    def test_bits_full_word(self):
+        assert bits(0xDEADBEEF, 31, 0) == 0xDEADBEEF
+
+    def test_inverted_range_rejected(self):
+        with pytest.raises(ValueError):
+            bits(0, 3, 5)
+
+
+class TestSetBits:
+    def test_set_field(self):
+        assert set_bits(0, 14, 12, 0b101) == 0b101 << 12
+
+    def test_replaces_existing(self):
+        word = set_bits(0xFFFFFFFF, 7, 4, 0)
+        assert bits(word, 7, 4) == 0
+        assert bits(word, 3, 0) == 0xF
+
+    def test_overflow_rejected(self):
+        with pytest.raises(ValueError):
+            set_bits(0, 3, 0, 16)
+
+
+class TestSignExtend:
+    @pytest.mark.parametrize(
+        "value,width,expected",
+        [
+            (0xFFF, 12, -1),
+            (0x7FF, 12, 2047),
+            (0x800, 12, -2048),
+            (0xFF, 8, -1),
+            (0, 32, 0),
+            (0xFFFFFFFF, 32, -1),
+        ],
+    )
+    def test_known_values(self, value, width, expected):
+        assert sign_extend(value, width) == expected
+
+    @given(st.integers(min_value=0, max_value=0xFFFFFFFF))
+    def test_roundtrip_32(self, value):
+        assert to_unsigned(to_signed(value)) == value
+
+    @given(st.integers(min_value=1, max_value=31), st.integers(min_value=0))
+    def test_range(self, width, raw):
+        result = sign_extend(raw, width)
+        assert -(1 << (width - 1)) <= result < (1 << (width - 1))
+
+    @given(st.integers(min_value=1, max_value=32), st.integers())
+    def test_congruent_mod_2n(self, width, raw):
+        assert (sign_extend(raw, width) - raw) % (1 << width) == 0
+
+
+class TestAlignment:
+    def test_align_down(self):
+        assert align_down(0x1234, 0x100) == 0x1200
+        assert align_down(0x1200, 0x100) == 0x1200
+
+    def test_align_up(self):
+        assert align_up(0x1234, 0x100) == 0x1300
+        assert align_up(0x1200, 0x100) == 0x1200
+
+    def test_is_aligned(self):
+        assert is_aligned(1024, 1024)
+        assert not is_aligned(1025, 1024)
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ValueError):
+            align_down(5, 3)
+
+    @given(
+        st.integers(min_value=0, max_value=1 << 40),
+        st.sampled_from([1, 2, 4, 64, 1024]),
+    )
+    def test_align_bounds(self, value, alignment):
+        down, up = align_down(value, alignment), align_up(value, alignment)
+        assert down <= value <= up
+        assert up - down in (0, alignment)

@@ -1,0 +1,94 @@
+"""Unit and property tests for RV32 fixed-width arithmetic helpers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.bitops import to_signed
+from repro.utils.fixedint import (
+    div_signed,
+    div_unsigned,
+    mulh_signed,
+    mulh_signed_unsigned,
+    mulh_unsigned,
+    rem_signed,
+    rem_unsigned,
+    sat,
+    wrap,
+    wrap32,
+)
+
+u32 = st.integers(min_value=0, max_value=0xFFFFFFFF)
+
+
+class TestWrap:
+    def test_wrap32(self):
+        assert wrap32(1 << 32) == 0
+        assert wrap32(-1) == 0xFFFFFFFF
+
+    @pytest.mark.parametrize("width", [8, 16, 32, 64, 5])
+    def test_wrap_widths(self, width):
+        assert wrap(1 << width, width) == 0
+        assert wrap((1 << width) - 1, width) == (1 << width) - 1
+
+
+class TestSaturate:
+    def test_signed(self):
+        assert sat(200, 8) == 127
+        assert sat(-200, 8) == -128
+        assert sat(5, 8) == 5
+
+    def test_unsigned(self):
+        assert sat(300, 8, signed=False) == 255
+        assert sat(-1, 8, signed=False) == 0
+
+    @given(st.integers(), st.sampled_from([8, 16, 32]))
+    def test_idempotent(self, value, width):
+        once = sat(value, width)
+        assert sat(once, width) == once
+
+
+class TestMulh:
+    @given(u32, u32)
+    def test_mulh_signed_matches_wide_multiply(self, a, b):
+        expected = wrap32((to_signed(a) * to_signed(b)) >> 32)
+        assert mulh_signed(a, b) == expected
+
+    @given(u32, u32)
+    def test_mulh_unsigned_matches_wide_multiply(self, a, b):
+        assert mulh_unsigned(a, b) == wrap32((a * b) >> 32)
+
+    @given(u32, u32)
+    def test_mulhsu_matches_wide_multiply(self, a, b):
+        assert mulh_signed_unsigned(a, b) == wrap32((to_signed(a) * b) >> 32)
+
+
+class TestDivision:
+    def test_div_by_zero_spec_values(self):
+        assert div_signed(42, 0) == 0xFFFFFFFF
+        assert div_unsigned(42, 0) == 0xFFFFFFFF
+        assert rem_signed(42, 0) == 42
+        assert rem_unsigned(42, 0) == 42
+
+    def test_signed_overflow(self):
+        int_min = 0x80000000
+        assert div_signed(int_min, wrap32(-1)) == int_min
+        assert rem_signed(int_min, wrap32(-1)) == 0
+
+    def test_rounds_toward_zero(self):
+        assert to_signed(div_signed(wrap32(-7), 2)) == -3
+        assert to_signed(rem_signed(wrap32(-7), 2)) == -1
+
+    @given(u32, u32.filter(lambda v: v != 0))
+    def test_signed_div_rem_identity(self, a, b):
+        # a == q*b + r (mod 2^32), with |r| < |b| and sign(r) == sign(a)
+        q = to_signed(div_signed(a, b))
+        r = to_signed(rem_signed(a, b))
+        if not (to_signed(a) == -(1 << 31) and to_signed(b) == -1):
+            assert wrap32(q * to_signed(b) + r) == a
+            assert abs(r) < abs(to_signed(b))
+
+    @given(u32, u32.filter(lambda v: v != 0))
+    def test_unsigned_div_rem_identity(self, a, b):
+        q, r = div_unsigned(a, b), rem_unsigned(a, b)
+        assert q * b + r == a
+        assert r < b

@@ -1,0 +1,217 @@
+"""VPU tests: vector ISA semantics, lane timing, VRF views, dispatcher."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cache.cache_table import CacheTable
+from repro.sim.stats import StatsRegistry
+from repro.vpu.dispatcher import Dispatcher
+from repro.vpu.visa import ElementType, VectorOp, VectorOpcode
+from repro.vpu.vpu import Vpu
+from repro.vpu.vrf import VectorRegisterFile
+
+
+def make_vpu(lanes=4, vregs=8, line_bytes=256) -> Vpu:
+    ct = CacheTable(1, vregs, line_bytes)
+    return Vpu(0, VectorRegisterFile(ct.vpu_lines(0)), lanes=lanes)
+
+
+class TestElementType:
+    def test_suffix_mapping(self):
+        assert ElementType.from_suffix("b") is ElementType.B
+        assert ElementType.from_suffix("w").nbytes == 4
+        assert ElementType.from_bytes(2) is ElementType.H
+        with pytest.raises(ValueError):
+            ElementType.from_suffix("q")
+        with pytest.raises(ValueError):
+            ElementType.from_bytes(3)
+
+    def test_subword_packing(self):
+        assert ElementType.B.elems_per_word == 4
+        assert ElementType.H.elems_per_word == 2
+        assert ElementType.W.elems_per_word == 1
+
+
+class TestVrf:
+    def test_views_share_storage(self):
+        vpu = make_vpu()
+        view8 = vpu.vrf.view(0, ElementType.B)
+        view32 = vpu.vrf.view(0, ElementType.W)
+        view8[:4] = [1, 0, 0, 0]
+        assert view32[0] == 1
+
+    def test_max_vl(self):
+        vpu = make_vpu(line_bytes=256)
+        assert vpu.vrf.max_vl(ElementType.B) == 256
+        assert vpu.vrf.max_vl(ElementType.W) == 64
+
+    def test_write_offset_and_overflow(self):
+        vpu = make_vpu()
+        vpu.vrf.write(1, np.array([5, 6], dtype=np.int32), offset=2)
+        assert vpu.vrf.view(1, ElementType.W)[2] == 5
+        with pytest.raises(ValueError):
+            vpu.vrf.write(1, np.zeros(65, dtype=np.int32))
+
+    def test_bad_register_index(self):
+        vpu = make_vpu(vregs=4)
+        with pytest.raises(IndexError):
+            vpu.vrf.view(4, ElementType.B)
+
+
+class TestSemantics:
+    def test_vclear(self):
+        vpu = make_vpu()
+        vpu.vrf.fill(0, 77, ElementType.W)
+        vpu.execute(VectorOp(VectorOpcode.VCLEAR, ElementType.W, vd=0, vl=10))
+        assert np.all(vpu.vrf.view(0, ElementType.W)[:10] == 0)
+        assert vpu.vrf.view(0, ElementType.W)[10] == 77  # beyond vl untouched
+
+    def test_vmacc_vs(self):
+        vpu = make_vpu()
+        vpu.vrf.write(1, np.arange(8, dtype=np.int32))
+        vpu.execute(VectorOp(VectorOpcode.VCLEAR, ElementType.W, vd=0, vl=8))
+        vpu.execute(VectorOp(VectorOpcode.VMACC_VS, ElementType.W, vd=0, vs1=1,
+                             scalar=3, vl=8))
+        assert np.array_equal(vpu.vrf.view(0, ElementType.W)[:8],
+                              3 * np.arange(8, dtype=np.int32))
+
+    def test_vmacc_wraps_in_element_width(self):
+        vpu = make_vpu()
+        vpu.vrf.write(1, np.array([100], dtype=np.int8))
+        vpu.execute(VectorOp(VectorOpcode.VCLEAR, ElementType.B, vd=0, vl=1))
+        vpu.execute(VectorOp(VectorOpcode.VMACC_VS, ElementType.B, vd=0, vs1=1,
+                             scalar=2, vl=1))
+        assert vpu.vrf.view(0, ElementType.B)[0] == np.int64(200).astype(np.int8)
+
+    def test_offset_and_stride_gather(self):
+        vpu = make_vpu()
+        vpu.vrf.write(1, np.arange(16, dtype=np.int32))
+        vpu.execute(VectorOp(VectorOpcode.VMV, ElementType.W, vd=0, vs1=1,
+                             vl=4, offset=1, stride=3))
+        assert list(vpu.vrf.view(0, ElementType.W)[:4]) == [1, 4, 7, 10]
+
+    def test_vmax_vv_accumulates_into_vd(self):
+        vpu = make_vpu()
+        vpu.vrf.write(0, np.array([5, -2, 0, 9], dtype=np.int32))
+        vpu.vrf.write(1, np.array([3, 4, -1, 20], dtype=np.int32))
+        vpu.execute(VectorOp(VectorOpcode.VMAX_VV, ElementType.W, vd=0, vs1=1, vl=4))
+        assert list(vpu.vrf.view(0, ElementType.W)[:4]) == [5, 4, 0, 20]
+
+    def test_vmax_vmin_vs(self):
+        vpu = make_vpu()
+        vpu.vrf.write(1, np.array([-3, 2], dtype=np.int16))
+        vpu.execute(VectorOp(VectorOpcode.VMAX_VS, ElementType.H, vd=0, vs1=1,
+                             scalar=0, vl=2))
+        assert list(vpu.vrf.view(0, ElementType.H)[:2]) == [0, 2]
+        vpu.execute(VectorOp(VectorOpcode.VMIN_VS, ElementType.H, vd=2, vs1=1,
+                             scalar=0, vl=2))
+        assert list(vpu.vrf.view(2, ElementType.H)[:2]) == [-3, 0]
+
+    def test_vsra(self):
+        vpu = make_vpu()
+        vpu.vrf.write(1, np.array([-8, 8], dtype=np.int32))
+        vpu.execute(VectorOp(VectorOpcode.VSRA_VS, ElementType.W, vd=0, vs1=1,
+                             scalar=2, vl=2))
+        assert list(vpu.vrf.view(0, ElementType.W)[:2]) == [-2, 2]
+
+    def test_vredsum(self):
+        vpu = make_vpu()
+        vpu.vrf.write(1, np.arange(10, dtype=np.int32))
+        vpu.execute(VectorOp(VectorOpcode.VREDSUM, ElementType.W, vd=0, vs1=1, vl=10))
+        assert vpu.vrf.view(0, ElementType.W)[0] == 45
+
+    def test_vadd_vv(self):
+        vpu = make_vpu()
+        vpu.vrf.write(1, np.array([1, 2], dtype=np.int32))
+        vpu.vrf.write(2, np.array([10, 20], dtype=np.int32))
+        vpu.execute(VectorOp(VectorOpcode.VADD_VV, ElementType.W, vd=0, vs1=1,
+                             vs2=2, vl=2))
+        assert list(vpu.vrf.view(0, ElementType.W)[:2]) == [11, 22]
+
+    def test_vd_offset(self):
+        vpu = make_vpu()
+        vpu.vrf.fill(0, 9, ElementType.W)
+        vpu.vrf.write(1, np.array([1], dtype=np.int32))
+        vpu.execute(VectorOp(VectorOpcode.VMV, ElementType.W, vd=0, vs1=1, vl=1,
+                             vd_offset=5))
+        view = vpu.vrf.view(0, ElementType.W)
+        assert view[5] == 1 and view[4] == 9
+
+    def test_source_overflow_rejected(self):
+        vpu = make_vpu(line_bytes=64)
+        with pytest.raises(ValueError):
+            vpu.execute(VectorOp(VectorOpcode.VMV, ElementType.W, vd=0, vs1=1,
+                                 vl=16, offset=8))
+
+    @given(st.lists(st.integers(-128, 127), min_size=1, max_size=32),
+           st.integers(-8, 8))
+    @settings(max_examples=30, deadline=None)
+    def test_vmacc_matches_numpy(self, values, scalar):
+        vpu = make_vpu()
+        data = np.array(values, dtype=np.int8)
+        vpu.vrf.write(1, data)
+        vpu.execute(VectorOp(VectorOpcode.VCLEAR, ElementType.B, vd=0, vl=len(values)))
+        vpu.execute(VectorOp(VectorOpcode.VMACC_VS, ElementType.B, vd=0, vs1=1,
+                             scalar=scalar, vl=len(values)))
+        expected = (data.astype(np.int64) * scalar).astype(np.int8)
+        assert np.array_equal(vpu.vrf.view(0, ElementType.B)[: len(values)], expected)
+
+
+class TestTiming:
+    def test_contiguous_subword_throughput(self):
+        vpu = make_vpu(lanes=4)
+        op = VectorOp(VectorOpcode.VMACC_VS, ElementType.B, vd=0, vs1=1, vl=64)
+        # 64 int8 / (4 lanes * 4 per lane) = 4 cycles + startup
+        assert vpu.op_cycles(op) == Vpu.STARTUP_CYCLES + 4
+
+    def test_int32_throughput(self):
+        vpu = make_vpu(lanes=4)
+        op = VectorOp(VectorOpcode.VMACC_VS, ElementType.W, vd=0, vs1=1, vl=64)
+        assert vpu.op_cycles(op) == Vpu.STARTUP_CYCLES + 16
+
+    def test_strided_defeats_packing(self):
+        vpu = make_vpu(lanes=4)
+        contiguous = VectorOp(VectorOpcode.VMV, ElementType.B, vd=0, vs1=1, vl=32)
+        strided = VectorOp(VectorOpcode.VMV, ElementType.B, vd=0, vs1=1, vl=32, stride=2)
+        assert vpu.op_cycles(strided) > vpu.op_cycles(contiguous)
+
+    def test_more_lanes_faster(self):
+        op = VectorOp(VectorOpcode.VMACC_VS, ElementType.W, vd=0, vs1=1, vl=60)
+        assert make_vpu(lanes=8).op_cycles(op) < make_vpu(lanes=2).op_cycles(op)
+
+    def test_empty_op_costs_startup(self):
+        vpu = make_vpu()
+        assert vpu.op_cycles(VectorOp(VectorOpcode.VCLEAR, ElementType.W, vd=0, vl=0)) \
+            == Vpu.STARTUP_CYCLES
+
+
+class TestDispatcher:
+    def make(self, issue=10):
+        ct = CacheTable(2, 4, 256)
+        vpus = [Vpu(i, VectorRegisterFile(ct.vpu_lines(i)), lanes=4) for i in range(2)]
+        return Dispatcher(vpus, issue_cycles=issue, stats=StatsRegistry())
+
+    def test_claim_release_cycle(self):
+        dispatcher = self.make()
+        dispatcher.claim(0, kernel_id=1)
+        assert dispatcher.owner(0) == 1
+        assert dispatcher.free_vpus() == [1]
+        with pytest.raises(RuntimeError):
+            dispatcher.claim(0, kernel_id=2)
+        dispatcher.release(0)
+        assert dispatcher.free_vpus() == [0, 1]
+
+    def test_dispatch_cost_is_pipelined_max(self):
+        dispatcher = self.make(issue=10)
+        short = VectorOp(VectorOpcode.VCLEAR, ElementType.W, vd=0, vl=4)
+        long = VectorOp(VectorOpcode.VMACC_VS, ElementType.W, vd=0, vs1=1, vl=64)
+        assert dispatcher.dispatch(0, short) == 10  # issue-bound
+        vpu_cycles = dispatcher.vpu(0).op_cycles(long)
+        assert vpu_cycles > 10
+        assert dispatcher.dispatch(0, long) == vpu_cycles  # compute-bound
+
+    def test_issue_bound_counter(self):
+        dispatcher = self.make(issue=100)
+        dispatcher.dispatch(0, VectorOp(VectorOpcode.VCLEAR, ElementType.W, vd=0, vl=4))
+        assert dispatcher.stats.value("dispatch.issue_bound") == 1
