@@ -10,6 +10,14 @@ Public entry points:
   LLC system model and its configuration (the primary contribution);
 * :mod:`repro.baselines` -- CV32E40X scalar and CV32E40PX packed-SIMD
   baselines (ISS-backed) plus the conventional-cache system;
+* :mod:`repro.compiler` -- the kernel compiler: author new complex
+  instructions as loop nests over matrix elements, schedule them
+  (shard / strip-mine / unroll / vectorize) and lower them to
+  library-registrable kernels.  ``install_compiled`` adds six compiled
+  workloads (GeMM, depthwise conv, fully-connected, element-wise
+  add/mul, row-sum) above the five handwritten Table I slots — the
+  paper's software-based ISA extensibility at compiler scale (see
+  ``examples/compiled_kernel.py``);
 * :mod:`repro.eval` -- area model, throughput comparisons and the data
   series behind every table/figure of the paper.
 """

@@ -1,0 +1,88 @@
+"""The kernel compiler: loop-nest IR -> scheduled -> eCPU micro-programs.
+
+Authoring pipeline (see ``examples/compiled_kernel.py``)::
+
+    program  = KernelProgram(...)            # loop nest over matrix elements
+    schedule = (Schedule(program)
+                .shard("i")                  # multi-VPU row partitioning
+                .strip_mine("k")             # tile K against VRF capacity
+                .vectorize("j"))             # innermost loop -> vector ISA
+    spec     = compile_kernel(schedule, func5=9)
+    system.llc.runtime.library.register(spec)
+
+The compiled :class:`~repro.runtime.kernel_lib.KernelSpec` is a drop-in
+peer of the handwritten Table I kernels: same preamble contract, same
+:class:`~repro.runtime.context.KernelContext` micro-program API, same
+hazard guarding — new complex instructions without touching simulator,
+runtime or hardware model.
+"""
+
+from repro.compiler.ir import (
+    Access,
+    Accum,
+    Assign,
+    CompilerError,
+    Const,
+    Expr,
+    IrError,
+    KernelProgram,
+    Loop,
+    Operand,
+    ShapeError,
+    Sym,
+    bind_shapes,
+)
+from repro.compiler.lower import LoweringError, compile_kernel
+from repro.compiler.schedule import Schedule, ScheduleError
+from repro.compiler.library import (
+    FUNC5_CGEMM,
+    FUNC5_DWCONV2D,
+    FUNC5_EWISE_ADD,
+    FUNC5_EWISE_MUL,
+    FUNC5_FC,
+    FUNC5_ROWSUM,
+    compiled_specs,
+    install_compiled,
+    make_dwconv2d_spec,
+    make_ewise_add_spec,
+    make_ewise_mul_spec,
+    make_fc_spec,
+    make_gemm_spec,
+    make_rowsum_spec,
+    offload_compiled,
+)
+
+__all__ = [
+    "Access",
+    "Accum",
+    "Assign",
+    "CompilerError",
+    "Const",
+    "Expr",
+    "IrError",
+    "KernelProgram",
+    "Loop",
+    "LoweringError",
+    "Operand",
+    "Schedule",
+    "ScheduleError",
+    "ShapeError",
+    "Sym",
+    "bind_shapes",
+    "compile_kernel",
+    "compiled_specs",
+    "install_compiled",
+    "offload_compiled",
+    "FUNC5_CGEMM",
+    "FUNC5_DWCONV2D",
+    "FUNC5_FC",
+    "FUNC5_EWISE_ADD",
+    "FUNC5_EWISE_MUL",
+    "FUNC5_ROWSUM",
+    "make_gemm_spec",
+    "make_dwconv2d_spec",
+    "make_fc_spec",
+    "make_ewise_add_spec",
+    "make_ewise_mul_spec",
+    "make_rowsum_spec",
+]

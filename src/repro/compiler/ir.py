@@ -1,0 +1,594 @@
+"""A tile-and-vectorize loop-nest IR over logical matrix operands.
+
+The kernel library (paper IV-B.1) makes complex instructions *software*:
+every ``xmkN`` is a preamble + micro-program pair registered at runtime.
+Hand-writing those micro-programs (``runtime/kernels/*.py``) is the slow
+path to new workloads, so this package grows a small kernel compiler in
+the spirit of Exo/SYS_ATL: author the algorithm once as a loop nest over
+matrix *elements*, schedule it (shard / strip-mine / unroll / vectorize),
+and lower it onto the eCPU/VPU micro-program API.
+
+This module is the IR itself:
+
+* :class:`Expr` trees — integer expressions over symbolic dimensions,
+  loop variables, scalar parameters and matrix element accesses;
+* :class:`Operand` — a logical matrix register with a symbolic shape;
+* statements — :class:`Loop` (parallel or reduction), :class:`Assign`
+  and :class:`Accum` element statements, plus the *vector* statement
+  forms produced by :meth:`repro.compiler.schedule.Schedule.vectorize`;
+* :class:`KernelProgram` — a validated kernel definition;
+* :func:`bind_shapes` — the runtime shape inference/validation used by
+  generated preambles (binds symbolic dims from actual operand shapes,
+  solving ``K`` from ``F.cols`` and ``C`` from ``F.rows // K`` style
+  equations by fixpoint).
+
+Arithmetic semantics match the datapath: all element math wraps in the
+element width, so scheduling transforms that only reorder additions are
+always exact (mod-2^n addition is associative and commutative).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
+
+
+class CompilerError(ValueError):
+    """Base class for kernel-compiler diagnostics."""
+
+
+class IrError(CompilerError):
+    """Malformed kernel program (caught at construction time)."""
+
+
+class ShapeError(CompilerError):
+    """Operand shapes do not satisfy the kernel's symbolic shape spec."""
+
+
+# ---------------------------------------------------------------------------
+# expressions
+# ---------------------------------------------------------------------------
+
+
+class Expr:
+    """Integer expression over symbols, constants and element accesses."""
+
+    def __add__(self, other: "ExprLike") -> "Expr":
+        return BinOp("+", self, to_expr(other))
+
+    def __radd__(self, other: "ExprLike") -> "Expr":
+        return BinOp("+", to_expr(other), self)
+
+    def __sub__(self, other: "ExprLike") -> "Expr":
+        return BinOp("-", self, to_expr(other))
+
+    def __rsub__(self, other: "ExprLike") -> "Expr":
+        return BinOp("-", to_expr(other), self)
+
+    def __mul__(self, other: "ExprLike") -> "Expr":
+        return BinOp("*", self, to_expr(other))
+
+    def __rmul__(self, other: "ExprLike") -> "Expr":
+        return BinOp("*", to_expr(other), self)
+
+    def __floordiv__(self, other: "ExprLike") -> "Expr":
+        return BinOp("//", self, to_expr(other))
+
+
+ExprLike = Union[Expr, int]
+
+
+@dataclass(frozen=True, eq=False)
+class Sym(Expr):
+    """A named symbol: dimension, scalar parameter or loop variable."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True, eq=False)
+class Const(Expr):
+    value: int
+
+    def __repr__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True, eq=False)
+class BinOp(Expr):
+    op: str  # '+', '-', '*', '//'
+    lhs: Expr
+    rhs: Expr
+
+    def __repr__(self) -> str:
+        return f"({self.lhs!r} {self.op} {self.rhs!r})"
+
+
+@dataclass(frozen=True, eq=False)
+class Access(Expr):
+    """One matrix element, ``operand[row, col]``."""
+
+    operand: str
+    row: Expr
+    col: Expr
+
+    def __repr__(self) -> str:
+        return f"{self.operand}[{self.row!r}, {self.col!r}]"
+
+
+def to_expr(value: ExprLike) -> Expr:
+    if isinstance(value, Expr):
+        return value
+    if isinstance(value, int):
+        return Const(value)
+    raise IrError(f"cannot use {value!r} as an IR expression")
+
+
+def syms(expr: Expr) -> Set[str]:
+    """All symbol names referenced by an expression (including accesses)."""
+    if isinstance(expr, Sym):
+        return {expr.name}
+    if isinstance(expr, Const):
+        return set()
+    if isinstance(expr, BinOp):
+        return syms(expr.lhs) | syms(expr.rhs)
+    if isinstance(expr, Access):
+        return syms(expr.row) | syms(expr.col)
+    raise IrError(f"unknown expression node {expr!r}")
+
+
+def accesses(expr: Expr) -> List[Access]:
+    """Element accesses appearing in an expression, in evaluation order."""
+    if isinstance(expr, Access):
+        return [expr]
+    if isinstance(expr, BinOp):
+        return accesses(expr.lhs) + accesses(expr.rhs)
+    return []
+
+
+def subst(expr: Expr, mapping: Dict[str, Expr]) -> Expr:
+    """Structurally copy ``expr``, replacing symbols per ``mapping``."""
+    if isinstance(expr, Sym):
+        return mapping.get(expr.name, expr)
+    if isinstance(expr, Const):
+        return expr
+    if isinstance(expr, BinOp):
+        return BinOp(expr.op, subst(expr.lhs, mapping), subst(expr.rhs, mapping))
+    if isinstance(expr, Access):
+        return Access(expr.operand, subst(expr.row, mapping), subst(expr.col, mapping))
+    raise IrError(f"unknown expression node {expr!r}")
+
+
+def eval_expr(expr: Expr, env: Dict[str, int]) -> int:
+    """Pure integer evaluation; element accesses are not allowed here."""
+    if isinstance(expr, Const):
+        return expr.value
+    if isinstance(expr, Sym):
+        try:
+            return env[expr.name]
+        except KeyError:
+            raise ShapeError(f"symbol {expr.name!r} is not bound") from None
+    if isinstance(expr, BinOp):
+        lhs = eval_expr(expr.lhs, env)
+        rhs = eval_expr(expr.rhs, env)
+        if expr.op == "+":
+            return lhs + rhs
+        if expr.op == "-":
+            return lhs - rhs
+        if expr.op == "*":
+            return lhs * rhs
+        if expr.op == "//":
+            if rhs == 0:
+                raise ShapeError(f"division by zero evaluating {expr!r}")
+            return lhs // rhs
+        raise IrError(f"unknown operator {expr.op!r}")
+    if isinstance(expr, Access):
+        raise IrError(f"element access {expr!r} in a shape/index position")
+    raise IrError(f"unknown expression node {expr!r}")
+
+
+def key(expr: Expr) -> str:
+    """Canonical structural key (used for equality of index expressions)."""
+    return repr(expr)
+
+
+def _name_of(var: Union[str, Sym]) -> str:
+    return var.name if isinstance(var, Sym) else str(var)
+
+
+# ---------------------------------------------------------------------------
+# operands
+# ---------------------------------------------------------------------------
+
+
+@dataclass(eq=False)
+class Operand:
+    """A logical matrix operand with a symbolic (rows, cols) shape.
+
+    Exactly one operand of a kernel has ``out=True``.  The order of the
+    *source* operands in :class:`KernelProgram.operands` defines the
+    instruction-word packing (see ``lower.py``): sources take the
+    rs3.first, rs3.second and rs2.first register fields in order, the
+    destination takes rs2.second — the Table I convention.
+    """
+
+    name: str
+    shape: Tuple[ExprLike, ExprLike]
+    out: bool = False
+
+    def __post_init__(self) -> None:
+        rows, cols = self.shape
+        self.rows: Expr = to_expr(rows)
+        self.cols: Expr = to_expr(cols)
+
+    def __getitem__(self, index: Tuple[ExprLike, ExprLike]) -> Access:
+        if not isinstance(index, tuple) or len(index) != 2:
+            raise IrError(f"operand {self.name!r} must be indexed as [row, col]")
+        return Access(self.name, to_expr(index[0]), to_expr(index[1]))
+
+    def __repr__(self) -> str:
+        role = "out" if self.out else "in"
+        return f"<{self.name}:{role} {self.rows!r}x{self.cols!r}>"
+
+
+# ---------------------------------------------------------------------------
+# statements
+# ---------------------------------------------------------------------------
+
+
+class Stmt:
+    """Base statement node."""
+
+
+@dataclass(eq=False)
+class Loop(Stmt):
+    """``for var in range(extent)`` — ``parallel=True`` marks a loop over
+    independent output rows (shardable); ``parallel=False`` a reduction."""
+
+    var: Union[str, Sym]
+    extent: ExprLike
+    body: List[Stmt]
+    parallel: bool = False
+    sharded: bool = False  # set by Schedule.shard()
+
+    def __post_init__(self) -> None:
+        self.var = _name_of(self.var)
+        self.extent = to_expr(self.extent)
+
+
+@dataclass(eq=False)
+class StripLoop(Stmt):
+    """A strip-mined reduction loop (produced by ``Schedule.strip_mine``).
+
+    Iterates ``outer_var`` over ``ceil(total / S)`` strips and
+    ``inner_var`` over the rows of each strip, where the strip size
+    ``S`` (bound to ``size_sym``) is chosen *at kernel launch* from the
+    free vector-register budget via the shared
+    :func:`repro.runtime.kernels.common.k_strip_size` policy.
+    """
+
+    outer_var: str
+    inner_var: str
+    size_sym: str
+    total: Expr
+    body: List[Stmt]
+
+
+@dataclass(eq=False)
+class Assign(Stmt):
+    """``dest = value`` (element statement)."""
+
+    dest: Access
+    value: ExprLike
+
+    def __post_init__(self) -> None:
+        self.value = to_expr(self.value)
+
+
+@dataclass(eq=False)
+class Accum(Stmt):
+    """``dest += value`` (element statement, wrap-around addition)."""
+
+    dest: Access
+    value: ExprLike
+
+    def __post_init__(self) -> None:
+        self.value = to_expr(self.value)
+
+
+# -- vector statements (the post-vectorization form) -------------------------
+
+
+@dataclass(eq=False)
+class RowRef:
+    """A source-operand row slice: ``operand[row, offset : offset + vl]``."""
+
+    operand: str
+    row: Expr
+    offset: Expr
+
+    def __repr__(self) -> str:
+        return f"{self.operand}[{self.row!r}, {self.offset!r}:+vl]"
+
+
+class VectorStmt(Stmt):
+    """Base of statements operating on whole output rows.
+
+    Every vector statement targets the accumulator register holding the
+    destination row ``dest_row`` of the current output iteration.
+    """
+
+    dest_row: Expr
+
+
+@dataclass(eq=False)
+class VInit(VectorStmt):
+    """``acc[:] = coeff * src`` (``src=None`` splats; only 0 is splattable,
+    lowered to ``vclear``; ``coeff==1`` lowers to ``vmv``)."""
+
+    dest_row: Expr
+    coeff: Expr
+    src: Optional[RowRef]
+
+
+@dataclass(eq=False)
+class VEwise(VectorStmt):
+    """``acc[:] = a <op> b`` element-wise over two source rows."""
+
+    dest_row: Expr
+    op: str  # 'add' | 'mul'
+    a: RowRef
+    b: RowRef
+
+
+@dataclass(eq=False)
+class VMacc(VectorStmt):
+    """``acc[:] += coeff * src`` — one ``vmacc.vs`` (skipped when the
+    runtime coefficient is zero, like the handwritten kernels)."""
+
+    dest_row: Expr
+    coeff: Expr
+    src: RowRef
+
+
+@dataclass(eq=False)
+class VReduce(VectorStmt):
+    """``acc[col] += sum(src row)`` — ``vredsum`` into a scratch register
+    then a 1-element accumulate into the accumulator."""
+
+    dest_row: Expr
+    col: Expr
+    src: RowRef
+
+
+@dataclass(eq=False)
+class VClearElem(VectorStmt):
+    """``acc[col] = 0`` — a 1-element ``vclear`` (scalar destination init)."""
+
+    dest_row: Expr
+    col: Expr
+
+
+# ---------------------------------------------------------------------------
+# the kernel program
+# ---------------------------------------------------------------------------
+
+
+def walk(stmts: Sequence[Stmt]) -> Iterable[Stmt]:
+    """Pre-order traversal of a statement block."""
+    for stmt in stmts:
+        yield stmt
+        if isinstance(stmt, (Loop, StripLoop)):
+            yield from walk(stmt.body)
+
+
+@dataclass(eq=False)
+class KernelProgram:
+    """One software-defined complex instruction, pre-scheduling.
+
+    ``params`` are the (at most two) 16-bit scalar immediates carried in
+    the instruction's rs1 operand pair, sign-extended like the Table I
+    kernels' alpha/beta.
+    """
+
+    name: str
+    operands: List[Operand]
+    body: List[Stmt]
+    params: List[str] = field(default_factory=list)
+    #: set by Schedule.vectorize()
+    vector_var: Optional[str] = None
+    vector_extent: Optional[Expr] = None
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    # -- queries -------------------------------------------------------------
+
+    @property
+    def dest(self) -> Operand:
+        return next(op for op in self.operands if op.out)
+
+    @property
+    def sources(self) -> List[Operand]:
+        return [op for op in self.operands if not op.out]
+
+    @property
+    def dims(self) -> Set[str]:
+        names: Set[str] = set()
+        for op in self.operands:
+            names |= syms(op.rows) | syms(op.cols)
+        return names - set(self.params)
+
+    def find_loops(self, var: str) -> List[Loop]:
+        return [s for s in walk(self.body) if isinstance(s, Loop) and s.var == var]
+
+    # -- validation ----------------------------------------------------------
+
+    def validate(self) -> None:
+        if not self.name:
+            raise IrError("kernel needs a name")
+        outs = [op for op in self.operands if op.out]
+        if len(outs) != 1:
+            raise IrError(f"kernel {self.name!r} needs exactly one out operand")
+        if not 1 <= len(self.sources) <= 3:
+            raise IrError(
+                f"kernel {self.name!r} has {len(self.sources)} sources; the "
+                "xmnmc instruction word packs 1..3 source matrix registers"
+            )
+        if len(self.params) > 2:
+            raise IrError(
+                f"kernel {self.name!r} declares {len(self.params)} params; "
+                "rs1 carries at most two 16-bit immediates"
+            )
+        names = [op.name for op in self.operands] + list(self.params)
+        if len(set(names)) != len(names):
+            raise IrError(f"kernel {self.name!r}: operand/param names collide")
+        dim_names = self.dims
+        overlap = dim_names & set(op.name for op in self.operands)
+        if overlap:
+            raise IrError(f"dimension names collide with operands: {sorted(overlap)}")
+        self._check_block(self.body, scope=set())
+
+    def _check_block(self, stmts: Sequence[Stmt], scope: Set[str]) -> None:
+        known = self.dims | set(self.params)
+        operand_names = {op.name for op in self.operands}
+        for stmt in stmts:
+            if isinstance(stmt, Loop):
+                if stmt.var in scope or stmt.var in known or stmt.var in operand_names:
+                    raise IrError(f"loop variable {stmt.var!r} shadows another name")
+                extent_syms = syms(stmt.extent)
+                bad = extent_syms - known
+                if bad:
+                    raise IrError(
+                        f"loop extent {stmt.extent!r} uses non-dimension "
+                        f"symbols {sorted(bad)} (loop bounds must be shape-"
+                        "or parameter-derived)"
+                    )
+                self._check_block(stmt.body, scope | {stmt.var})
+            elif isinstance(stmt, StripLoop):
+                self._check_block(
+                    stmt.body, scope | {stmt.outer_var, stmt.inner_var, stmt.size_sym}
+                )
+            elif isinstance(stmt, (Assign, Accum)):
+                self._check_element_stmt(stmt, scope, known)
+            elif isinstance(stmt, VectorStmt):
+                pass  # produced by Schedule; checked during lowering
+            else:
+                raise IrError(f"unknown statement {stmt!r}")
+
+    def _check_element_stmt(
+        self, stmt: Union[Assign, Accum], scope: Set[str], known: Set[str]
+    ) -> None:
+        operands = {op.name: op for op in self.operands}
+        dest = stmt.dest
+        if not isinstance(dest, Access):
+            raise IrError(f"statement destination {dest!r} is not an element access")
+        if dest.operand not in operands or not operands[dest.operand].out:
+            raise IrError(
+                f"statement writes {dest.operand!r}, which is not the out operand"
+            )
+        in_scope = scope | known
+        for acc in [dest] + accesses(stmt.value):
+            if acc.operand not in operands:
+                raise IrError(f"access to undeclared operand {acc.operand!r}")
+            if acc is not dest and operands[acc.operand].out:
+                raise IrError(
+                    f"kernel {self.name!r} reads its destination "
+                    f"{acc.operand!r}; destinations are write-only"
+                )
+            bad = (syms(acc.row) | syms(acc.col)) - in_scope
+            if bad:
+                raise IrError(f"access {acc!r} uses unbound symbols {sorted(bad)}")
+        bad = syms(stmt.value) - in_scope
+        if bad:
+            raise IrError(f"expression uses unbound symbols {sorted(bad)}")
+
+
+# ---------------------------------------------------------------------------
+# runtime shape binding (used by generated preambles)
+# ---------------------------------------------------------------------------
+
+
+def _try_solve(expr: Expr, actual: int, env: Dict[str, int]) -> bool:
+    """Bind or check one shape equation; returns True when resolved."""
+    free = {s for s in syms(expr) if s not in env}
+    if not free:
+        value = eval_expr(expr, env)
+        if value != actual:
+            raise ShapeError(f"shape mismatch: {expr!r} = {value}, operand has {actual}")
+        return True
+    if isinstance(expr, Sym):
+        env[expr.name] = actual
+        return True
+    if isinstance(expr, BinOp) and expr.op == "*":
+        for unknown, known in ((expr.lhs, expr.rhs), (expr.rhs, expr.lhs)):
+            if isinstance(unknown, Sym) and unknown.name in free and not (
+                syms(known) - env.keys()
+            ):
+                factor = eval_expr(known, env)
+                if factor <= 0 or actual % factor:
+                    raise ShapeError(
+                        f"cannot split {actual} rows/cols as {expr!r} "
+                        f"with {known!r} = {factor}"
+                    )
+                env[unknown.name] = actual // factor
+                return True
+    return False
+
+
+def bind_shapes(
+    program: KernelProgram,
+    actual: Dict[str, Tuple[int, int]],
+    env: Dict[str, int],
+) -> Dict[str, int]:
+    """Infer dimension symbols from actual operand shapes (fixpoint).
+
+    Source shapes *bind* free dimensions (solving bare symbols and
+    ``known * sym`` products); the destination shape is then *checked*
+    against the fully derived expressions.  Raises :class:`ShapeError`
+    with the offending operand when the shapes are inconsistent.
+    """
+    pending = [
+        (op.name, which, expr, actual[op.name][index])
+        for op in program.sources
+        for index, (which, expr) in enumerate((("rows", op.rows), ("cols", op.cols)))
+    ]
+    progress = True
+    while pending and progress:
+        progress = False
+        remaining = []
+        for item in pending:
+            name, which, expr, value = item
+            try:
+                solved = _try_solve(expr, value, env)
+            except ShapeError as exc:
+                raise ShapeError(f"operand {name!r} {which}: {exc}") from None
+            if solved:
+                progress = True
+            else:
+                remaining.append(item)
+        pending = remaining
+    if pending:
+        name, which, expr, _ = pending[0]
+        raise ShapeError(
+            f"cannot infer dimensions of operand {name!r} from {which} "
+            f"expression {expr!r}"
+        )
+    dest = program.dest
+    rows, cols = actual[dest.name]
+    for which, expr, value in (("rows", dest.rows, rows), ("cols", dest.cols, cols)):
+        free = syms(expr) - env.keys()
+        if free:
+            raise ShapeError(
+                f"destination {dest.name!r} {which} expression {expr!r} has "
+                f"uninferrable symbols {sorted(free)}"
+            )
+        expected = eval_expr(expr, env)
+        if expected != value:
+            raise ShapeError(
+                f"destination {dest.name!r} is {rows}x{cols}, kernel "
+                f"{program.name!r} expects {which} = {expr!r} = {expected}"
+            )
+    return env

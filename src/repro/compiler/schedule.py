@@ -1,0 +1,443 @@
+"""Composable scheduling transforms over the kernel IR.
+
+A :class:`Schedule` wraps a deep copy of a :class:`~repro.compiler.ir.
+KernelProgram` and rewrites its loop nest, Exo-style::
+
+    sched = (Schedule(program)
+             .shard("i")        # partition output rows across VPUs
+             .strip_mine("k")   # tile the reduction against VRF capacity
+             .vectorize("j"))   # innermost loop -> vector instructions
+
+Each transform is *checked*: an illegal application (vectorizing a
+non-innermost loop, strip-mining a parallel loop, unrolling a symbolic
+extent, ...) raises :class:`ScheduleError` at schedule-construction time,
+not at kernel runtime.  All transforms only re-associate wrap-around
+additions or change data residency, so they never change results.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.compiler.ir import (
+    Access,
+    Accum,
+    Assign,
+    BinOp,
+    CompilerError,
+    Const,
+    Expr,
+    KernelProgram,
+    Loop,
+    RowRef,
+    Stmt,
+    StripLoop,
+    Sym,
+    VClearElem,
+    VEwise,
+    VInit,
+    VMacc,
+    VReduce,
+    VectorStmt,
+    key,
+    subst,
+    syms,
+    walk,
+)
+
+
+class ScheduleError(CompilerError):
+    """An illegal scheduling transform."""
+
+
+# ---------------------------------------------------------------------------
+# statement cloning / substitution
+# ---------------------------------------------------------------------------
+
+
+def _subst_row(ref: Optional[RowRef], mapping: Dict[str, Expr]) -> Optional[RowRef]:
+    if ref is None:
+        return None
+    return RowRef(ref.operand, subst(ref.row, mapping), subst(ref.offset, mapping))
+
+
+def subst_stmt(stmt: Stmt, mapping: Dict[str, Expr]) -> Stmt:
+    """Structurally copy a statement, substituting symbols in every
+    expression position (used by clone, unroll and strip-mine)."""
+    if isinstance(stmt, Loop):
+        new = Loop(
+            stmt.var,
+            subst(stmt.extent, mapping),
+            [subst_stmt(s, mapping) for s in stmt.body],
+            parallel=stmt.parallel,
+        )
+        new.sharded = stmt.sharded
+        return new
+    if isinstance(stmt, StripLoop):
+        return StripLoop(
+            stmt.outer_var,
+            stmt.inner_var,
+            stmt.size_sym,
+            subst(stmt.total, mapping),
+            [subst_stmt(s, mapping) for s in stmt.body],
+        )
+    if isinstance(stmt, Assign):
+        return Assign(subst(stmt.dest, mapping), subst(stmt.value, mapping))
+    if isinstance(stmt, Accum):
+        return Accum(subst(stmt.dest, mapping), subst(stmt.value, mapping))
+    if isinstance(stmt, VInit):
+        return VInit(
+            subst(stmt.dest_row, mapping),
+            subst(stmt.coeff, mapping),
+            _subst_row(stmt.src, mapping),
+        )
+    if isinstance(stmt, VEwise):
+        return VEwise(
+            subst(stmt.dest_row, mapping), stmt.op,
+            _subst_row(stmt.a, mapping), _subst_row(stmt.b, mapping),
+        )
+    if isinstance(stmt, VMacc):
+        return VMacc(
+            subst(stmt.dest_row, mapping),
+            subst(stmt.coeff, mapping),
+            _subst_row(stmt.src, mapping),
+        )
+    if isinstance(stmt, VReduce):
+        return VReduce(
+            subst(stmt.dest_row, mapping), subst(stmt.col, mapping),
+            _subst_row(stmt.src, mapping),
+        )
+    if isinstance(stmt, VClearElem):
+        return VClearElem(subst(stmt.dest_row, mapping), subst(stmt.col, mapping))
+    raise ScheduleError(f"cannot clone unknown statement {stmt!r}")
+
+
+def clone_block(stmts: Sequence[Stmt]) -> List[Stmt]:
+    return [subst_stmt(s, {}) for s in stmts]
+
+
+# ---------------------------------------------------------------------------
+# the schedule
+# ---------------------------------------------------------------------------
+
+
+class Schedule:
+    """A kernel program plus an applied chain of loop transforms."""
+
+    def __init__(self, program: KernelProgram) -> None:
+        self.program = KernelProgram(
+            name=program.name,
+            operands=program.operands,
+            body=clone_block(program.body),
+            params=list(program.params),
+            vector_var=program.vector_var,
+            vector_extent=program.vector_extent,
+        )
+
+    # -- helpers -------------------------------------------------------------
+
+    def _used_names(self) -> set:
+        """Every symbol the runtime env can hold: dims, params, operand
+        names, loop variables and strip symbols.  Generated names must
+        avoid all of them or a transform would silently shadow a value."""
+        program = self.program
+        used = set(program.params) | program.dims
+        used |= {op.name for op in program.operands}
+        for stmt in walk(program.body):
+            if isinstance(stmt, Loop):
+                used.add(stmt.var)
+            elif isinstance(stmt, StripLoop):
+                used |= {stmt.outer_var, stmt.inner_var, stmt.size_sym}
+        return used
+
+    @staticmethod
+    def _fresh(base: str, used: set) -> str:
+        name, counter = base, 0
+        while name in used:
+            counter += 1
+            name = f"{base}{counter}"
+        used.add(name)
+        return name
+
+    def _the_loop(self, var: str) -> Loop:
+        loops = self.program.find_loops(var)
+        if not loops:
+            raise ScheduleError(
+                f"kernel {self.program.name!r} has no loop over {var!r}"
+            )
+        if len(loops) > 1:
+            raise ScheduleError(
+                f"loop variable {var!r} labels {len(loops)} loops; this "
+                "transform needs a unique target"
+            )
+        return loops[0]
+
+    def _replace_in_block(
+        self, block: List[Stmt], target: Stmt, replacement: List[Stmt]
+    ) -> bool:
+        for index, stmt in enumerate(block):
+            if stmt is target:
+                block[index : index + 1] = replacement
+                return True
+            if isinstance(stmt, (Loop, StripLoop)):
+                if self._replace_in_block(stmt.body, target, replacement):
+                    return True
+        return False
+
+    # -- transforms ----------------------------------------------------------
+
+    def shard(self, var: str) -> "Schedule":
+        """Mark the loop over ``var`` for multi-VPU row sharding.
+
+        The loop must be parallel (independent output rows) and at the
+        top level of the kernel: shards partition its range with the same
+        :func:`~repro.runtime.kernels.common.shard_rows` policy the
+        handwritten kernels use.
+        """
+        loop = self._the_loop(var)
+        if not loop.parallel:
+            raise ScheduleError(
+                f"cannot shard reduction loop {var!r}: iterations are not "
+                "independent output rows"
+            )
+        if not any(s is loop for s in self.program.body):
+            raise ScheduleError(
+                f"cannot shard {var!r}: only an outermost loop partitions "
+                "cleanly across VPUs"
+            )
+        if any(isinstance(s, Loop) and s.sharded for s in walk(self.program.body)):
+            raise ScheduleError("kernel already has a sharded loop")
+        loop.sharded = True
+        return self
+
+    def strip_mine(self, var: str) -> "Schedule":
+        """Tile the reduction loop over ``var`` against VRF capacity.
+
+        The loop becomes a strips/rows pair whose strip size is picked at
+        kernel launch from the free-register budget (shared ``k_strip_size``
+        policy), so source rows indexed by ``var`` are DMA-loaded strip by
+        strip instead of element by element.
+        """
+        loop = self._the_loop(var)
+        if loop.parallel:
+            raise ScheduleError(
+                f"cannot strip-mine parallel loop {var!r}: strip-mining "
+                "tiles a reduction against register capacity"
+            )
+        if any(isinstance(s, StripLoop) for s in walk(self.program.body)):
+            raise ScheduleError("kernel already has a strip-mined loop")
+        used = self._used_names()
+        outer = self._fresh(f"{var}_o", used)
+        inner = self._fresh(f"{var}_i", used)
+        size = self._fresh(f"_strip_{var}", used)
+        mapping = {var: BinOp("+", BinOp("*", Sym(outer), Sym(size)), Sym(inner))}
+        strip = StripLoop(
+            outer, inner, size, loop.extent,
+            [subst_stmt(s, mapping) for s in loop.body],
+        )
+        self._replace_in_block(self.program.body, loop, [strip])
+        return self
+
+    def unroll(self, var: str, factor: Optional[int] = None) -> "Schedule":
+        """Unroll a constant-extent loop (fully, or by ``factor``)."""
+        loop = self._the_loop(var)
+        if not isinstance(loop.extent, Const):
+            raise ScheduleError(
+                f"cannot unroll loop {var!r}: extent {loop.extent!r} is not "
+                "a compile-time constant"
+            )
+        extent = loop.extent.value
+        factor = extent if factor is None else factor
+        if factor <= 0 or extent % factor:
+            raise ScheduleError(
+                f"unroll factor {factor} does not divide extent {extent}"
+            )
+        if loop.sharded and factor == extent:
+            raise ScheduleError(
+                f"cannot fully unroll sharded loop {var!r}: the shard "
+                "partition needs a surviving loop"
+            )
+        if factor == extent:
+            replacement = [
+                subst_stmt(s, {var: Const(u)})
+                for u in range(extent)
+                for s in loop.body
+            ]
+        else:
+            outer = self._fresh(f"{var}_u", self._used_names())
+            unrolled = Loop(
+                outer, Const(extent // factor),
+                [
+                    subst_stmt(
+                        s,
+                        {var: BinOp("+", BinOp("*", Sym(outer), Const(factor)),
+                                    Const(u))},
+                    )
+                    for u in range(factor)
+                    for s in loop.body
+                ],
+                parallel=loop.parallel,
+            )
+            unrolled.sharded = loop.sharded  # shard now partitions blocks
+            replacement = [unrolled]
+        self._replace_in_block(self.program.body, loop, replacement)
+        return self
+
+    def vectorize(self, var: str) -> "Schedule":
+        """Map every innermost loop over ``var`` onto vector instructions.
+
+        Legality: the loops must be innermost; ``var`` may only appear in
+        *column* positions, as ``var`` or ``var + offset`` with a
+        ``var``-free offset; the destination column must be exactly
+        ``var``; and every loop over ``var`` must share one extent (the
+        runtime vector length).
+        """
+        program = self.program
+        if program.vector_var is not None:
+            raise ScheduleError(f"kernel is already vectorized over {program.vector_var!r}")
+        loops = program.find_loops(var)
+        if not loops:
+            raise ScheduleError(f"kernel has no loop over {var!r}")
+        extents = {key(loop.extent) for loop in loops}
+        if len(extents) > 1:
+            raise ScheduleError(
+                f"loops over {var!r} have differing extents {sorted(extents)}; "
+                "one vector length is required"
+            )
+        for loop in loops:
+            for inner in walk(loop.body):
+                if isinstance(inner, (Loop, StripLoop)):
+                    raise ScheduleError(
+                        f"cannot vectorize {var!r}: loop contains a nested "
+                        f"loop (vectorize applies to innermost loops only)"
+                    )
+            replacement = [
+                self._vectorize_stmt(stmt, var) for stmt in loop.body
+            ]
+            self._replace_in_block(program.body, loop, replacement)
+        # var must be fully consumed
+        for stmt in walk(program.body):
+            if isinstance(stmt, (Assign, Accum)):
+                if var in syms(stmt.value) | syms(stmt.dest):
+                    raise ScheduleError(
+                        f"{var!r} appears outside its loops in {stmt!r}"
+                    )
+        program.vector_var = var
+        program.vector_extent = loops[0].extent
+        return self
+
+    # -- the vectorizer ------------------------------------------------------
+
+    def _row_ref(self, access: Access, var: str) -> RowRef:
+        if var in syms(access.row):
+            raise ScheduleError(
+                f"cannot vectorize over {var!r}: it indexes the *rows* of "
+                f"{access.operand!r} in {access!r} (rows are the DMA axis)"
+            )
+        col = access.col
+        if key(col) == var:
+            offset: Expr = Const(0)
+        elif (
+            isinstance(col, BinOp) and col.op == "+"
+            and (key(col.lhs) == var) != (key(col.rhs) == var)
+        ):
+            offset = col.rhs if key(col.lhs) == var else col.lhs
+            if var in syms(offset):
+                raise ScheduleError(f"column index {col!r} is not affine in {var!r}")
+        else:
+            raise ScheduleError(
+                f"column index {col!r} of {access!r} must be {var!r} or "
+                f"{var!r} + offset"
+            )
+        return RowRef(access.operand, access.row, offset)
+
+    def _split_product(self, value: Expr, var: str):
+        """Flatten a product into (var-free coefficient, var-carrying factors)."""
+        factors: List[Expr] = []
+
+        def flatten(expr: Expr) -> None:
+            if isinstance(expr, BinOp) and expr.op == "*":
+                flatten(expr.lhs)
+                flatten(expr.rhs)
+            else:
+                factors.append(expr)
+
+        flatten(value)
+        carrying = [f for f in factors if var in syms(f)]
+        coeff_factors = [f for f in factors if var not in syms(f)]
+        coeff: Expr = Const(1)
+        for factor in coeff_factors:
+            coeff = factor if key(coeff) == "1" else BinOp("*", coeff, factor)
+        return coeff, carrying
+
+    def _vectorize_stmt(self, stmt: Stmt, var: str) -> VectorStmt:
+        if not isinstance(stmt, (Assign, Accum)):
+            raise ScheduleError(f"cannot vectorize statement {stmt!r}")
+        dest = stmt.dest
+        if var in syms(dest.row):
+            raise ScheduleError(
+                f"{var!r} indexes destination rows in {dest!r}; vectorize a "
+                "column loop instead"
+            )
+        dest_row = dest.row
+        value = stmt.value
+
+        if var not in syms(dest.col):
+            # scalar destination: only the reduction pattern reads var
+            if isinstance(stmt, Accum) and isinstance(value, Access) and var in syms(
+                value
+            ):
+                return VReduce(dest_row, dest.col, self._row_ref(value, var))
+            if isinstance(stmt, Assign) and isinstance(value, Const) and value.value == 0:
+                return VClearElem(dest_row, dest.col)
+            raise ScheduleError(
+                f"unsupported scalar-destination statement under {var!r}: {stmt!r}"
+            )
+
+        if key(dest.col) != var:
+            raise ScheduleError(
+                f"destination column {dest.col!r} must be exactly {var!r}"
+            )
+
+        if isinstance(stmt, Accum):
+            coeff, carrying = self._split_product(value, var)
+            if len(carrying) == 1 and isinstance(carrying[0], Access):
+                return VMacc(dest_row, coeff, self._row_ref(carrying[0], var))
+            raise ScheduleError(
+                f"accumulation {value!r} does not match the supported "
+                f"coefficient * row form (vmacc.vs)"
+            )
+
+        # Assign forms
+        if var not in syms(value):
+            if isinstance(value, Const) and value.value == 0:
+                return VInit(dest_row, Const(0), None)
+            raise ScheduleError(
+                f"cannot splat {value!r} across a row (only 0 has a vector "
+                "instruction)"
+            )
+        if isinstance(value, BinOp) and value.op == "+":
+            lhs, rhs = value.lhs, value.rhs
+            if (
+                isinstance(lhs, Access) and isinstance(rhs, Access)
+                and var in syms(lhs) and var in syms(rhs)
+            ):
+                return VEwise(
+                    dest_row, "add", self._row_ref(lhs, var), self._row_ref(rhs, var)
+                )
+        coeff, carrying = self._split_product(value, var)
+        if len(carrying) == 1 and isinstance(carrying[0], Access):
+            return VInit(dest_row, coeff, self._row_ref(carrying[0], var))
+        if (
+            len(carrying) == 2
+            and all(isinstance(f, Access) for f in carrying)
+            and key(coeff) == "1"
+        ):
+            return VEwise(
+                dest_row, "mul",
+                self._row_ref(carrying[0], var), self._row_ref(carrying[1], var),
+            )
+        raise ScheduleError(
+            f"assignment {value!r} does not match a supported vector pattern "
+            "(row, coeff * row, row + row, row * row, or 0)"
+        )

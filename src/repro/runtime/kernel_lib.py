@@ -52,11 +52,15 @@ class KernelLibrary:
         paper's reprogrammable software decoder.
         """
         if not 0 <= spec.func5 <= MAX_KERNEL_FUNC5:
-            raise ValueError(f"func5 {spec.func5} outside [0, {MAX_KERNEL_FUNC5}]")
+            raise ValueError(
+                f"cannot register kernel {spec.name!r}: func5 {spec.func5} "
+                f"outside [0, {MAX_KERNEL_FUNC5}] (slot 31 is the xmr opcode)"
+            )
         if spec.func5 in self._by_func5 and not replace:
             raise ValueError(
-                f"kernel slot {spec.func5} already holds "
-                f"{self._by_func5[spec.func5].name!r}"
+                f"cannot register kernel {spec.name!r}: slot {spec.func5} "
+                f"already holds {self._by_func5[spec.func5].name!r} "
+                f"(pass replace=True to reprogram the slot)"
             )
         self._by_func5[spec.func5] = spec
 

@@ -42,6 +42,21 @@ def pool_output_shape(rows: int, cols: int, window: int, stride: int) -> Tuple[i
     return (rows - window) // stride + 1, (cols - window) // stride + 1
 
 
+def k_strip_size(k_total: int, free_regs: int, reserved: int) -> int:
+    """VRF-capacity strip-mining policy for reduction (K) dimensions.
+
+    A kernel that keeps one operand resident as a window of K rows
+    strip-mines K when the vector register file cannot hold it: the
+    strip gets every free register except the ``reserved`` ones the
+    kernel needs for its other operands (row buffers, accumulators).
+    Shared by the handwritten kernels and the kernel compiler so both
+    make the same capacity decision.
+    """
+    if reserved < 0:
+        raise ValueError("reserved register count must be non-negative")
+    return max(1, min(k_total, free_regs - reserved))
+
+
 def shard_rows(total_rows: int, shard: Tuple[int, int]) -> Tuple[int, int]:
     """Contiguous row partition for multi-VPU sharding.
 

@@ -18,7 +18,7 @@ from typing import Generator, Optional, Tuple
 from repro.isa.xmnmc import OffloadRequest
 from repro.runtime.context import KernelContext
 from repro.runtime.kernel_lib import KernelSpec, PreambleResult
-from repro.runtime.kernels.common import resolve, shard_rows, signed16
+from repro.runtime.kernels.common import k_strip_size, resolve, shard_rows, signed16
 from repro.runtime.matrix import MatrixMap
 from repro.runtime.queue import QueuedKernel
 from repro.vpu.visa import VectorOpcode
@@ -59,8 +59,7 @@ def gemm_body(
         return
 
     # Register budget: B strip + A row + accumulator + C row staging.
-    budget = kc.free_regs()
-    b_strip = max(1, min(k_total, budget - 3))
+    b_strip = k_strip_size(k_total, kc.free_regs(), reserved=3)
     b_win = kc.claim(b_strip)
     a_win = kc.claim(1)
     acc_win = kc.claim(1)

@@ -10,6 +10,7 @@ kernels need:
 ``vmv``        vd[0:vl] = vs[off + i*stride]           (gather/slide move)
 ``vadd.vv``    vd[0:vl] = vs1[...] + vs2[...]
 ``vmacc.vs``   vd[0:vl] += vs[off + i*stride] * scalar (the conv workhorse)
+``vmul.vv``    vd[0:vl] = vs1[...] * vs2[...]
 ``vmul.vs``    vd[0:vl] = vs[...] * scalar
 ``vadd.vs``    vd[0:vl] = vs[...] + scalar
 ``vmax.vv``    vd[0:vl] = max(vd[...], vs[off + i*stride])
@@ -67,6 +68,7 @@ class VectorOpcode(enum.Enum):
     VCLEAR = "vclear"
     VMV = "vmv"
     VADD_VV = "vadd.vv"
+    VMUL_VV = "vmul.vv"
     VMACC_VS = "vmacc.vs"
     VMUL_VS = "vmul.vs"
     VADD_VS = "vadd.vs"
@@ -84,8 +86,43 @@ STRIDED_SOURCES = frozenset(
         VectorOpcode.VMACC_VS,
         VectorOpcode.VMAX_VV,
         VectorOpcode.VADD_VV,
+        VectorOpcode.VMUL_VV,
     }
 )
+
+
+@dataclass(frozen=True)
+class OpTraits:
+    """Static operand metadata for one vector opcode.
+
+    ``n_vs_registers`` is the number of ``vs`` register operands the
+    opcode reads (the VPU fetches ``vs2`` only for the two-source
+    forms).  ``is_reduction`` marks opcodes that collapse the ``vl``
+    elements into ``vd[vd_offset]``: they pay the lane-merge cost in
+    the timing model, and the kernel compiler reserves a scratch
+    register for their collapsed value when planning register windows
+    against the capacity-aware strip-mining budget (see
+    ``repro.compiler.lower``).
+    """
+
+    n_vs_registers: int  # vs operands read (vmax.vv reads vd + vs1: one vs)
+    is_reduction: bool  # collapses vl elements into vd[vd_offset]
+
+
+OP_TRAITS = {
+    VectorOpcode.VCLEAR: OpTraits(0, False),
+    VectorOpcode.VMV: OpTraits(1, False),
+    VectorOpcode.VADD_VV: OpTraits(2, False),
+    VectorOpcode.VMUL_VV: OpTraits(2, False),
+    VectorOpcode.VMACC_VS: OpTraits(1, False),
+    VectorOpcode.VMUL_VS: OpTraits(1, False),
+    VectorOpcode.VADD_VS: OpTraits(1, False),
+    VectorOpcode.VMAX_VV: OpTraits(1, False),
+    VectorOpcode.VMAX_VS: OpTraits(1, False),
+    VectorOpcode.VMIN_VS: OpTraits(1, False),
+    VectorOpcode.VSRA_VS: OpTraits(1, False),
+    VectorOpcode.VREDSUM: OpTraits(1, True),
+}
 
 
 @dataclass(frozen=True)

@@ -23,7 +23,7 @@ from typing import Optional
 import numpy as np
 
 from repro.sim.stats import StatsRegistry
-from repro.vpu.visa import ElementType, STRIDED_SOURCES, VectorOp, VectorOpcode
+from repro.vpu.visa import ElementType, OP_TRAITS, STRIDED_SOURCES, VectorOp, VectorOpcode
 from repro.vpu.vrf import VectorRegisterFile
 
 
@@ -61,7 +61,7 @@ class Vpu:
         stride = op.stride if op.opcode in STRIDED_SOURCES else 1
         throughput = self.elems_per_cycle(op.etype, stride)
         cycles = self.STARTUP_CYCLES + math.ceil(op.vl / throughput)
-        if op.opcode is VectorOpcode.VREDSUM:
+        if OP_TRAITS[op.opcode].is_reduction:
             cycles += max(1, int(math.log2(self.lanes)) if self.lanes > 1 else 1)
         return cycles
 
@@ -90,12 +90,19 @@ class Vpu:
             return cycles
 
         src = self._gather(op.vs1, etype, op.vl, op.offset, op.stride)
+        # vs2 is fetched only by the two-source opcode forms
+        other = (
+            self.vrf.view(op.vs2, etype)[: op.vl]
+            if OP_TRAITS[op.opcode].n_vs_registers == 2
+            else None
+        )
 
         if op.opcode is VectorOpcode.VMV:
             dst[:] = src
         elif op.opcode is VectorOpcode.VADD_VV:
-            other = self.vrf.view(op.vs2, etype)[: op.vl]
             dst[:] = (src.astype(np.int64) + other.astype(np.int64)).astype(dtype)
+        elif op.opcode is VectorOpcode.VMUL_VV:
+            dst[:] = (src.astype(np.int64) * other.astype(np.int64)).astype(dtype)
         elif op.opcode is VectorOpcode.VMACC_VS:
             acc = dst.astype(np.int64) + src.astype(np.int64) * int(op.scalar)
             dst[:] = acc.astype(dtype)

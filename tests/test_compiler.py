@@ -1,0 +1,518 @@
+"""Unit tests for the kernel compiler: IR validation, shape inference,
+transform legality (shard / strip-mine / unroll / vectorize) and the
+lowering checks.  End-to-end parity of compiled kernels lives in
+``test_compiled_kernels.py``."""
+
+import pytest
+
+from repro.compiler.ir import (
+    Accum,
+    Assign,
+    Const,
+    IrError,
+    KernelProgram,
+    Loop,
+    Operand,
+    ShapeError,
+    StripLoop,
+    Sym,
+    VClearElem,
+    VEwise,
+    VInit,
+    VMacc,
+    VReduce,
+    bind_shapes,
+    eval_expr,
+    key,
+    subst,
+    syms,
+    walk,
+)
+from repro.compiler.lower import LoweringError, compile_kernel
+from repro.compiler.schedule import Schedule, ScheduleError
+from repro.runtime.kernels.common import k_strip_size
+
+
+M, N, K = Sym("M"), Sym("N"), Sym("K")
+i, j, k = Sym("i"), Sym("j"), Sym("k")
+
+
+def ewise_program(value_of=None):
+    d = Operand("d", (M, N), out=True)
+    x = Operand("x", (M, N))
+    y = Operand("y", (M, N))
+    value = value_of(x, y) if value_of else x[i, j] + y[i, j]
+    return KernelProgram(
+        "ew", [d, x, y],
+        [Loop(i, M, [Loop(j, N, [Assign(d[i, j], value)])], parallel=True)],
+    )
+
+
+def gemm_program():
+    alpha, beta = Sym("alpha"), Sym("beta")
+    d = Operand("d", (M, N), out=True)
+    a = Operand("a", (M, K))
+    b = Operand("b", (K, N))
+    c = Operand("c", (M, N))
+    return KernelProgram(
+        "g", [d, a, b, c],
+        [
+            Loop(i, M, [
+                Loop(j, N, [Assign(d[i, j], beta * c[i, j])]),
+                Loop(k, K, [Loop(j, N, [Accum(d[i, j], alpha * a[i, k] * b[k, j])])]),
+            ], parallel=True),
+        ],
+        params=["alpha", "beta"],
+    )
+
+
+# ---------------------------------------------------------------------------
+# expressions
+# ---------------------------------------------------------------------------
+
+
+class TestExpr:
+    def test_eval(self):
+        expr = (M - K + 1) * 2 // 3
+        assert eval_expr(expr, {"M": 10, "K": 3}) == 5
+
+    def test_unbound_symbol(self):
+        with pytest.raises(ShapeError, match="not bound"):
+            eval_expr(M + 1, {})
+
+    def test_division_by_zero(self):
+        with pytest.raises(ShapeError, match="division by zero"):
+            eval_expr(M // K, {"M": 4, "K": 0})
+
+    def test_syms_and_subst(self):
+        expr = M * K + Const(2)
+        assert syms(expr) == {"M", "K"}
+        replaced = subst(expr, {"K": Const(5)})
+        assert eval_expr(replaced, {"M": 3}) == 17
+        assert key(expr) != key(replaced)
+
+
+# ---------------------------------------------------------------------------
+# program validation
+# ---------------------------------------------------------------------------
+
+
+class TestValidation:
+    def test_needs_one_out(self):
+        with pytest.raises(IrError, match="exactly one out"):
+            KernelProgram("p", [Operand("x", (M, N))], [])
+
+    def test_too_many_params(self):
+        d = Operand("d", (M, N), out=True)
+        x = Operand("x", (M, N))
+        with pytest.raises(IrError, match="at most two"):
+            KernelProgram("p", [d, x], [], params=["a", "b", "c"])
+
+    def test_too_many_sources(self):
+        ops = [Operand("d", (M, N), out=True)] + [
+            Operand(f"s{index}", (M, N)) for index in range(4)
+        ]
+        with pytest.raises(IrError, match="1..3 source"):
+            KernelProgram("p", ops, [])
+
+    def test_write_to_source_rejected(self):
+        d = Operand("d", (M, N), out=True)
+        x = Operand("x", (M, N))
+        body = [Loop(i, M, [Loop(j, N, [Assign(x[i, j], Const(0))])])]
+        with pytest.raises(IrError, match="not the out operand"):
+            KernelProgram("p", [d, x], body)
+
+    def test_read_of_destination_rejected(self):
+        d = Operand("d", (M, N), out=True)
+        x = Operand("x", (M, N))
+        body = [Loop(i, M, [Loop(j, N, [Assign(d[i, j], d[i, j] + x[i, j])])])]
+        with pytest.raises(IrError, match="write-only"):
+            KernelProgram("p", [d, x], body)
+
+    def test_unbound_loop_symbol(self):
+        d = Operand("d", (M, N), out=True)
+        x = Operand("x", (M, N))
+        body = [Loop(i, M, [Assign(d[i, Sym("mystery")], Const(0))])]
+        with pytest.raises(IrError, match="unbound symbols"):
+            KernelProgram("p", [d, x], body)
+
+    def test_loop_var_shadowing(self):
+        d = Operand("d", (M, N), out=True)
+        x = Operand("x", (M, N))
+        body = [Loop(i, M, [Loop(i, N, [Assign(d[i, i], Const(0))])])]
+        with pytest.raises(IrError, match="shadows"):
+            KernelProgram("p", [d, x], body)
+
+    def test_loop_extent_must_be_shape_derived(self):
+        d = Operand("d", (M, N), out=True)
+        x = Operand("x", (M, N))
+        body = [Loop(i, M, [Loop(j, i, [Assign(d[i, j], Const(0))])])]
+        with pytest.raises(IrError, match="loop bounds"):
+            KernelProgram("p", [d, x], body)
+
+
+# ---------------------------------------------------------------------------
+# runtime shape binding
+# ---------------------------------------------------------------------------
+
+
+class TestBindShapes:
+    def test_binds_and_checks(self):
+        program = gemm_program()
+        env = {"alpha": 1, "beta": 0}
+        bind_shapes(program, {"a": (5, 7), "b": (7, 6), "c": (5, 6), "d": (5, 6)}, env)
+        assert (env["M"], env["K"], env["N"]) == (5, 7, 6)
+
+    def test_inner_dim_mismatch(self):
+        program = gemm_program()
+        with pytest.raises(ShapeError, match="'b' rows"):
+            bind_shapes(
+                program, {"a": (5, 7), "b": (8, 6), "c": (5, 6), "d": (5, 6)}, {}
+            )
+
+    def test_destination_checked(self):
+        program = gemm_program()
+        with pytest.raises(ShapeError, match="destination 'd'"):
+            bind_shapes(
+                program, {"a": (5, 7), "b": (7, 6), "c": (5, 6), "d": (5, 9)}, {}
+            )
+
+    def test_product_solving_fixpoint(self):
+        """C = f.rows // K and H = x.rows // C are solved from later facts."""
+        C, H, W, Kd = Sym("C"), Sym("H"), Sym("W"), Sym("Kd")
+        d = Operand("d", (C * (H - Kd + 1), W - Kd + 1), out=True)
+        x = Operand("x", (C * H, W))
+        f = Operand("f", (C * Kd, Kd))
+        program = KernelProgram(
+            "dw", [d, x, f],
+            [Loop(i, C, [Assign(d[i * (H - Kd + 1), 0], Const(0))], parallel=True)],
+        )
+        env = {}
+        bind_shapes(program, {"x": (18, 8), "f": (9, 3), "d": (12, 6)}, env)
+        assert (env["C"], env["H"], env["Kd"]) == (3, 6, 3)
+
+    def test_divisibility_enforced(self):
+        C, H = Sym("C"), Sym("H")
+        d = Operand("d", (C, H), out=True)
+        x = Operand("x", (C * H, H))
+        program = KernelProgram(
+            "p", [d, x], [Loop(i, C, [Assign(d[i, 0], Const(0))], parallel=True)]
+        )
+        env = {"C": 4}
+        with pytest.raises(ShapeError, match="cannot split"):
+            bind_shapes(program, {"x": (10, 3), "d": (4, 3)}, env)
+
+
+# ---------------------------------------------------------------------------
+# schedule transforms
+# ---------------------------------------------------------------------------
+
+
+class TestShard:
+    def test_marks_outermost_parallel_loop(self):
+        sched = Schedule(ewise_program()).shard("i")
+        (loop,) = sched.program.find_loops("i")
+        assert loop.sharded
+
+    def test_reduction_loop_rejected(self):
+        with pytest.raises(ScheduleError, match="reduction loop"):
+            Schedule(gemm_program()).shard("k")
+
+    def test_inner_loop_rejected(self):
+        d = Operand("d", (M, N), out=True)
+        x = Operand("x", (M, N))
+        program = KernelProgram(
+            "p", [d, x],
+            [Loop(i, M, [
+                Loop(Sym("r"), N, [Assign(d[i, Sym("r")], Const(0))], parallel=True),
+            ], parallel=True)],
+        )
+        with pytest.raises(ScheduleError, match="outermost"):
+            Schedule(program).shard("r")
+
+    def test_double_shard_rejected(self):
+        with pytest.raises(ScheduleError, match="already has a sharded"):
+            Schedule(ewise_program()).shard("i").shard("i")
+
+
+class TestStripMine:
+    def test_structure(self):
+        sched = Schedule(gemm_program()).strip_mine("k")
+        strips = [s for s in walk(sched.program.body) if isinstance(s, StripLoop)]
+        assert len(strips) == 1
+        assert not sched.program.find_loops("k")  # k is consumed
+
+    def test_parallel_loop_rejected(self):
+        with pytest.raises(ScheduleError, match="parallel loop"):
+            Schedule(gemm_program()).strip_mine("i")
+
+    def test_missing_loop(self):
+        with pytest.raises(ScheduleError, match="no loop over"):
+            Schedule(gemm_program()).strip_mine("zz")
+
+    def test_twice_rejected(self):
+        d = Operand("d", (M, 1), out=True)
+        x = Operand("x", (M, N))
+        program = KernelProgram(
+            "p", [d, x],
+            [Loop(i, M, [
+                Assign(d[i, 0], Const(0)),
+                Loop(j, N, [Accum(d[i, 0], x[i, j])]),
+                Loop(k, N, [Accum(d[i, 0], x[i, k])]),
+            ], parallel=True)],
+        )
+        with pytest.raises(ScheduleError, match="already has a strip-mined"):
+            Schedule(program).strip_mine("j").strip_mine("k")
+
+    def test_generated_names_avoid_params(self):
+        """A param named 'k_o' must not be shadowed by the strip counter."""
+        k_o = Sym("k_o")
+        d = Operand("d", (Const(1), N), out=True)
+        x = Operand("x", (K, N))
+        program = KernelProgram(
+            "p", [d, x],
+            [
+                Loop(j, N, [Assign(d[0, j], Const(0))]),
+                Loop(k, K, [Loop(j, N, [Accum(d[0, j], k_o * x[k, j])])]),
+            ],
+            params=["k_o"],
+        )
+        sched = Schedule(program).strip_mine("k")
+        (strip,) = [s for s in walk(sched.program.body) if isinstance(s, StripLoop)]
+        assert strip.outer_var != "k_o"
+        assert len({strip.outer_var, strip.inner_var, strip.size_sym, "k_o"}) == 4
+
+
+class TestUnroll:
+    def make_const_program(self, extent=4):
+        d = Operand("d", (M, N), out=True)
+        x = Operand("x", (M, N))
+        r = Sym("r")
+        return KernelProgram(
+            "p", [d, x],
+            [Loop(i, M, [
+                Loop(j, N, [Assign(d[i, j], Const(0))]),
+                Loop(r, extent, [
+                    Loop(j, N, [Accum(d[i, j], x[i, j])]),
+                ]),
+            ], parallel=True)],
+        )
+
+    def test_symbolic_extent_rejected(self):
+        with pytest.raises(ScheduleError, match="not a compile-time constant"):
+            Schedule(gemm_program()).unroll("k")
+
+    def test_factor_must_divide(self):
+        with pytest.raises(ScheduleError, match="does not divide"):
+            Schedule(self.make_const_program(4)).unroll("r", 3)
+
+    def test_full_unroll_replicates_body(self):
+        sched = Schedule(self.make_const_program(4)).unroll("r")
+        assert not sched.program.find_loops("r")
+        accums = [s for s in walk(sched.program.body) if isinstance(s, Accum)]
+        assert len(accums) == 4
+
+    def test_partial_unroll_keeps_outer_loop(self):
+        sched = Schedule(self.make_const_program(4)).unroll("r", 2)
+        outer = sched.program.find_loops("r_u")
+        assert len(outer) == 1
+        assert eval_expr(outer[0].extent, {}) == 2
+        accums = [s for s in walk(outer[0].body) if isinstance(s, Accum)]
+        assert len(accums) == 2
+
+    def make_sharded_const_rows(self):
+        d = Operand("d", (Const(4), N), out=True)
+        x = Operand("x", (Const(4), N))
+        return KernelProgram(
+            "p", [d, x],
+            [Loop(i, Const(4), [
+                Loop(j, N, [Assign(d[i, j], Const(0))]),
+            ], parallel=True)],
+        )
+
+    def test_partial_unroll_preserves_shard_mark(self):
+        sched = Schedule(self.make_sharded_const_rows()).shard("i").unroll("i", 2)
+        (outer,) = sched.program.find_loops("i_u")
+        assert outer.sharded
+
+    def test_full_unroll_of_sharded_loop_rejected(self):
+        with pytest.raises(ScheduleError, match="sharded"):
+            Schedule(self.make_sharded_const_rows()).shard("i").unroll("i")
+
+
+class TestVectorize:
+    def test_patterns(self):
+        sched = Schedule(gemm_program()).vectorize("j")
+        stmts = list(walk(sched.program.body))
+        inits = [s for s in stmts if isinstance(s, VInit)]
+        maccs = [s for s in stmts if isinstance(s, VMacc)]
+        assert len(inits) == 1 and len(maccs) == 1
+        assert inits[0].src.operand == "c"
+        assert maccs[0].src.operand == "b"
+        assert "alpha" in syms(maccs[0].coeff)
+        assert sched.program.vector_var == "j"
+
+    def test_ewise_patterns(self):
+        add = Schedule(ewise_program(lambda x, y: x[i, j] + y[i, j])).vectorize("j")
+        mul = Schedule(ewise_program(lambda x, y: x[i, j] * y[i, j])).vectorize("j")
+        for sched, op in ((add, "add"), (mul, "mul")):
+            (stmt,) = [s for s in walk(sched.program.body) if isinstance(s, VEwise)]
+            assert stmt.op == op
+
+    def test_reduction_pattern(self):
+        d = Operand("d", (M, 1), out=True)
+        x = Operand("x", (M, N))
+        program = KernelProgram(
+            "p", [d, x],
+            [Loop(i, M, [
+                Assign(d[i, 0], Const(0)),
+                Loop(j, N, [Accum(d[i, 0], x[i, j])]),
+            ], parallel=True)],
+        )
+        sched = Schedule(program).vectorize("j")
+        (reduce_stmt,) = [s for s in walk(sched.program.body) if isinstance(s, VReduce)]
+        assert reduce_stmt.src.operand == "x"
+
+    def test_non_innermost_rejected(self):
+        with pytest.raises(ScheduleError, match="innermost"):
+            Schedule(gemm_program()).vectorize("k")
+
+    def test_row_indexing_rejected(self):
+        d = Operand("d", (M, N), out=True)
+        x = Operand("x", (N, M))
+        program = KernelProgram(
+            "p", [d, x],
+            [Loop(i, M, [Loop(j, N, [Assign(d[i, j], x[j, i])])], parallel=True)],
+        )
+        with pytest.raises(ScheduleError, match="rows"):
+            Schedule(program).vectorize("j")
+
+    def test_unsupported_pattern_rejected(self):
+        bad = ewise_program(lambda x, y: x[i, j] - y[i, j])
+        with pytest.raises(ScheduleError, match="does not match"):
+            Schedule(bad).vectorize("j")
+
+    def test_nonzero_splat_rejected(self):
+        d = Operand("d", (M, N), out=True)
+        x = Operand("x", (M, N))
+        program = KernelProgram(
+            "p", [d, x],
+            [Loop(i, M, [Loop(j, N, [Assign(d[i, j], Const(7))])], parallel=True)],
+        )
+        with pytest.raises(ScheduleError, match="splat"):
+            Schedule(program).vectorize("j")
+
+    def test_twice_rejected(self):
+        with pytest.raises(ScheduleError, match="already vectorized"):
+            Schedule(gemm_program()).vectorize("j").vectorize("j")
+
+    def test_offset_column_allowed(self):
+        dc = Sym("dc")
+        d = Operand("d", (M, N - 2), out=True)
+        x = Operand("x", (M, N))
+        program = KernelProgram(
+            "p", [d, x],
+            [Loop(i, M, [
+                Loop(j, N - 2, [Assign(d[i, j], Const(0))]),
+                Loop(dc, Const(2), [
+                    Loop(j, N - 2, [Accum(d[i, j], x[i, j + dc])]),
+                ]),
+            ], parallel=True)],
+        )
+        sched = Schedule(program).vectorize("j")
+        maccs = [s for s in walk(sched.program.body) if isinstance(s, VMacc)]
+        assert key(maccs[0].src.offset) == "dc"
+
+
+# ---------------------------------------------------------------------------
+# lowering diagnostics
+# ---------------------------------------------------------------------------
+
+
+class TestLowering:
+    def test_requires_vectorization(self):
+        with pytest.raises(LoweringError, match="not vectorized"):
+            compile_kernel(Schedule(gemm_program()), func5=9)
+
+    def test_accumulate_before_init_rejected(self):
+        d = Operand("d", (M, N), out=True)
+        x = Operand("x", (M, N))
+        program = KernelProgram(
+            "p", [d, x],
+            [Loop(i, M, [Loop(j, N, [Accum(d[i, j], x[i, j])])], parallel=True)],
+        )
+        with pytest.raises(LoweringError, match="before being initialized"):
+            compile_kernel(Schedule(program).vectorize("j"), func5=9)
+
+    def test_residual_element_statement_rejected(self):
+        d = Operand("d", (M, N), out=True)
+        x = Operand("x", (M, N))
+        program = KernelProgram(
+            "p", [d, x],
+            [Loop(i, M, [
+                Assign(d[i, 0], Const(3)),  # non-zero scalar init: no lowering
+                Loop(j, N, [Assign(d[i, j], x[i, j])]),
+            ], parallel=True)],
+        )
+        with pytest.raises(LoweringError, match="no scalar lowering"):
+            compile_kernel(Schedule(program).vectorize("j"), func5=9)
+
+    def test_residual_clear_lowered(self):
+        d = Operand("d", (M, 1), out=True)
+        x = Operand("x", (M, N))
+        program = KernelProgram(
+            "p", [d, x],
+            [Loop(i, M, [
+                Assign(d[i, 0], Const(0)),
+                Loop(j, N, [Accum(d[i, 0], x[i, j])]),
+            ], parallel=True)],
+        )
+        schedule = Schedule(program).vectorize("j")
+        compile_kernel(schedule, func5=9)
+        clears = [
+            s for s in walk(schedule.program.body) if isinstance(s, VClearElem)
+        ]
+        assert len(clears) == 1
+
+
+# ---------------------------------------------------------------------------
+# opcode metadata the lowering consults
+# ---------------------------------------------------------------------------
+
+
+class TestOpTraits:
+    def test_every_opcode_has_traits(self):
+        from repro.vpu.visa import OP_TRAITS, VectorOpcode
+
+        assert set(OP_TRAITS) == set(VectorOpcode)
+
+    def test_traits_consumed_by_compiler_and_vpu(self):
+        from repro.compiler.lower import _STMT_OPCODES
+        from repro.vpu.visa import OP_TRAITS, VectorOpcode
+
+        assert OP_TRAITS[VectorOpcode.VREDSUM].is_reduction
+        assert OP_TRAITS[VectorOpcode.VADD_VV].n_vs_registers == 2
+        assert OP_TRAITS[VectorOpcode.VMUL_VV].n_vs_registers == 2
+        assert OP_TRAITS[VectorOpcode.VMACC_VS].n_vs_registers == 1
+        for opcodes in _STMT_OPCODES.values():
+            assert all(opcode in OP_TRAITS for opcode in opcodes)
+
+
+# ---------------------------------------------------------------------------
+# the shared strip-mining policy (satellite: factored out of gemm.py)
+# ---------------------------------------------------------------------------
+
+
+class TestStripPolicy:
+    def test_caps_at_k_total(self):
+        assert k_strip_size(4, free_regs=32, reserved=3) == 4
+
+    def test_leaves_reserved_registers(self):
+        assert k_strip_size(100, free_regs=32, reserved=3) == 29
+
+    def test_always_positive(self):
+        assert k_strip_size(100, free_regs=2, reserved=3) == 1
+
+    def test_negative_reserved_rejected(self):
+        with pytest.raises(ValueError):
+            k_strip_size(8, 16, -1)

@@ -9,6 +9,7 @@ EXAMPLES = [
     "examples/quickstart.py",
     "examples/cnn_inference.py",
     "examples/custom_kernel.py",
+    "examples/compiled_kernel.py",
     "examples/cache_behavior.py",
     "examples/ecpu_firmware.py",
 ]

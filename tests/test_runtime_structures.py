@@ -156,10 +156,18 @@ class TestKernelLibrary:
         library.register(self.make_spec(0, "b"), replace=True)  # reprogrammable
         assert library.lookup(0).name == "b"
 
+    def test_slot_conflict_names_both_kernels(self):
+        library = KernelLibrary()
+        library.register(self.make_spec(4, "resident"))
+        with pytest.raises(ValueError, match="'newcomer'.*'resident'.*replace=True"):
+            library.register(self.make_spec(4, "newcomer"))
+
     def test_func5_range(self):
         library = KernelLibrary()
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError, match="outside"):
             library.register(self.make_spec(31))  # xmr slot is reserved
+        with pytest.raises(ValueError, match="outside"):
+            library.register(self.make_spec(-1))
 
     def test_names(self):
         library = KernelLibrary()
