@@ -1,0 +1,139 @@
+#!/usr/bin/env python3
+"""Serving throughput benchmark: many requests over a pool of ARCANE systems.
+
+Drives the :class:`~repro.serve.engine.ServingEngine` with a seeded mixed
+workload (gemm / conv_layer / compiled fc / kernel graphs), verifies every
+output against the numpy golden models, and emits one JSON perf record —
+the repo's serving-performance trajectory, tracked per commit by CI.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_serving.py --smoke
+    PYTHONPATH=src python benchmarks/bench_serving.py --requests 500 --pool 4 \
+        --processes 2 --output my_record.json
+
+``--smoke`` is the CI configuration: 100 small requests over a pool of 2,
+single process — exercising the long-lived-pool lifecycle (the run would
+MemoryError within a handful of requests without heap recycling) in a few
+seconds.  The JSON lands at ``benchmarks/results/BENCH_serving.json`` by
+default.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import platform
+import time
+
+import numpy as np
+
+from repro.compiler import FUNC5_CGEMM, FUNC5_EWISE_ADD, FUNC5_FC, FUNC5_ROWSUM
+from repro.core.config import ArcaneConfig
+from repro.serve import (
+    GraphNode,
+    ServingEngine,
+    conv_layer_request,
+    gemm_request,
+    graph_request,
+    kernel_request,
+)
+
+DEFAULT_OUTPUT = pathlib.Path(__file__).parent / "results" / "BENCH_serving.json"
+
+
+def make_workload(n_requests: int, size: int, seed: int) -> list:
+    """A seeded request mix: 40% conv layers, 30% gemm, 20% fc, 10% graphs."""
+    rng = np.random.default_rng(seed)
+    requests = []
+    for rid in range(n_requests):
+        slot = rid % 10
+        if slot < 4:
+            x = rng.integers(-8, 8, (3 * size, size)).astype(np.int8)
+            f = rng.integers(-2, 3, (9, 3)).astype(np.int8)
+            requests.append(conv_layer_request(rid, x, f))
+        elif slot < 7:
+            m, k, n = size, size + 4, size - 2
+            a = rng.integers(-6, 6, (m, k)).astype(np.int16)
+            b = rng.integers(-6, 6, (k, n)).astype(np.int16)
+            c = rng.integers(-6, 6, (m, n)).astype(np.int16)
+            requests.append(gemm_request(rid, a, b, c, alpha=2, beta=-1))
+        elif slot < 9:
+            xv = rng.integers(-8, 8, (1, 4 * size)).astype(np.int16)
+            w = rng.integers(-8, 8, (4 * size, size)).astype(np.int16)
+            bias = rng.integers(-8, 8, (1, size)).astype(np.int16)
+            requests.append(kernel_request(rid, FUNC5_FC, [xv, w, bias], (1, size)))
+        else:
+            m = max(4, size // 2)
+            a = rng.integers(-4, 4, (m, m)).astype(np.int16)
+            b = rng.integers(-4, 4, (m, m)).astype(np.int16)
+            c = np.zeros((m, m), dtype=np.int16)
+            d = rng.integers(-4, 4, (m, m)).astype(np.int16)
+            nodes = [
+                GraphNode("prod", FUNC5_CGEMM, ("a", "b", "c"), (m, m), params=(1, 0)),
+                GraphNode("sum", FUNC5_EWISE_ADD, ("prod", "d"), (m, m)),
+                GraphNode("row", FUNC5_ROWSUM, ("sum",), (m, 1)),
+            ]
+            requests.append(
+                graph_request(rid, {"a": a, "b": b, "c": c, "d": d}, nodes)
+            )
+    return requests
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n\n")[0])
+    parser.add_argument("--requests", type=int, default=200)
+    parser.add_argument("--pool", type=int, default=2, help="ARCANE instances")
+    parser.add_argument("--processes", type=int, default=1, help="OS processes")
+    parser.add_argument("--size", type=int, default=16, help="base operand size")
+    parser.add_argument("--seed", type=int, default=2025)
+    parser.add_argument("--policy", default="least_loaded",
+                        choices=("least_loaded", "round_robin"))
+    parser.add_argument("--lanes", type=int, default=4)
+    parser.add_argument("--no-verify", action="store_true",
+                        help="skip golden-model output checks")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI configuration: 100 small requests, pool of 2")
+    parser.add_argument("--output", type=pathlib.Path, default=DEFAULT_OUTPUT)
+    args = parser.parse_args()
+
+    if args.smoke:
+        args.requests, args.pool, args.processes, args.size = 100, 2, 1, 12
+
+    config = ArcaneConfig(
+        n_vpus=2, lanes=args.lanes, line_bytes=256, vpu_kib=8, main_memory_kib=1024
+    )
+    requests = make_workload(args.requests, args.size, args.seed)
+    engine = ServingEngine(
+        pool_size=args.pool, config=config, policy=args.policy,
+        processes=args.processes,
+    )
+    report = engine.serve(requests, verify=not args.no_verify)
+
+    record = {
+        "benchmark": "serving",
+        "unix_time": int(time.time()),
+        "python": platform.python_version(),
+        "workload": {
+            "requests": args.requests,
+            "base_size": args.size,
+            "seed": args.seed,
+            "mix": "40% conv_layer / 30% gemm / 20% fc / 10% 3-node graph",
+        },
+        "system": {
+            "pool_size": args.pool,
+            "processes": engine.processes,
+            "config": config.describe(),
+        },
+        "report": report.as_dict(),
+    }
+    args.output.parent.mkdir(parents=True, exist_ok=True)
+    args.output.write_text(json.dumps(record, indent=2) + "\n")
+
+    print(report.summary())
+    print(f"\nJSON perf record written to {args.output}")
+
+
+if __name__ == "__main__":
+    main()

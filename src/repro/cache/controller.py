@@ -329,6 +329,26 @@ class LlcController:
             cursor += chunk
             view = view[chunk:]
 
+    def invalidate_region(self, start: int, end: int, writeback: bool = True) -> int:
+        """Drop cached lines intersecting ``[start, end)`` from the tag map.
+
+        With ``writeback`` dirty victims are flushed first; without it the
+        cached data is discarded (the heap manager uses this when freeing
+        a matrix — its contents are dead, and stale lines must not alias a
+        future allocation at the same address).  Compute-claimed lines are
+        never touched.  Returns the number of lines invalidated.
+        """
+        count = 0
+        for line in self.ct.lines:
+            if not line.valid or line.is_compute or line.tag is None:
+                continue
+            if line.tag < end and line.tag + self.ct.line_bytes > start:
+                if writeback and line.dirty:
+                    self._memory_write_line(line.tag, line.data.tobytes())
+                self.ct.unbind(line)
+                count += 1
+        return count
+
     def flush(self) -> int:
         """Write every dirty line back to memory (functional, for tests)."""
         flushed = 0

@@ -8,7 +8,7 @@ allocator and the program builder packs them into ``xmr`` operand pairs.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -40,6 +40,9 @@ class Matrix:
     cols: int
     dtype: np.dtype
     name: str = ""
+    #: allocation generation stamped by ArcaneSystem; lets free_matrix()
+    #: reject stale handles whose address was since recycled
+    alloc_id: int = field(default=-1, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.rows <= 0 or self.cols <= 0:

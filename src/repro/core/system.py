@@ -199,20 +199,124 @@ class ArcaneSystem:
         self.memory = MainMemory(self.config.main_memory_kib * 1024, base=0)
         self.llc = ArcaneLlc(self.sim, self.config, self.memory, self.stats, self.tracer)
         self.llc.start()
-        self._heap = self.HEAP_BASE
+        self._heap = align_up(self.HEAP_BASE, self.config.line_bytes)
         self._matrix_count = 0
+        self._alloc_seq = 0
+        #: live allocations: line-aligned base -> (reserved bytes, alloc id)
+        self._live: Dict[int, Tuple[int, int]] = {}
+        #: free blocks (address-sorted, coalesced): [(address, reserved bytes)]
+        self._free_blocks: List[Tuple[int, int]] = []
         self.last_report: Optional[RunReport] = None
 
     # -- memory management ----------------------------------------------------
+    #
+    # Matrices live in a line-aligned heap with a free list: freed blocks
+    # are coalesced and reused first-fit, and the bump pointer only grows
+    # when no freed block fits.  free_matrix() / reset_heap() make one
+    # ArcaneSystem reusable across an unbounded number of programs — the
+    # serving engine's whole premise.
 
     def _allocate(self, n_bytes: int) -> int:
-        address = align_up(self._heap, self.config.line_bytes)
-        if address + n_bytes > self.memory.base + self.memory.size:
+        reserved = align_up(max(n_bytes, 1), self.config.line_bytes)
+        self._alloc_seq += 1
+        for i, (address, size) in enumerate(self._free_blocks):
+            if size >= reserved:  # first fit; keep the (aligned) remainder free
+                if size > reserved:
+                    self._free_blocks[i] = (address + reserved, size - reserved)
+                else:
+                    del self._free_blocks[i]
+                self._live[address] = (reserved, self._alloc_seq)
+                return address
+        address = self._heap
+        if address + reserved > self.memory.base + self.memory.size:
             raise MemoryError(
-                f"matrix heap exhausted placing {n_bytes} bytes at {address:#x}"
+                f"matrix heap exhausted placing {n_bytes} bytes at {address:#x} "
+                f"({self.heap_stats()['live_bytes']} bytes live; free_matrix() or "
+                "reset_heap() reclaims space on a long-lived system)"
             )
-        self._heap = address + n_bytes
+        self._heap = address + reserved
+        self._live[address] = (reserved, self._alloc_seq)
         return address
+
+    def _require_idle_runtime(self, action: str) -> None:
+        reasons = self.llc.runtime.busy_reasons()
+        if reasons:
+            raise RuntimeError(
+                f"cannot {action} with kernels pending ({'; '.join(reasons)}); "
+                "run the program to completion (or drain) first"
+            )
+
+    def free_matrix(self, matrix: Matrix) -> None:
+        """Return a matrix's heap block to the free list.
+
+        Cached lines covering the block are dropped *without* write-back
+        (the data is dead); this keeps a later allocation at the same
+        address from reading another matrix's stale lines.  The handle's
+        allocation id must match the live allocation — a stale handle
+        whose address was recycled cannot free the current occupant —
+        and the runtime must be idle: freeing the operand of a queued or
+        running kernel would let its block be recycled mid-computation.
+        """
+        self._require_idle_runtime("free a matrix")
+        live = self._live.get(matrix.address)
+        if live is None or live[1] != matrix.alloc_id:
+            raise ValueError(
+                f"matrix {matrix.name!r} at {matrix.address:#x} is not a live "
+                "allocation of this system (double free, stale or foreign handle?)"
+            )
+        reserved, _ = self._live.pop(matrix.address)
+        self.llc.controller.invalidate_region(
+            matrix.address, matrix.address + reserved, writeback=False
+        )
+        self._free_blocks.append((matrix.address, reserved))
+        self._free_blocks.sort()
+        self._coalesce_free_blocks()
+
+    def _coalesce_free_blocks(self) -> None:
+        merged: List[Tuple[int, int]] = []
+        for address, size in self._free_blocks:
+            if merged and merged[-1][0] + merged[-1][1] == address:
+                merged[-1] = (merged[-1][0], merged[-1][1] + size)
+            else:
+                merged.append((address, size))
+        if merged and merged[-1][0] + merged[-1][1] == self._heap:
+            self._heap = merged.pop()[0]  # retract the bump pointer
+        self._free_blocks = merged
+
+    def reset_heap(self) -> None:
+        """Release every matrix and rewind the heap to its base.
+
+        The fast path between serving requests: cached heap lines are
+        discarded (no write-back — all matrices are dead), per-kernel
+        breakdown history is cleared, and the next program starts from
+        the same cold-cache state a freshly built system would see, so
+        its results *and* cycle counts match a single-shot run bit-exactly.
+        Raises if kernels are still queued or running.
+        """
+        self._require_idle_runtime("reset the heap")
+        runtime = self.llc.runtime
+        self.llc.controller.invalidate_region(
+            self.HEAP_BASE, self._heap, writeback=False
+        )
+        self._heap = align_up(self.HEAP_BASE, self.config.line_bytes)
+        self._live.clear()
+        self._free_blocks.clear()
+        self._matrix_count = 0
+        runtime.scheduler.breakdowns.clear()
+        runtime.scheduler.completed.clear()
+        self.last_report = None
+
+    def heap_stats(self) -> Dict[str, int]:
+        """Occupancy of the matrix heap (for reports and regression tests)."""
+        live = sum(reserved for reserved, _ in self._live.values())
+        free = sum(size for _, size in self._free_blocks)
+        base = align_up(self.HEAP_BASE, self.config.line_bytes)
+        return {
+            "live_matrices": len(self._live),
+            "live_bytes": live,
+            "free_bytes": free,
+            "heap_bytes": self._heap - base,
+        }
 
     def place_matrix(self, values: np.ndarray, name: str = "") -> Matrix:
         """Copy a 2-D integer array into system memory, return its handle."""
@@ -225,7 +329,7 @@ class ArcaneSystem:
         self._matrix_count += 1
         return Matrix(
             address, values.shape[0], values.shape[1], np.dtype(values.dtype),
-            name or f"m{self._matrix_count}",
+            name or f"m{self._matrix_count}", alloc_id=self._live[address][1],
         )
 
     def alloc_matrix(self, shape: Tuple[int, int], dtype: Any, name: str = "") -> Matrix:
@@ -236,7 +340,8 @@ class ArcaneSystem:
         address = self._allocate(rows * cols * dtype.itemsize)
         self.memory.write_matrix(address, np.zeros((rows, cols), dtype=dtype))
         self._matrix_count += 1
-        return Matrix(address, rows, cols, dtype, name or f"m{self._matrix_count}")
+        return Matrix(address, rows, cols, dtype, name or f"m{self._matrix_count}",
+                      alloc_id=self._live[address][1])
 
     def read_matrix(self, matrix: Matrix) -> np.ndarray:
         """Read a matrix back (coherent view through the LLC)."""
@@ -252,6 +357,7 @@ class ArcaneSystem:
         sink: dict = {}
         start_cycle = self.sim.now
         start_breakdowns = set(self.llc.runtime.breakdowns)
+        start_counters = self.stats.counters()
         host = self.sim.process(program._host_process(sink), name="host")
         self.sim.run()
         if not host.finished:
@@ -268,13 +374,19 @@ class ArcaneSystem:
                 continue
             per_kernel[kernel_id] = breakdown
             merged.merge(breakdown)
+        # Per-run stats epoch: report what *this* program added, so reports
+        # from a long-lived system match single-shot runs on a fresh one.
+        stats_delta = {
+            name: value - start_counters.get(name, 0)
+            for name, value in self.stats.counters().items()
+        }
         report = RunReport(
             total_cycles=self.sim.now - start_cycle,
             host_cycles=sink.get("host_done", self.sim.now) - start_cycle,
             breakdown=merged,
             per_kernel=per_kernel,
             outcomes=sink.get("outcomes", []),
-            stats=self.stats.counters(),
+            stats=stats_delta,
             load_values=sink.get("loads", []),
         )
         self.last_report = report

@@ -1,0 +1,154 @@
+"""Aggregate serving metrics: throughput and latency percentiles.
+
+A :class:`ServingReport` condenses one batch served by the
+:class:`~repro.serve.engine.ServingEngine` into the numbers a capacity
+planner reads: requests per second of harness wall-clock, simulated
+cycles per request (mean and p50/p90/p99 latency), the pool's simulated
+makespan (the slowest worker's accumulated cycles — the batch's
+simulated wall-clock on real silicon) and the derived requests per
+simulated megacycle.  ``as_dict`` is JSON-clean; ``bench_serving.py``
+persists it as the repo's serving-perf trajectory record.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.runtime.phases import PhaseBreakdown
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolated percentile (q in [0, 100]); 0.0 for no samples."""
+    if not values:
+        return 0.0
+    return float(np.percentile(np.asarray(values, dtype=np.float64), q))
+
+
+@dataclass
+class ServingReport:
+    """What one served batch measured."""
+
+    n_requests: int
+    pool_size: int
+    processes: int
+    policy: str
+    wall_seconds: float
+    total_sim_cycles: int
+    makespan_cycles: int
+    latency_cycles: Dict[str, float]
+    per_kind: Dict[str, int]
+    per_worker: Dict[int, Dict[str, int]]
+    breakdown: PhaseBreakdown = field(default_factory=PhaseBreakdown)
+    verified: Optional[bool] = None
+    #: per-request detail (with outputs); rides along, excluded from as_dict
+    results: List = field(default_factory=list, repr=False)
+
+    @property
+    def requests_per_second(self) -> float:
+        """Harness throughput — wall-clock of serving on a *ready* pool
+        (pool construction is excluded in both serial and parallel modes,
+        so records are comparable across ``processes`` settings)."""
+        return self.n_requests / self.wall_seconds if self.wall_seconds > 0 else 0.0
+
+    @property
+    def cycles_per_request(self) -> float:
+        return self.total_sim_cycles / self.n_requests if self.n_requests else 0.0
+
+    @property
+    def requests_per_megacycle(self) -> float:
+        """Modelled-silicon throughput over the pool's simulated makespan."""
+        if not self.makespan_cycles:
+            return 0.0
+        return self.n_requests / self.makespan_cycles * 1e6
+
+    def as_dict(self) -> dict:
+        return {
+            "n_requests": self.n_requests,
+            "pool_size": self.pool_size,
+            "processes": self.processes,
+            "policy": self.policy,
+            "wall_seconds": round(self.wall_seconds, 6),
+            "requests_per_second": round(self.requests_per_second, 3),
+            "total_sim_cycles": self.total_sim_cycles,
+            "makespan_cycles": self.makespan_cycles,
+            "cycles_per_request": round(self.cycles_per_request, 1),
+            "requests_per_megacycle": round(self.requests_per_megacycle, 4),
+            "latency_cycles": {k: round(v, 1) for k, v in self.latency_cycles.items()},
+            "per_kind": dict(self.per_kind),
+            "per_worker": {str(k): dict(v) for k, v in sorted(self.per_worker.items())},
+            "phase_cycles": self.breakdown.as_dict(),
+            "verified": self.verified,
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.as_dict(), indent=indent)
+
+    def summary(self) -> str:
+        lat = self.latency_cycles
+        lines = [
+            f"served {self.n_requests} requests over {self.pool_size} ARCANE "
+            f"instance(s), {self.processes} process(es), policy={self.policy}",
+            f"  wall-clock      : {self.wall_seconds:.2f} s "
+            f"({self.requests_per_second:.1f} req/s)",
+            f"  simulated       : {self.total_sim_cycles:,} cycles total, "
+            f"{self.cycles_per_request:,.0f} cycles/request",
+            f"  pool makespan   : {self.makespan_cycles:,} cycles "
+            f"({self.requests_per_megacycle:.2f} req/Mcycle)",
+            f"  latency (cycles): p50={lat.get('p50', 0):,.0f} "
+            f"p90={lat.get('p90', 0):,.0f} p99={lat.get('p99', 0):,.0f} "
+            f"max={lat.get('max', 0):,.0f}",
+            "  per kind        : "
+            + ", ".join(f"{k}={v}" for k, v in sorted(self.per_kind.items())),
+        ]
+        if self.verified is not None:
+            lines.append(f"  verified        : {'all outputs match golden' if self.verified else 'MISMATCH'}")
+        return "\n".join(lines)
+
+
+def build_serving_report(
+    results: Sequence,  # Sequence[RequestResult]
+    pool_size: int,
+    processes: int,
+    policy: str,
+    wall_seconds: float,
+    verified: Optional[bool] = None,
+) -> ServingReport:
+    """Fold per-request results into one :class:`ServingReport`."""
+    latencies: List[int] = sorted(r.sim_cycles for r in results)
+    per_kind: Dict[str, int] = {}
+    per_worker: Dict[int, Dict[str, int]] = {}
+    breakdown = PhaseBreakdown()
+    for result in results:
+        per_kind[result.kind] = per_kind.get(result.kind, 0) + 1
+        worker = per_worker.setdefault(result.worker, {"served": 0, "busy_cycles": 0})
+        worker["served"] += 1
+        worker["busy_cycles"] += result.sim_cycles
+        breakdown.merge(result.breakdown)
+    latency_cycles = {
+        "min": float(latencies[0]) if latencies else 0.0,
+        "mean": (sum(latencies) / len(latencies)) if latencies else 0.0,
+        "p50": percentile(latencies, 50),
+        "p90": percentile(latencies, 90),
+        "p99": percentile(latencies, 99),
+        "max": float(latencies[-1]) if latencies else 0.0,
+    }
+    return ServingReport(
+        n_requests=len(results),
+        pool_size=pool_size,
+        processes=processes,
+        policy=policy,
+        wall_seconds=wall_seconds,
+        total_sim_cycles=sum(latencies),
+        makespan_cycles=max(
+            (w["busy_cycles"] for w in per_worker.values()), default=0
+        ),
+        latency_cycles=latency_cycles,
+        per_kind=per_kind,
+        per_worker=per_worker,
+        breakdown=breakdown,
+        verified=verified,
+    )

@@ -72,9 +72,23 @@ class CacheRuntime:
         """Launch the scheduler main loop as a simulation process."""
         if self._scheduler_process is not None:
             return
+        self.scheduler.rearm()
         self._scheduler_process = self.sim.process(
             self.scheduler.run_forever(), name="crt.scheduler"
         )
+
+    def stop(self) -> Optional[Process]:
+        """Ask the scheduler loop to exit; returns its process (or None).
+
+        The stop event wakes a scheduler parked on an empty queue, so the
+        loop exits on the current cycle without another kernel arriving.
+        A later :meth:`start` relaunches it.
+        """
+        if self._scheduler_process is None:
+            return None
+        self.scheduler.stop()
+        process, self._scheduler_process = self._scheduler_process, None
+        return process
 
     def install_default_kernels(self) -> None:
         """Register the five Table I kernels in their paper slots."""
@@ -94,16 +108,37 @@ class CacheRuntime:
     def pending_kernels(self) -> List[QueuedKernel]:
         return self.queue.peek_all()
 
+    def busy_reasons(self) -> List[str]:
+        """Why the runtime is not idle (empty when all work has completed).
+
+        The single source of truth for the idle predicate: queued kernels,
+        claimed VPUs, and the pop→claim scheduling window all count as
+        busy.  Used by :meth:`drain` and by every lifecycle operation that
+        must not run over live operands (heap reset/free).
+        """
+        reasons = []
+        pending = self.queue.peek_all()
+        if pending:
+            reasons.append(f"{len(pending)} queued kernel(s)")
+        busy = [
+            v for v in range(self.scheduler.dispatcher.n_vpus)
+            if self.scheduler.dispatcher.owner(v) is not None
+        ]
+        if busy:
+            reasons.append(f"VPUs busy: {busy}")
+        if self.scheduler.inflight is not None:
+            reasons.append("a kernel is mid-schedule")
+        return reasons
+
+    def is_idle(self) -> bool:
+        return not self.busy_reasons()
+
     def drain(self) -> Generator:
         """Simulation process: wait until every queued kernel has completed."""
         while True:
-            pending = self.queue.peek_all()
-            busy = [
-                v for v in range(self.scheduler.dispatcher.n_vpus)
-                if self.scheduler.dispatcher.owner(v) is not None
-            ]
-            if not pending and not busy:
+            if self.is_idle():
                 return
+            pending = self.queue.peek_all()
             if pending and pending[0].done is not None:
                 yield pending[0].done
             else:

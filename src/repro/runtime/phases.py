@@ -5,6 +5,11 @@ The xmnmc abstraction costs cycles in four places: software decoding
 result write-back DMA.  Figure 3 of the paper plots exactly this
 breakdown, so every kernel execution in the system model fills in a
 :class:`PhaseBreakdown` that the benchmark harness reads back.
+
+The four canonical phases are always present.  Kernel bodies may record
+*additional* phases (a compiled kernel's prologue, a user kernel's
+reduction pass, ...); these auto-register on first :meth:`add` so no
+cycle is ever silently dropped when breakdowns are merged or sharded.
 """
 
 from __future__ import annotations
@@ -22,11 +27,11 @@ class PhaseBreakdown:
     cycles: Dict[str, int] = field(default_factory=lambda: {p: 0 for p in PHASES})
 
     def add(self, phase: str, amount: int) -> None:
-        if phase not in self.cycles:
-            raise KeyError(f"unknown phase {phase!r}; expected one of {PHASES}")
+        if not phase or not isinstance(phase, str):
+            raise KeyError(f"phase name must be a non-empty string, got {phase!r}")
         if amount < 0:
             raise ValueError(f"cannot add negative cycles ({amount}) to {phase}")
-        self.cycles[phase] += amount
+        self.cycles[phase] = self.cycles.get(phase, 0) + amount
 
     @property
     def total(self) -> int:
@@ -34,12 +39,12 @@ class PhaseBreakdown:
 
     @property
     def non_compute(self) -> int:
-        return self.total - self.cycles["compute"]
+        return self.total - self.cycles.get("compute", 0)
 
     def fraction(self, phase: str) -> float:
         """Share of the total spent in ``phase`` (0.0 when nothing ran)."""
         total = self.total
-        return self.cycles[phase] / total if total else 0.0
+        return self.cycles.get(phase, 0) / total if total else 0.0
 
     def overhead_fraction(self) -> float:
         """Non-compute share of the total — the paper's 'overhead'."""
@@ -48,12 +53,17 @@ class PhaseBreakdown:
 
     def merge(self, other: "PhaseBreakdown") -> "PhaseBreakdown":
         for phase, amount in other.cycles.items():
-            self.cycles[phase] += amount
+            self.cycles[phase] = self.cycles.get(phase, 0) + amount
         return self
+
+    def phase_names(self) -> tuple:
+        """Canonical phases first, then custom phases in insertion order."""
+        extras = tuple(p for p in self.cycles if p not in PHASES)
+        return PHASES + extras
 
     def as_dict(self) -> Dict[str, int]:
         return dict(self.cycles)
 
     def __str__(self) -> str:
-        parts = ", ".join(f"{p}={self.cycles[p]}" for p in PHASES)
+        parts = ", ".join(f"{p}={self.cycles[p]}" for p in self.phase_names())
         return f"PhaseBreakdown({parts}, total={self.total})"

@@ -63,6 +63,22 @@ class KernelQueue:
     def empty(self) -> bool:
         return not self._items
 
+    @property
+    def pushed_event(self) -> Event:
+        """The event that fires on the next :meth:`push` (fresh per push)."""
+        if self._pushed is None:
+            raise RuntimeError("queue was built without a simulator")
+        return self._pushed
+
+    def kick(self) -> None:
+        """Fire the push event without pushing (spurious wakeup).
+
+        Parked consumers wake and re-check their condition — how
+        :meth:`KernelScheduler.stop` reaches a scheduler parked on an
+        empty queue without enqueueing a sentinel kernel.
+        """
+        self._fire("_pushed")
+
     def _fire(self, attr: str) -> None:
         event: Optional[Event] = getattr(self, attr)
         if event is not None:

@@ -64,6 +64,8 @@ class KernelScheduler:
         self.completed: List[QueuedKernel] = []
         self.breakdowns: Dict[int, PhaseBreakdown] = {}
         self._stop = False
+        self._epoch = 0
+        self._inflight: Optional[QueuedKernel] = None
 
     # -- VPU selection policies (ablation bench compares them) ---------------
 
@@ -82,28 +84,69 @@ class KernelScheduler:
     # -- execution -----------------------------------------------------------------
 
     def run_forever(self) -> Generator:
-        """Simulation process: serve the queue until :meth:`stop` is called."""
-        while not self._stop:
-            kernel = yield from self.queue.pop_wait()
+        """Simulation process: serve the queue until :meth:`stop` is called.
+
+        While the queue is empty the loop parks on the queue's push
+        event; :meth:`stop` kicks that event, so a parked scheduler
+        wakes and exits without another kernel having to arrive.  The
+        park leaves no residue — push-event waiters drain on every fire,
+        so a long-lived serving loop allocates nothing per idle period.
+
+        Each launch captures the current epoch: a loop superseded by
+        :meth:`rearm` (stop immediately followed by a relaunch, before
+        the simulation advanced enough for the old loop to observe the
+        stop) exits at its next wakeup instead of serving the queue
+        alongside its replacement.
+        """
+        epoch = self._epoch
+        while not self._stop and epoch == self._epoch:
+            if self.queue.empty:
+                yield self.queue.pushed_event
+                continue
+            kernel = self.queue.pop()
             yield from self.execute(kernel)
 
     def stop(self) -> None:
+        """Request a clean exit; wakes the loop if it is parked on the queue."""
         self._stop = True
+        self.queue.kick()
+
+    def rearm(self) -> None:
+        """Prepare a relaunch: clear the stop flag, retire older loops."""
+        self._stop = False
+        self._epoch += 1
+
+    @property
+    def inflight(self) -> Optional[QueuedKernel]:
+        """The kernel currently being scheduled/executed (None when idle).
+
+        Covers the window between queue pop and VPU claim, where a kernel
+        is visible neither in the queue nor on a dispatcher owner —
+        drain/reset logic must not mistake that window for idleness.
+        """
+        return self._inflight
 
     def execute(self, kernel: QueuedKernel) -> Generator:
         """Run one kernel to completion (simulation process)."""
         spec = self.library.lookup(kernel.func5)
         if spec is None:
             raise RuntimeError(f"kernel {kernel.func5} vanished from the library")
-        phases = PhaseBreakdown()
-        phases.add("preamble", kernel.preamble_cycles + self.SCHEDULE_CYCLES)
-        yield self.SCHEDULE_CYCLES
+        self._inflight = kernel
+        try:
+            phases = PhaseBreakdown()
+            phases.add("preamble", kernel.preamble_cycles + self.SCHEDULE_CYCLES)
+            yield self.SCHEDULE_CYCLES
 
-        if self.multi_vpu and len(self.dispatcher.free_vpus()) > 1:
-            yield from self._execute_multi(kernel, spec.body, phases)
-        else:
-            vpu_index = self.select_vpu()
-            yield from self._execute_single(kernel, spec.body, vpu_index, phases)
+            if self.multi_vpu and len(self.dispatcher.free_vpus()) > 1:
+                yield from self._execute_multi(kernel, spec.body, phases)
+            else:
+                vpu_index = self.select_vpu()
+                yield from self._execute_single(kernel, spec.body, vpu_index, phases)
+        finally:
+            # guard against a superseded loop's last kernel clearing a
+            # replacement loop's in-flight marker (stop + immediate restart)
+            if self._inflight is kernel:
+                self._inflight = None
 
         self._release_operands(kernel)
         self.breakdowns[kernel.kernel_id] = phases
@@ -173,10 +216,23 @@ class KernelScheduler:
 
     @staticmethod
     def _merge_shard_phases(shards: List[PhaseBreakdown]) -> PhaseBreakdown:
+        """Join per-shard breakdowns over the union of recorded phase names.
+
+        Shards run concurrently, so "compute" keeps the slowest shard's
+        time; every other phase (DMA and eCPU work contending for the
+        shared bus / eCPU) is summed.  Custom phases recorded by kernel
+        bodies merge by the same sum rule instead of being dropped.
+        """
         merged = PhaseBreakdown()
-        for phase in ("preamble", "allocation", "writeback"):
-            merged.add(phase, sum(s.cycles[phase] for s in shards))
-        merged.add("compute", max((s.cycles["compute"] for s in shards), default=0))
+        names = list(merged.cycles)
+        for shard in shards:
+            names.extend(p for p in shard.cycles if p not in names)
+        for phase in names:
+            values = [shard.cycles.get(phase, 0) for shard in shards]
+            if phase == "compute":
+                merged.add(phase, max(values, default=0))
+            else:
+                merged.add(phase, sum(values))
         return merged
 
     def _release_operands(self, kernel: QueuedKernel) -> None:

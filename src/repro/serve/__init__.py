@@ -1,0 +1,52 @@
+"""Request-level serving over pools of reusable ARCANE systems.
+
+Quickstart::
+
+    from repro.serve import ServingEngine, gemm_request, conv_layer_request
+
+    engine = ServingEngine(pool_size=2)
+    report = engine.serve(
+        [gemm_request(0, a, b), conv_layer_request(1, image, filters)],
+        verify=True,
+    )
+    print(report.summary())
+    print(report.to_json())
+
+See ``examples/serving.py`` for the full tour and
+``benchmarks/bench_serving.py`` for the throughput benchmark.
+"""
+
+from repro.eval.serving import ServingReport, build_serving_report, percentile
+from repro.serve.engine import POLICIES, ServingEngine
+from repro.serve.golden import expected_output, kernel_golden
+from repro.serve.request import (
+    KINDS,
+    GraphNode,
+    InferenceRequest,
+    RequestResult,
+    conv_layer_request,
+    gemm_request,
+    graph_request,
+    kernel_request,
+)
+from repro.serve.worker import RequestRejected, SystemWorker
+
+__all__ = [
+    "KINDS",
+    "POLICIES",
+    "GraphNode",
+    "InferenceRequest",
+    "RequestRejected",
+    "RequestResult",
+    "ServingEngine",
+    "ServingReport",
+    "SystemWorker",
+    "build_serving_report",
+    "conv_layer_request",
+    "expected_output",
+    "gemm_request",
+    "graph_request",
+    "kernel_golden",
+    "kernel_request",
+    "percentile",
+]

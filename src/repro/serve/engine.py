@@ -1,0 +1,213 @@
+"""The request-level serving engine: many requests, a pool of ARCANE systems.
+
+The :class:`ServingEngine` multiplexes independent inference requests
+over a pool of long-lived, reusable
+:class:`~repro.serve.worker.SystemWorker` instances — the throughput
+layer the ROADMAP's "serve heavy traffic" north-star asks for, built on
+the lifecycle guarantees of ``ArcaneSystem.reset_heap()``:
+
+* **scheduling** — request→worker assignment is computed up front,
+  either balancing estimated load by operand volume (``least_loaded``,
+  models a load balancer fronting identical accelerator instances) or
+  strictly round-robin;
+* **parallelism** — with ``processes > 1`` the pool is partitioned over
+  OS processes (each owns its workers outright), so independent
+  simulations use multiple host cores; results are identical to the
+  serial path because request→worker assignment is computed up front;
+* **aggregation** — per-request :class:`RunReport`s fold into a
+  :class:`~repro.eval.serving.ServingReport` with throughput and
+  latency percentiles.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.config import ArcaneConfig
+from repro.eval.serving import ServingReport, build_serving_report
+from repro.serve.golden import expected_output
+from repro.serve.request import InferenceRequest, RequestResult
+from repro.serve.worker import SystemWorker
+
+POLICIES = ("least_loaded", "round_robin")
+
+
+def _serve_shard(args: tuple) -> Tuple[float, List[RequestResult]]:
+    """Worker-process entry point: serve one shard on its own workers.
+
+    Top-level (picklable) on purpose.  ``assignments`` carries the
+    engine's request→worker mapping, so a multi-process run reproduces
+    the serial schedule exactly.  The returned seconds time the serving
+    loop only — pool construction stays outside, mirroring the serial
+    path where the pool is built in ``__init__`` before the timer.
+    """
+    worker_indices, config, with_compiled, assignments = args
+    workers = {
+        index: SystemWorker(index, config, with_compiled) for index in worker_indices
+    }
+    start = time.perf_counter()
+    results = [
+        workers[worker_index].run(request) for worker_index, request in assignments
+    ]
+    return time.perf_counter() - start, results
+
+
+class ServingEngine:
+    """Schedules independent requests over a pool of reusable systems."""
+
+    def __init__(
+        self,
+        pool_size: int = 2,
+        config: Optional[ArcaneConfig] = None,
+        with_compiled: bool = True,
+        policy: str = "least_loaded",
+        processes: int = 1,
+    ) -> None:
+        if pool_size < 1:
+            raise ValueError("pool needs at least one system")
+        if policy not in POLICIES:
+            raise ValueError(f"unknown policy {policy!r}; expected one of {POLICIES}")
+        if processes < 1:
+            raise ValueError("processes must be >= 1")
+        self.pool_size = pool_size
+        self.config = config
+        self.with_compiled = with_compiled
+        self.policy = policy
+        self.processes = min(processes, pool_size)
+        self._workers: Optional[List[SystemWorker]] = None
+        if self.processes == 1:
+            self._workers = [
+                SystemWorker(i, config, with_compiled) for i in range(pool_size)
+            ]
+
+    @property
+    def workers(self) -> List[SystemWorker]:
+        if self._workers is None:
+            raise RuntimeError("worker pool lives in subprocesses (processes > 1)")
+        return self._workers
+
+    # -- scheduling -----------------------------------------------------------
+
+    def _assign(
+        self, requests: Sequence[InferenceRequest]
+    ) -> List[Tuple[int, InferenceRequest]]:
+        """Map every request to a worker index before execution.
+
+        ``least_loaded`` balances *estimated* load by operand volume
+        (requests are assigned before they run, as a front-end load
+        balancer would); ``round_robin`` ignores load entirely.
+        """
+        assignments: List[Tuple[int, InferenceRequest]] = []
+        if self.policy == "round_robin":
+            for i, request in enumerate(requests):
+                assignments.append((i % self.pool_size, request))
+            return assignments
+        load = [0] * self.pool_size
+        for request in requests:
+            worker = min(range(self.pool_size), key=lambda w: (load[w], w))
+            load[worker] += self._estimate_cost(request)
+            assignments.append((worker, request))
+        return assignments
+
+    @staticmethod
+    def _estimate_cost(request: InferenceRequest) -> int:
+        """Cheap load proxy: total operand elements touched."""
+        payload = request.payload
+
+        def size(array: np.ndarray) -> int:
+            return int(np.asarray(array).size)
+
+        if request.kind == "gemm":
+            return size(payload["a"]) + size(payload["b"]) + size(payload["c"])
+        if request.kind == "conv_layer":
+            return size(payload["image"]) + size(payload["filters"])
+        if request.kind == "kernel":
+            return sum(size(m) for m in payload["inputs"])
+        if request.kind == "graph":
+            return sum(size(m) for m in payload["inputs"].values()) + sum(
+                node.out_shape[0] * node.out_shape[1] for node in payload["nodes"]
+            )
+        return 1
+
+    # -- serving --------------------------------------------------------------
+
+    def serve(
+        self, requests: Sequence[InferenceRequest], verify: bool = False
+    ) -> ServingReport:
+        """Run every request, return the aggregate report.
+
+        Per-request results (with outputs) are kept on ``report.results``;
+        with ``verify=True`` every output is checked against the numpy
+        golden model and a mismatch raises immediately.
+        """
+        requests = list(requests)
+        seen_ids = set()
+        for request in requests:
+            if request.request_id in seen_ids:
+                raise ValueError(f"duplicate request_id {request.request_id}")
+            seen_ids.add(request.request_id)
+        assignments = self._assign(requests)
+        # wall time covers serving on a ready pool in both modes: the serial
+        # pool is built in __init__, and parallel shards time their serving
+        # loop after constructing their workers (max over concurrent shards).
+        if self.processes == 1:
+            start = time.perf_counter()
+            results = [
+                self.workers[worker].run(request) for worker, request in assignments
+            ]
+            wall = time.perf_counter() - start
+        else:
+            wall, results = self._serve_parallel(assignments)
+
+        verified: Optional[bool] = None
+        if verify:
+            for request, result in zip(requests, results):
+                expected = expected_output(request)
+                if not np.array_equal(result.output, expected):
+                    raise AssertionError(
+                        f"request {request.request_id} ({request.kind}): output "
+                        "does not match the golden model"
+                    )
+            verified = True
+
+        report = build_serving_report(
+            results, self.pool_size, self.processes, self.policy, wall, verified
+        )
+        report.results = results  # per-request detail rides along (not in JSON)
+        return report
+
+    def _serve_parallel(
+        self, assignments: List[Tuple[int, InferenceRequest]]
+    ) -> Tuple[float, List[RequestResult]]:
+        import multiprocessing as mp
+
+        # Partition workers over processes; each shard keeps request order.
+        shard_of_worker = {w: w % self.processes for w in range(self.pool_size)}
+        shards: Dict[int, List[Tuple[int, InferenceRequest]]] = {
+            p: [] for p in range(self.processes)
+        }
+        order: Dict[int, List[int]] = {p: [] for p in range(self.processes)}
+        for position, (worker, request) in enumerate(assignments):
+            shard = shard_of_worker[worker]
+            shards[shard].append((worker, request))
+            order[shard].append(position)
+        jobs = [
+            (
+                [w for w, s in shard_of_worker.items() if s == p],
+                self.config,
+                self.with_compiled,
+                shards[p],
+            )
+            for p in range(self.processes)
+        ]
+        with mp.Pool(self.processes) as pool:
+            shard_results = pool.map(_serve_shard, jobs)
+        results: List[Optional[RequestResult]] = [None] * len(assignments)
+        for p, (_, batch) in enumerate(shard_results):
+            for position, result in zip(order[p], batch):
+                results[position] = result
+        wall = max((seconds for seconds, _ in shard_results), default=0.0)
+        return wall, [r for r in results if r is not None]

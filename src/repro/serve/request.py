@@ -1,0 +1,149 @@
+"""Request/response types for the multi-request serving engine.
+
+An :class:`InferenceRequest` is one independent unit of work a client
+submits to the :class:`~repro.serve.engine.ServingEngine`: a GeMM, an
+``xmk4`` convolutional layer, any single library kernel (handwritten or
+compiled), or a small *graph* of kernels chained through named tensors.
+Requests carry plain numpy operands; they are picklable so the engine
+can fan them out to parallel worker processes.
+
+A :class:`RequestResult` is the matching response: the output matrix,
+the per-request :class:`~repro.core.system.RunReport`(s), and the
+latency observed in simulated cycles and harness wall-clock seconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.system import RunReport
+from repro.runtime.phases import PhaseBreakdown
+
+#: Request kinds understood by the worker dispatch table.
+KINDS = ("gemm", "conv_layer", "kernel", "graph")
+
+
+@dataclass
+class GraphNode:
+    """One kernel invocation inside a graph request.
+
+    ``inputs`` name either request-level input tensors or the outputs of
+    earlier nodes; ``name`` is the tensor this node produces.
+    """
+
+    name: str
+    func5: int
+    inputs: Tuple[str, ...]
+    out_shape: Tuple[int, int]
+    params: Tuple[int, ...] = ()
+    dtype: Optional[Any] = None  # defaults to the first input's dtype
+
+
+@dataclass
+class InferenceRequest:
+    """One independent inference job for the serving engine."""
+
+    request_id: int
+    kind: str
+    payload: Dict[str, Any]
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown request kind {self.kind!r}; expected {KINDS}")
+
+
+def gemm_request(
+    request_id: int,
+    a: np.ndarray,
+    b: np.ndarray,
+    c: Optional[np.ndarray] = None,
+    alpha: int = 1,
+    beta: int = 0,
+) -> InferenceRequest:
+    """D = alpha * (A @ B) + beta * C on the handwritten ``xmk0`` kernel."""
+    if c is None:
+        c = np.zeros((a.shape[0], b.shape[1]), dtype=a.dtype)
+    return InferenceRequest(
+        request_id, "gemm",
+        {"a": a, "b": b, "c": c, "alpha": int(alpha), "beta": int(beta)},
+    )
+
+
+def conv_layer_request(
+    request_id: int, image: np.ndarray, filters: np.ndarray
+) -> InferenceRequest:
+    """The paper's Listing-1 workload: conv + ReLU + 2x2 max pool (xmk4)."""
+    return InferenceRequest(
+        request_id, "conv_layer", {"image": image, "filters": filters}
+    )
+
+
+def kernel_request(
+    request_id: int,
+    func5: int,
+    inputs: Sequence[np.ndarray],
+    out_shape: Tuple[int, int],
+    params: Sequence[int] = (),
+    dtype: Optional[Any] = None,
+) -> InferenceRequest:
+    """Any single library kernel by slot — handwritten or compiled."""
+    return InferenceRequest(
+        request_id, "kernel",
+        {
+            "func5": int(func5),
+            "inputs": list(inputs),
+            "out_shape": tuple(out_shape),
+            "params": tuple(int(p) for p in params),
+            "dtype": dtype,
+        },
+    )
+
+
+def graph_request(
+    request_id: int,
+    inputs: Dict[str, np.ndarray],
+    nodes: Sequence[GraphNode],
+    output: Optional[str] = None,
+) -> InferenceRequest:
+    """A chain/DAG of kernels over named tensors; ``output`` defaults to
+    the last node's tensor."""
+    nodes = list(nodes)
+    if not nodes:
+        raise ValueError("graph request needs at least one node")
+    names = set(inputs)
+    for node in nodes:
+        missing = [t for t in node.inputs if t not in names]
+        if missing:
+            raise ValueError(
+                f"graph node {node.name!r} consumes undefined tensors {missing}"
+            )
+        if node.name in names:
+            raise ValueError(f"graph tensor {node.name!r} defined twice")
+        names.add(node.name)
+    output = output or nodes[-1].name
+    if output not in {n.name for n in nodes}:
+        raise ValueError(f"graph output {output!r} is not produced by any node")
+    return InferenceRequest(
+        request_id, "graph", {"inputs": dict(inputs), "nodes": nodes, "output": output}
+    )
+
+
+@dataclass
+class RequestResult:
+    """The serving engine's answer for one request."""
+
+    request_id: int
+    kind: str
+    worker: int
+    output: np.ndarray
+    sim_cycles: int
+    breakdown: PhaseBreakdown
+    wall_seconds: float
+    reports: List[RunReport] = field(default_factory=list, repr=False)
+
+    @property
+    def offload_count(self) -> int:
+        return sum(r.offload_count for r in self.reports)

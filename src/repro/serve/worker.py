@@ -1,0 +1,184 @@
+"""One reusable ARCANE instance serving requests back-to-back.
+
+A :class:`SystemWorker` owns a long-lived
+:class:`~repro.core.system.ArcaneSystem` and runs one request at a time:
+place operands, offload, read the result, then ``reset_heap()`` so the
+next request starts from the same cold state a fresh system would see.
+That reset is what makes per-request results (and cycle counts) on a
+long-lived worker bit-exact with single-shot runs — and what keeps the
+bump allocator from exhausting the matrix heap after a handful of
+requests, the lifecycle bug this engine exists to exercise.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.compiler import install_compiled, offload_compiled
+from repro.core.api import Matrix
+from repro.core.config import ArcaneConfig
+from repro.core.system import ArcaneSystem, RunReport
+from repro.runtime.phases import PhaseBreakdown
+from repro.serve.request import GraphNode, InferenceRequest, RequestResult
+from repro.xbridge.bridge import OffloadOutcome
+
+
+class RequestRejected(RuntimeError):
+    """A request's offload was killed by the decoder (e.g. unknown slot)."""
+
+
+class SystemWorker:
+    """Wraps one reusable ArcaneSystem; executes requests serially."""
+
+    def __init__(
+        self,
+        index: int = 0,
+        config: Optional[ArcaneConfig] = None,
+        with_compiled: bool = True,
+    ) -> None:
+        self.index = index
+        self.config = config or ArcaneConfig()
+        self.with_compiled = with_compiled
+        self.system = ArcaneSystem(self.config)
+        if with_compiled:
+            install_compiled(self.system.llc.runtime.library)
+        #: accumulated simulated cycles served (pool-balance telemetry;
+        #: scheduling itself assigns up front from operand volume)
+        self.busy_cycles = 0
+        self.served = 0
+
+    # -- request execution ----------------------------------------------------
+
+    def run(self, request: InferenceRequest) -> RequestResult:
+        """Execute one request on the long-lived system and reset it."""
+        start = time.perf_counter()
+        try:
+            output, reports = self._dispatch(request)
+            for report in reports:
+                killed = [o for o in report.outcomes if o is OffloadOutcome.KILLED]
+                if killed:
+                    raise RequestRejected(
+                        f"request {request.request_id} ({request.kind}): "
+                        f"{len(killed)} offload(s) killed by the decoder"
+                    )
+        except BaseException:
+            # Keep the original diagnostic: a failed request may leave
+            # kernels pending, in which case reset_heap() itself raises —
+            # recover the pool slot with a fresh system instead of letting
+            # that error mask the real one.
+            self._recover()
+            raise
+        self.system.reset_heap()
+        wall = time.perf_counter() - start
+        sim_cycles = sum(r.total_cycles for r in reports)
+        breakdown = PhaseBreakdown()
+        for report in reports:
+            breakdown.merge(report.breakdown)
+        self.busy_cycles += sim_cycles
+        self.served += 1
+        return RequestResult(
+            request_id=request.request_id,
+            kind=request.kind,
+            worker=self.index,
+            output=output,
+            sim_cycles=sim_cycles,
+            breakdown=breakdown,
+            wall_seconds=wall,
+            reports=reports,
+        )
+
+    def _recover(self) -> None:
+        """Restore a serviceable system after a failed request."""
+        try:
+            self.system.reset_heap()
+        except Exception:
+            # kernels stuck mid-flight: rebuild the simulation universe
+            self.system = ArcaneSystem(self.config)
+            if self.with_compiled:
+                install_compiled(self.system.llc.runtime.library)
+
+    def _dispatch(self, request: InferenceRequest) -> Tuple[np.ndarray, List[RunReport]]:
+        payload = request.payload
+        if request.kind == "gemm":
+            return self._run_gemm(**payload)
+        if request.kind == "conv_layer":
+            return self._run_conv_layer(payload["image"], payload["filters"])
+        if request.kind == "kernel":
+            output, report, _ = self._run_kernel(
+                payload["func5"], payload["inputs"], payload["out_shape"],
+                payload["params"], payload["dtype"],
+            )
+            return output, [report]
+        if request.kind == "graph":
+            return self._run_graph(payload["inputs"], payload["nodes"], payload["output"])
+        raise ValueError(f"unknown request kind {request.kind!r}")
+
+    def _run_gemm(self, a, b, c, alpha, beta) -> Tuple[np.ndarray, List[RunReport]]:
+        system = self.system
+        ma, mb, mc = (system.place_matrix(m) for m in (a, b, c))
+        out = system.alloc_matrix((a.shape[0], b.shape[1]), a.dtype)
+        with system.program() as prog:
+            prog.xmr(0, ma).xmr(1, mb).xmr(2, mc).xmr(3, out)
+            prog.gemm(dest=3, a=0, b=1, c=2, alpha=alpha, beta=beta,
+                      suffix=ma.etype.suffix)
+        return system.read_matrix(out), [system.last_report]
+
+    def _run_conv_layer(self, image, filters) -> Tuple[np.ndarray, List[RunReport]]:
+        output, report = self.system.run_conv_layer(image, filters)
+        return output, [report]
+
+    def _run_kernel(
+        self,
+        func5: int,
+        inputs: Sequence[np.ndarray],
+        out_shape: Tuple[int, int],
+        params: Sequence[int],
+        dtype: Optional[Any] = None,
+        handles: Optional[Sequence[Matrix]] = None,
+    ) -> Tuple[np.ndarray, RunReport, Matrix]:
+        """One library kernel (any slot) over fresh or pre-placed operands."""
+        system = self.system
+        if handles is None:
+            handles = [system.place_matrix(m) for m in inputs]
+        dtype = np.dtype(dtype) if dtype is not None else handles[0].dtype
+        out = system.alloc_matrix(tuple(out_shape), dtype)
+        with system.program() as prog:
+            for register, handle in enumerate(handles):
+                prog.xmr(register, handle)
+            prog.xmr(len(handles), out)
+            offload_compiled(
+                prog, func5, out.etype.suffix, dest=len(handles),
+                sources=list(range(len(handles))), params=list(params),
+            )
+        return system.read_matrix(out), system.last_report, out
+
+    def _run_graph(
+        self, inputs: Dict[str, np.ndarray], nodes: Sequence[GraphNode], output: str
+    ) -> Tuple[np.ndarray, List[RunReport]]:
+        """Run a node chain; intermediates stay resident in system memory.
+
+        Each node is one host program (its own offload batch); a consumer
+        reads its producer's output through the LLC, so warm results are
+        served from cache lines the producer's write-back just filled.
+        """
+        system = self.system
+        env: Dict[str, Matrix] = {
+            name: system.place_matrix(array, name) for name, array in inputs.items()
+        }
+        reports: List[RunReport] = []
+        result: Optional[np.ndarray] = None
+        for node in nodes:
+            handles = [env[name] for name in node.inputs]
+            value, report, out_handle = self._run_kernel(
+                node.func5, [], node.out_shape, node.params,
+                dtype=node.dtype or handles[0].dtype, handles=handles,
+            )
+            reports.append(report)
+            env[node.name] = out_handle
+            if node.name == output:
+                result = value
+        assert result is not None  # graph_request validated the output name
+        return result, reports

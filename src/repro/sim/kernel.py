@@ -184,6 +184,10 @@ class Simulator:
                 )
         if until is not None and until > self.now:
             self.now = until
+        # Drop finished processes from the registry: a long-lived system
+        # (the serving engine runs thousands of programs on one simulator)
+        # must not accumulate dead generator wrappers without bound.
+        self._processes = [p for p in self._processes if not p.finished]
         return self.now
 
     def run_process(self, generator: Generator, name: str = "") -> Any:

@@ -12,6 +12,7 @@ EXAMPLES = [
     "examples/compiled_kernel.py",
     "examples/cache_behavior.py",
     "examples/ecpu_firmware.py",
+    "examples/serving.py",
 ]
 
 

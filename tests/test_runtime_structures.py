@@ -188,9 +188,28 @@ class TestPhaseBreakdown:
         assert phases.overhead_fraction() == 0.2
         assert phases.non_compute == 20
 
-    def test_unknown_phase(self):
+    def test_custom_phase_auto_registers(self):
+        phases = PhaseBreakdown()
+        phases.add("cooldown", 7)
+        phases.add("compute", 3)
+        assert phases.cycles["cooldown"] == 7
+        assert phases.total == 10
+        assert phases.non_compute == 7
+        assert phases.fraction("cooldown") == 0.7
+        # canonical phases stay first in the rendered order
+        assert phases.phase_names()[:4] == ("preamble", "allocation",
+                                            "compute", "writeback")
+        assert "cooldown" in phases.phase_names()
+
+    def test_invalid_phase_name(self):
         with pytest.raises(KeyError):
-            PhaseBreakdown().add("cooldown", 1)
+            PhaseBreakdown().add("", 1)
+
+    def test_merge_with_custom_phase(self):
+        a, b = PhaseBreakdown(), PhaseBreakdown()
+        b.add("cooldown", 4)
+        a.merge(b)
+        assert a.cycles["cooldown"] == 4
 
     def test_negative_rejected(self):
         with pytest.raises(ValueError):

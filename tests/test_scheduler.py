@@ -1,0 +1,216 @@
+"""Scheduler lifecycle tests: stop wakeup, restart, drain, shard merging."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.reference import ref_leaky_relu
+from repro.core.config import ArcaneConfig
+from repro.core.system import ArcaneSystem
+from repro.runtime.phases import PhaseBreakdown
+from repro.runtime.scheduler import KernelScheduler
+from repro.runtime.kernel_lib import KernelSpec
+
+CFG = ArcaneConfig(n_vpus=2, lanes=4, line_bytes=256, vpu_kib=4, main_memory_kib=512)
+
+
+def scheduler_process(system):
+    return next(p for p in system.sim._processes if p.name == "crt.scheduler")
+
+
+class TestStopWakeup:
+    def test_stop_wakes_parked_scheduler(self):
+        """Regression: stop() used to be observed only after one more kernel
+        arrived; a parked run_forever must exit on the stop wakeup alone."""
+        system = ArcaneSystem(CFG)
+        system.sim.run()  # park the scheduler on the empty queue
+        assert not scheduler_process(system).finished
+        process = system.llc.runtime.stop()
+        system.sim.run()  # no kernel ever arrives
+        assert process.finished
+
+    def test_stop_exits_on_current_cycle(self):
+        system = ArcaneSystem(CFG)
+        system.sim.run()
+        stopped_at = system.sim.now
+        process = system.llc.runtime.stop()
+        system.sim.run()
+        assert process.finished
+        assert system.sim.now == stopped_at  # same-cycle exit, no extra delay
+
+    def test_stop_after_work_then_restart(self, rng):
+        """A stopped runtime can restart and serve kernels again."""
+        system = ArcaneSystem(CFG)
+        x = rng.integers(-50, 50, (4, 8)).astype(np.int32)
+        mx = system.place_matrix(x)
+        out = system.alloc_matrix(x.shape, np.int32)
+        with system.program() as prog:
+            prog.xmr(0, mx).xmr(1, out)
+            prog.leaky_relu(dest=1, src=0, alpha=0)
+        process = system.llc.runtime.stop()
+        system.sim.run()
+        assert process.finished
+
+        system.llc.runtime.start()  # rearm + relaunch
+        out2 = system.alloc_matrix(x.shape, np.int32)
+        with system.program() as prog:
+            prog.xmr(2, mx).xmr(3, out2)
+            prog.leaky_relu(dest=3, src=2, alpha=1)
+        assert np.array_equal(system.read_matrix(out2), ref_leaky_relu(x, 1))
+
+    def test_stop_start_back_to_back_leaves_one_loop(self, rng):
+        """Regression: stop() immediately followed by start() (no simulation
+        in between) must retire the old parked loop, not leave two live
+        schedulers double-popping the same queue."""
+        system = ArcaneSystem(CFG)
+        system.sim.run()  # park the first loop
+        system.llc.runtime.stop()
+        system.llc.runtime.start()  # rearm before the old loop ever woke
+        x = rng.integers(-50, 50, (4, 8)).astype(np.int32)
+        mx = system.place_matrix(x)
+        outs = [system.alloc_matrix(x.shape, np.int32) for _ in range(3)]
+        with system.program() as prog:
+            prog.xmr(0, mx)
+            for i, out in enumerate(outs):
+                prog.xmr(1, out)
+                prog.leaky_relu(dest=1, src=0, alpha=0)
+        for out in outs:
+            assert np.array_equal(system.read_matrix(out), ref_leaky_relu(x, 0))
+        # the superseded loop exited (and was pruned); exactly one serves
+        loops = [p for p in system.sim._processes if p.name == "crt.scheduler"]
+        assert len(loops) == 1 and not loops[0].finished
+
+    def test_idle_parks_leave_no_residue(self, rng):
+        """Regression: each idle park used to allocate an any_of event plus
+        a never-woken stop waiter; a long-lived serving loop must not
+        accumulate parked processes per request."""
+        system = ArcaneSystem(CFG)
+        x = rng.integers(-8, 8, (3 * 12, 12)).astype(np.int8)
+        f = rng.integers(-2, 3, (9, 3)).astype(np.int8)
+        for _ in range(5):
+            system.run_conv_layer(x, f)
+            system.reset_heap()
+        # only the single parked scheduler waits on the queue's push event
+        assert len(system.llc.runtime.queue.pushed_event._waiters) == 1
+
+    def test_stop_idempotent_and_without_start(self):
+        system = ArcaneSystem(CFG)
+        assert system.llc.runtime.stop() is not None
+        assert system.llc.runtime.stop() is None  # already stopped
+
+    def test_inflight_visible_between_pop_and_claim(self, rng):
+        """The pop→claim window must read as busy, not idle (drain/reset
+        would otherwise conclude all work is done mid-schedule)."""
+        system = ArcaneSystem(CFG)
+        scheduler = system.llc.runtime.scheduler
+        observed = []
+
+        def probe():
+            # sample just after the scheduler popped (SCHEDULE_CYCLES window)
+            while not scheduler.completed:
+                observed.append(
+                    (scheduler.inflight is not None,
+                     len(system.llc.runtime.pending_kernels()),
+                     any(scheduler.dispatcher.owner(v) is not None
+                         for v in range(scheduler.dispatcher.n_vpus)))
+                )
+                yield 100
+            return None
+
+        x = rng.integers(-50, 50, (4, 8)).astype(np.int32)
+        mx = system.place_matrix(x)
+        out = system.alloc_matrix(x.shape, np.int32)
+        system.sim.process(probe(), name="probe")
+        with system.program() as prog:
+            prog.xmr(0, mx).xmr(1, out)
+            prog.leaky_relu(dest=1, src=0, alpha=0)
+        # at least one sample saw "inflight but queue empty and no VPU owner"
+        assert any(inflight and not queued and not busy
+                   for inflight, queued, busy in observed)
+
+
+class TestDrain:
+    def test_drain_returns_immediately_when_idle(self):
+        system = ArcaneSystem(CFG)
+        before = system.sim.now
+        system.sim.run_process(system.llc.runtime.drain())
+        assert system.sim.now == before
+
+    def test_drain_waits_for_queued_kernels(self, rng):
+        system = ArcaneSystem(CFG)
+        x = rng.integers(-50, 50, (4, 8)).astype(np.int32)
+        mx = system.place_matrix(x)
+        out = system.alloc_matrix(x.shape, np.int32)
+
+        def offload_then_drain():
+            for _, args in prog._ops:
+                yield from system.llc.bridge.offload(args[0])
+            yield from system.llc.runtime.drain()
+            return system.sim.now
+
+        prog = system.program()
+        prog.xmr(0, mx).xmr(1, out)
+        prog.leaky_relu(dest=1, src=0, alpha=0)
+        drained_at = system.sim.run_process(offload_then_drain())
+        assert system.llc.runtime.scheduler.completed  # kernel really ran
+        assert drained_at >= KernelScheduler.SCHEDULE_CYCLES
+        assert np.array_equal(system.read_matrix(out), ref_leaky_relu(x, 0))
+
+
+class TestShardPhaseMerging:
+    def make_breakdown(self, **cycles):
+        breakdown = PhaseBreakdown()
+        for phase, amount in cycles.items():
+            breakdown.add(phase, amount)
+        return breakdown
+
+    def test_canonical_phases_merge_sum_and_max(self):
+        shards = [
+            self.make_breakdown(preamble=10, allocation=100, compute=500, writeback=40),
+            self.make_breakdown(preamble=12, allocation=90, compute=700, writeback=50),
+        ]
+        merged = KernelScheduler._merge_shard_phases(shards)
+        assert merged.cycles["preamble"] == 22
+        assert merged.cycles["allocation"] == 190
+        assert merged.cycles["compute"] == 700  # concurrent: slowest shard
+        assert merged.cycles["writeback"] == 90
+
+    def test_custom_phases_not_dropped(self):
+        """Regression: phases outside the four hard-coded names used to be
+        silently discarded, under-reporting multi-VPU cycle totals."""
+        shards = [
+            self.make_breakdown(compute=100, warmup=7),
+            self.make_breakdown(compute=80, warmup=9, cooldown=3),
+        ]
+        merged = KernelScheduler._merge_shard_phases(shards)
+        assert merged.cycles["warmup"] == 16
+        assert merged.cycles["cooldown"] == 3
+        assert merged.cycles["compute"] == 100
+        assert merged.total == 100 + 16 + 3
+
+    def test_empty_shard_list(self):
+        merged = KernelScheduler._merge_shard_phases([])
+        assert merged.total == 0
+
+    def test_multi_vpu_run_keeps_custom_phase_cycles(self, rng):
+        """End-to-end: a sharded kernel recording a custom phase reports the
+        union of all shards' phases in the merged breakdown."""
+        config = ArcaneConfig(n_vpus=2, lanes=4, line_bytes=256, vpu_kib=4,
+                              main_memory_kib=512, multi_vpu=True)
+        system = ArcaneSystem(config)
+
+        def preamble(request, matrix_map):
+            return None, [], {}
+
+        def body(context, kernel, shard=(0, 1)):
+            context.phases.add("warmup", 11)
+            context.phases.add("compute", 100 + 10 * shard[0])
+            yield 5
+
+        system.llc.runtime.library.register(
+            KernelSpec(func5=9, name="custom_phases", preamble=preamble, body=body)
+        )
+        with system.program() as prog:
+            prog.xmk(9, "w")
+        breakdown = next(iter(system.last_report.per_kernel.values()))
+        assert breakdown.cycles["warmup"] == 2 * 11  # summed across shards
+        assert breakdown.cycles["compute"] == 110  # max across shards

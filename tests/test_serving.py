@@ -1,0 +1,208 @@
+"""Serving engine tests: scheduling, bit-exactness, parallelism, reports."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.compiler import FUNC5_CGEMM, FUNC5_EWISE_ADD, FUNC5_FC, FUNC5_ROWSUM
+from repro.core.config import ArcaneConfig
+from repro.eval.serving import percentile
+from repro.serve import (
+    GraphNode,
+    InferenceRequest,
+    ServingEngine,
+    SystemWorker,
+    conv_layer_request,
+    expected_output,
+    gemm_request,
+    graph_request,
+    kernel_request,
+)
+
+CFG = ArcaneConfig(n_vpus=2, lanes=4, line_bytes=256, vpu_kib=8, main_memory_kib=512)
+
+
+def mixed_requests(rng, count):
+    requests = []
+    for rid in range(count):
+        slot = rid % 4
+        if slot == 0:
+            x = rng.integers(-8, 8, (3 * 12, 12)).astype(np.int8)
+            f = rng.integers(-2, 3, (9, 3)).astype(np.int8)
+            requests.append(conv_layer_request(rid, x, f))
+        elif slot == 1:
+            a = rng.integers(-5, 5, (6, 8)).astype(np.int16)
+            b = rng.integers(-5, 5, (8, 10)).astype(np.int16)
+            c = rng.integers(-5, 5, (6, 10)).astype(np.int16)
+            requests.append(gemm_request(rid, a, b, c, alpha=2, beta=-1))
+        elif slot == 2:
+            xv = rng.integers(-8, 8, (1, 32)).astype(np.int16)
+            w = rng.integers(-8, 8, (32, 12)).astype(np.int16)
+            bias = rng.integers(-8, 8, (1, 12)).astype(np.int16)
+            requests.append(kernel_request(rid, FUNC5_FC, [xv, w, bias], (1, 12)))
+        else:
+            a = rng.integers(-4, 4, (4, 6)).astype(np.int16)
+            b = rng.integers(-4, 4, (6, 4)).astype(np.int16)
+            c = np.zeros((4, 4), dtype=np.int16)
+            d = rng.integers(-4, 4, (4, 4)).astype(np.int16)
+            nodes = [
+                GraphNode("prod", FUNC5_CGEMM, ("a", "b", "c"), (4, 4), params=(1, 0)),
+                GraphNode("sum", FUNC5_EWISE_ADD, ("prod", "d"), (4, 4)),
+                GraphNode("row", FUNC5_ROWSUM, ("sum",), (4, 1)),
+            ]
+            requests.append(
+                graph_request(rid, {"a": a, "b": b, "c": c, "d": d}, nodes)
+            )
+    return requests
+
+
+class TestEngineServing:
+    def test_mixed_batch_verified_on_pool_of_two(self, rng):
+        engine = ServingEngine(pool_size=2, config=CFG)
+        requests = mixed_requests(rng, 12)
+        report = engine.serve(requests, verify=True)
+        assert report.verified is True
+        assert report.n_requests == 12
+        assert sum(report.per_kind.values()) == 12
+        assert len(report.per_worker) == 2  # both systems actually served
+        assert report.total_sim_cycles > 0
+        # results arrive in request order
+        assert [r.request_id for r in report.results] == list(range(12))
+
+    def test_results_bit_exact_with_single_shot(self, rng):
+        """Each pooled result must match a fresh system's single-shot run —
+        outputs AND cycle counts (cold-start equivalence after reset)."""
+        engine = ServingEngine(pool_size=2, config=CFG)
+        requests = mixed_requests(rng, 8)
+        report = engine.serve(requests)
+        for request, result in zip(requests, report.results):
+            single = SystemWorker(99, CFG).run(request)
+            assert np.array_equal(single.output, result.output)
+            assert single.sim_cycles == result.sim_cycles
+
+    def test_outputs_match_golden_models(self, rng):
+        engine = ServingEngine(pool_size=3, config=CFG)
+        requests = mixed_requests(rng, 8)
+        report = engine.serve(requests)
+        for request, result in zip(requests, report.results):
+            assert np.array_equal(result.output, expected_output(request))
+
+    def test_round_robin_policy(self, rng):
+        engine = ServingEngine(pool_size=2, config=CFG, policy="round_robin")
+        report = engine.serve(mixed_requests(rng, 6), verify=True)
+        workers = [r.worker for r in report.results]
+        assert workers == [0, 1, 0, 1, 0, 1]
+
+    def test_parallel_processes_match_serial(self, rng):
+        requests = mixed_requests(rng, 8)
+        serial = ServingEngine(pool_size=2, config=CFG).serve(requests)
+        parallel = ServingEngine(pool_size=2, config=CFG, processes=2).serve(requests)
+        for s, p in zip(serial.results, parallel.results):
+            assert np.array_equal(s.output, p.output)
+            assert s.sim_cycles == p.sim_cycles
+            assert s.worker == p.worker
+        assert serial.makespan_cycles == parallel.makespan_cycles
+
+    def test_duplicate_request_ids_rejected(self, rng):
+        engine = ServingEngine(pool_size=2, config=CFG)
+        a = rng.integers(-5, 5, (4, 4)).astype(np.int16)
+        b = rng.integers(-5, 5, (4, 4)).astype(np.int16)
+        with pytest.raises(ValueError, match="duplicate request_id"):
+            engine.serve([gemm_request(1, a, b), gemm_request(1, a, b)])
+
+    def test_long_lived_pool_survives_many_requests(self, rng):
+        """The acceptance-criteria scenario, sized for the test suite: one
+        pool, many requests, no MemoryError, no deadlock."""
+        engine = ServingEngine(pool_size=2, config=CFG)
+        report = engine.serve(mixed_requests(rng, 40), verify=True)
+        assert report.n_requests == 40
+        for worker in engine.workers:
+            assert worker.system.heap_stats()["live_matrices"] == 0
+
+
+class TestRequestValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown request kind"):
+            InferenceRequest(0, "sorting", {})
+
+    def test_graph_undefined_tensor_rejected(self, rng):
+        a = rng.integers(-4, 4, (4, 4)).astype(np.int16)
+        nodes = [GraphNode("out", FUNC5_EWISE_ADD, ("a", "missing"), (4, 4))]
+        with pytest.raises(ValueError, match="undefined tensors"):
+            graph_request(0, {"a": a}, nodes)
+
+    def test_graph_duplicate_tensor_rejected(self, rng):
+        a = rng.integers(-4, 4, (4, 4)).astype(np.int16)
+        nodes = [GraphNode("a", FUNC5_ROWSUM, ("a",), (4, 1))]
+        with pytest.raises(ValueError, match="defined twice"):
+            graph_request(0, {"a": a}, nodes)
+
+    def test_graph_bad_output_rejected(self, rng):
+        a = rng.integers(-4, 4, (4, 4)).astype(np.int16)
+        nodes = [GraphNode("out", FUNC5_ROWSUM, ("a",), (4, 1))]
+        with pytest.raises(ValueError, match="not produced"):
+            graph_request(0, {"a": a}, nodes, output="elsewhere")
+
+
+class TestServingReport:
+    def test_json_round_trip(self, rng):
+        engine = ServingEngine(pool_size=2, config=CFG)
+        report = engine.serve(mixed_requests(rng, 6), verify=True)
+        decoded = json.loads(report.to_json())
+        assert decoded["n_requests"] == 6
+        assert decoded["pool_size"] == 2
+        assert decoded["verified"] is True
+        assert decoded["requests_per_second"] > 0
+        assert decoded["cycles_per_request"] > 0
+        assert set(decoded["latency_cycles"]) == {
+            "min", "mean", "p50", "p90", "p99", "max",
+        }
+
+    def test_latency_percentiles_ordered(self, rng):
+        engine = ServingEngine(pool_size=2, config=CFG)
+        report = engine.serve(mixed_requests(rng, 10))
+        lat = report.latency_cycles
+        assert lat["min"] <= lat["p50"] <= lat["p90"] <= lat["p99"] <= lat["max"]
+        assert report.makespan_cycles <= report.total_sim_cycles
+
+    def test_percentile_function(self):
+        values = [10, 20, 30, 40]
+        assert percentile(values, 0) == 10
+        assert percentile(values, 100) == 40
+        assert percentile(values, 50) == 25.0
+        assert percentile([], 50) == 0.0
+        assert percentile([7], 99) == 7.0
+
+
+class TestWorkerLifecycle:
+    def test_worker_resets_between_requests(self, rng):
+        worker = SystemWorker(0, CFG)
+        for rid in range(3):
+            request = gemm_request(
+                rid,
+                rng.integers(-5, 5, (6, 8)).astype(np.int16),
+                rng.integers(-5, 5, (8, 10)).astype(np.int16),
+            )
+            result = worker.run(request)
+            assert np.array_equal(result.output, expected_output(request))
+            assert worker.system.heap_stats()["live_matrices"] == 0
+        assert worker.served == 3
+        assert worker.busy_cycles > 0
+
+    def test_worker_resets_even_on_failure(self, rng):
+        from repro.serve import RequestRejected
+
+        worker = SystemWorker(0, CFG)
+        bad = kernel_request(0, 30, [np.zeros((4, 4), dtype=np.int16)], (4, 4))
+        with pytest.raises(RequestRejected, match="killed"):
+            worker.run(bad)  # slot 30 is unregistered -> offload killed
+        # the system is still clean and serviceable
+        assert worker.system.heap_stats()["live_matrices"] == 0
+        good = gemm_request(
+            1,
+            rng.integers(-5, 5, (4, 4)).astype(np.int16),
+            rng.integers(-5, 5, (4, 4)).astype(np.int16),
+        )
+        result = worker.run(good)
+        assert np.array_equal(result.output, expected_output(good))
