@@ -6,17 +6,29 @@ workload (gemm / conv_layer / compiled fc / kernel graphs), verifies every
 output against the numpy golden models, and emits one JSON perf record —
 the repo's serving-performance trajectory, tracked per commit by CI.
 
+The record carries two sections: **offline** (the whole batch present at
+cycle 0, assignment precomputed by the engine's policy) and **online**
+(the same workload replayed as arrival-driven traffic through the FIFO
+admission queue + least-backlog dispatcher, reporting the
+``queue_delay + service`` latency split, per-worker utilization and the
+sustained req/Mcycle under load).
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_serving.py --smoke
     PYTHONPATH=src python benchmarks/bench_serving.py --requests 500 --pool 4 \
         --processes 2 --output my_record.json
+    PYTHONPATH=src python benchmarks/bench_serving.py --trace poisson:50
+    PYTHONPATH=src python benchmarks/bench_serving.py --trace bursty:8:200000
 
-``--smoke`` is the CI configuration: 100 small requests over a pool of 2,
-single process — exercising the long-lived-pool lifecycle (the run would
-MemoryError within a handful of requests without heap recycling) in a few
-seconds.  The JSON lands at ``benchmarks/results/BENCH_serving.json`` by
-default.
+``--trace`` takes any :meth:`repro.serve.traffic.TrafficSpec.parse` spec
+(``poisson:<rate>``, ``uniform:<low>:<high>``, ``bursty:<burst>:<gap>``,
+``trace:<c0,c1,...>``); arrivals are seeded by ``--traffic-seed`` so the
+online section is reproducible.  ``--smoke`` is the CI configuration:
+100 small requests over a pool of 2, single process — exercising the
+long-lived-pool lifecycle (the run would MemoryError within a handful of
+requests without heap recycling) in a few seconds.  The JSON lands at
+``benchmarks/results/BENCH_serving.json`` by default.
 """
 
 from __future__ import annotations
@@ -90,6 +102,12 @@ def main() -> None:
     parser.add_argument("--seed", type=int, default=2025)
     parser.add_argument("--policy", default="least_loaded",
                         choices=("least_loaded", "round_robin"))
+    parser.add_argument("--trace", default="poisson:25",
+                        help="online arrival process, e.g. poisson:25, "
+                             "uniform:10000:50000, bursty:8:200000, "
+                             "trace:0,500,9000 (rate in req/Mcycle)")
+    parser.add_argument("--traffic-seed", type=int, default=7,
+                        help="seed for the online arrival process")
     parser.add_argument("--lanes", type=int, default=4)
     parser.add_argument("--no-verify", action="store_true",
                         help="skip golden-model output checks")
@@ -109,7 +127,17 @@ def main() -> None:
         pool_size=args.pool, config=config, policy=args.policy,
         processes=args.processes,
     )
-    report = engine.serve(requests, verify=not args.no_verify)
+    offline = engine.serve(requests, verify=not args.no_verify)
+
+    # online serving runs the pool in one simulated-time domain, so it
+    # always uses a serial engine (results are seeded-deterministic)
+    online_engine = engine if engine.processes == 1 else ServingEngine(
+        pool_size=args.pool, config=config, policy=args.policy,
+    )
+    online = online_engine.serve_online(
+        requests, traffic=args.trace, seed=args.traffic_seed,
+        verify=not args.no_verify,
+    )
 
     record = {
         "benchmark": "serving",
@@ -120,18 +148,24 @@ def main() -> None:
             "base_size": args.size,
             "seed": args.seed,
             "mix": "40% conv_layer / 30% gemm / 20% fc / 10% 3-node graph",
+            "trace": args.trace,
+            "traffic_seed": args.traffic_seed,
         },
         "system": {
             "pool_size": args.pool,
             "processes": engine.processes,
             "config": config.describe(),
         },
-        "report": report.as_dict(),
+        "offline": offline.as_dict(),
+        "online": online.as_dict(),
     }
     args.output.parent.mkdir(parents=True, exist_ok=True)
     args.output.write_text(json.dumps(record, indent=2) + "\n")
 
-    print(report.summary())
+    print("== offline (batch at cycle 0) ==")
+    print(offline.summary())
+    print("\n== online (arrival-driven) ==")
+    print(online.summary())
     print(f"\nJSON perf record written to {args.output}")
 
 

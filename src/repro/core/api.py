@@ -47,6 +47,10 @@ class Matrix:
     def __post_init__(self) -> None:
         if self.rows <= 0 or self.cols <= 0:
             raise ValueError(f"matrix shape {self.rows}x{self.cols} must be positive")
+        # Normalize so Matrix(..., dtype=np.int32) and
+        # Matrix(..., dtype=np.dtype(np.int32)) compare/hash equal
+        # (frozen dataclass, hence object.__setattr__).
+        object.__setattr__(self, "dtype", np.dtype(self.dtype))
 
     @property
     def etype(self) -> ElementType:

@@ -1,13 +1,26 @@
-"""Aggregate serving metrics: throughput and latency percentiles.
+"""Aggregate serving metrics: throughput, latency, and the queueing split.
 
-A :class:`ServingReport` condenses one batch served by the
-:class:`~repro.serve.engine.ServingEngine` into the numbers a capacity
-planner reads: requests per second of harness wall-clock, simulated
-cycles per request (mean and p50/p90/p99 latency), the pool's simulated
-makespan (the slowest worker's accumulated cycles — the batch's
-simulated wall-clock on real silicon) and the derived requests per
-simulated megacycle.  ``as_dict`` is JSON-clean; ``bench_serving.py``
-persists it as the repo's serving-perf trajectory record.
+A :class:`ServingReport` condenses one served batch into the numbers a
+capacity planner reads.  Both serving modes share the core fields —
+requests per second of harness wall-clock, simulated cycles per request,
+latency percentiles, the pool's simulated makespan and the derived
+requests per simulated megacycle — but they mean slightly different
+things per mode:
+
+* **offline** (``ServingEngine.serve``): latency is pure service time,
+  and the makespan is the slowest worker's accumulated cycles (requests
+  are all present at cycle 0);
+* **online** (``ServingEngine.serve_online``): requests arrive over
+  simulated time, so end-to-end latency splits into
+  ``queue_delay + service`` (reported as separate percentile blocks),
+  the makespan is the cycle the last request completes, and
+  ``requests_per_megacycle`` over that makespan is the pool's
+  *sustained* throughput under the offered load.
+
+``per_worker`` carries each worker's served count, busy cycles and
+utilization (busy / makespan — idle gaps between arrivals count against
+it in online mode).  ``as_dict`` is JSON-clean; ``bench_serving.py``
+persists both modes as the repo's serving-perf trajectory record.
 """
 
 from __future__ import annotations
@@ -20,12 +33,28 @@ import numpy as np
 
 from repro.runtime.phases import PhaseBreakdown
 
+#: Serving modes a report can describe.
+MODES = ("offline", "online")
+
 
 def percentile(values: Sequence[float], q: float) -> float:
     """Linear-interpolated percentile (q in [0, 100]); 0.0 for no samples."""
     if not values:
         return 0.0
     return float(np.percentile(np.asarray(values, dtype=np.float64), q))
+
+
+def latency_stats(values: Sequence[float]) -> Dict[str, float]:
+    """The standard min/mean/p50/p90/p99/max block over a sample list."""
+    ordered = sorted(float(v) for v in values)
+    return {
+        "min": ordered[0] if ordered else 0.0,
+        "mean": (sum(ordered) / len(ordered)) if ordered else 0.0,
+        "p50": percentile(ordered, 50),
+        "p90": percentile(ordered, 90),
+        "p99": percentile(ordered, 99),
+        "max": ordered[-1] if ordered else 0.0,
+    }
 
 
 @dataclass
@@ -41,9 +70,15 @@ class ServingReport:
     makespan_cycles: int
     latency_cycles: Dict[str, float]
     per_kind: Dict[str, int]
-    per_worker: Dict[int, Dict[str, int]]
+    per_worker: Dict[int, Dict[str, float]]
     breakdown: PhaseBreakdown = field(default_factory=PhaseBreakdown)
     verified: Optional[bool] = None
+    mode: str = "offline"
+    #: canonical traffic spec string (online mode only)
+    traffic: Optional[str] = None
+    #: queueing split (online mode only): latency == queue_delay + service
+    queue_delay_cycles: Optional[Dict[str, float]] = None
+    service_cycles: Optional[Dict[str, float]] = None
     #: per-request detail (with outputs); rides along, excluded from as_dict
     results: List = field(default_factory=list, repr=False)
 
@@ -60,13 +95,15 @@ class ServingReport:
 
     @property
     def requests_per_megacycle(self) -> float:
-        """Modelled-silicon throughput over the pool's simulated makespan."""
+        """Modelled-silicon throughput over the simulated makespan — in
+        online mode the *sustained* rate under the offered load."""
         if not self.makespan_cycles:
             return 0.0
         return self.n_requests / self.makespan_cycles * 1e6
 
     def as_dict(self) -> dict:
-        return {
+        record = {
+            "mode": self.mode,
             "n_requests": self.n_requests,
             "pool_size": self.pool_size,
             "processes": self.processes,
@@ -79,10 +116,25 @@ class ServingReport:
             "requests_per_megacycle": round(self.requests_per_megacycle, 4),
             "latency_cycles": {k: round(v, 1) for k, v in self.latency_cycles.items()},
             "per_kind": dict(self.per_kind),
-            "per_worker": {str(k): dict(v) for k, v in sorted(self.per_worker.items())},
+            "per_worker": {
+                str(k): {
+                    m: (round(v, 4) if m == "utilization" else v)
+                    for m, v in stats.items()
+                }
+                for k, stats in sorted(self.per_worker.items())
+            },
             "phase_cycles": self.breakdown.as_dict(),
             "verified": self.verified,
         }
+        if self.mode == "online":
+            record["traffic"] = self.traffic
+            record["queue_delay_cycles"] = {
+                k: round(v, 1) for k, v in (self.queue_delay_cycles or {}).items()
+            }
+            record["service_cycles"] = {
+                k: round(v, 1) for k, v in (self.service_cycles or {}).items()
+            }
+        return record
 
     def to_json(self, indent: int = 2) -> str:
         return json.dumps(self.as_dict(), indent=indent)
@@ -91,19 +143,37 @@ class ServingReport:
         lat = self.latency_cycles
         lines = [
             f"served {self.n_requests} requests over {self.pool_size} ARCANE "
-            f"instance(s), {self.processes} process(es), policy={self.policy}",
+            f"instance(s), {self.processes} process(es), "
+            + (f"traffic={self.traffic}" if self.mode == "online"
+               else f"policy={self.policy}"),
             f"  wall-clock      : {self.wall_seconds:.2f} s "
             f"({self.requests_per_second:.1f} req/s)",
             f"  simulated       : {self.total_sim_cycles:,} cycles total, "
             f"{self.cycles_per_request:,.0f} cycles/request",
             f"  pool makespan   : {self.makespan_cycles:,} cycles "
-            f"({self.requests_per_megacycle:.2f} req/Mcycle)",
+            f"({self.requests_per_megacycle:.2f} req/Mcycle"
+            + (" sustained)" if self.mode == "online" else ")"),
             f"  latency (cycles): p50={lat.get('p50', 0):,.0f} "
             f"p90={lat.get('p90', 0):,.0f} p99={lat.get('p99', 0):,.0f} "
             f"max={lat.get('max', 0):,.0f}",
-            "  per kind        : "
-            + ", ".join(f"{k}={v}" for k, v in sorted(self.per_kind.items())),
         ]
+        if self.mode == "online" and self.queue_delay_cycles is not None:
+            q = self.queue_delay_cycles
+            lines.append(
+                f"  queue delay     : p50={q.get('p50', 0):,.0f} "
+                f"p90={q.get('p90', 0):,.0f} p99={q.get('p99', 0):,.0f} "
+                f"max={q.get('max', 0):,.0f}"
+            )
+        if self.per_worker:
+            util = ", ".join(
+                f"w{worker}={stats.get('utilization', 0.0):.0%}"
+                for worker, stats in sorted(self.per_worker.items())
+            )
+            lines.append(f"  utilization     : {util}")
+        lines.append(
+            "  per kind        : "
+            + ", ".join(f"{k}={v}" for k, v in sorted(self.per_kind.items()))
+        )
         if self.verified is not None:
             lines.append(f"  verified        : {'all outputs match golden' if self.verified else 'MISMATCH'}")
         return "\n".join(lines)
@@ -116,11 +186,24 @@ def build_serving_report(
     policy: str,
     wall_seconds: float,
     verified: Optional[bool] = None,
+    mode: str = "offline",
+    traffic: Optional[str] = None,
 ) -> ServingReport:
-    """Fold per-request results into one :class:`ServingReport`."""
-    latencies: List[int] = sorted(r.sim_cycles for r in results)
+    """Fold per-request results into one :class:`ServingReport`.
+
+    Offline latency is service time; online latency is end-to-end
+    (``completion - arrival``), with the queue-delay and service splits
+    reported alongside, and the makespan is the last completion cycle.
+    """
+    if mode not in MODES:
+        raise ValueError(f"unknown serving mode {mode!r}; expected one of {MODES}")
+    services = [r.sim_cycles for r in results]
     per_kind: Dict[str, int] = {}
-    per_worker: Dict[int, Dict[str, int]] = {}
+    # seed every pool slot so idle workers report served=0 / 0% utilization
+    # instead of silently vanishing from the record
+    per_worker: Dict[int, Dict[str, float]] = {
+        w: {"served": 0, "busy_cycles": 0} for w in range(pool_size)
+    }
     breakdown = PhaseBreakdown()
     for result in results:
         per_kind[result.kind] = per_kind.get(result.kind, 0) + 1
@@ -128,27 +211,47 @@ def build_serving_report(
         worker["served"] += 1
         worker["busy_cycles"] += result.sim_cycles
         breakdown.merge(result.breakdown)
-    latency_cycles = {
-        "min": float(latencies[0]) if latencies else 0.0,
-        "mean": (sum(latencies) / len(latencies)) if latencies else 0.0,
-        "p50": percentile(latencies, 50),
-        "p90": percentile(latencies, 90),
-        "p99": percentile(latencies, 99),
-        "max": float(latencies[-1]) if latencies else 0.0,
-    }
+
+    queue_delays: Optional[Dict[str, float]] = None
+    service_stats: Optional[Dict[str, float]] = None
+    if mode == "online":
+        missing = [
+            r.request_id for r in results
+            if r.latency_cycles is None or r.queue_delay_cycles is None
+        ]
+        if missing:
+            raise ValueError(
+                f"online report needs simulated timelines; requests {missing} "
+                "have none (were they served offline?)"
+            )
+        latencies = [r.latency_cycles for r in results]
+        queue_delays = latency_stats([r.queue_delay_cycles for r in results])
+        service_stats = latency_stats(services)
+        makespan = max((r.completion_cycle for r in results), default=0)
+    else:
+        latencies = services
+        makespan = max(
+            (int(w["busy_cycles"]) for w in per_worker.values()), default=0
+        )
+    for stats in per_worker.values():
+        stats["utilization"] = (
+            stats["busy_cycles"] / makespan if makespan else 0.0
+        )
     return ServingReport(
         n_requests=len(results),
         pool_size=pool_size,
         processes=processes,
         policy=policy,
         wall_seconds=wall_seconds,
-        total_sim_cycles=sum(latencies),
-        makespan_cycles=max(
-            (w["busy_cycles"] for w in per_worker.values()), default=0
-        ),
-        latency_cycles=latency_cycles,
+        total_sim_cycles=sum(services),
+        makespan_cycles=makespan,
+        latency_cycles=latency_stats(latencies),
         per_kind=per_kind,
         per_worker=per_worker,
         breakdown=breakdown,
         verified=verified,
+        mode=mode,
+        traffic=traffic,
+        queue_delay_cycles=queue_delays,
+        service_cycles=service_stats,
     )

@@ -54,10 +54,20 @@ class DmaRequest:
     def __post_init__(self) -> None:
         if self.rows < 0 or self.row_bytes < 0:
             raise ValueError("rows and row_bytes must be non-negative")
+        if self.src_stride < 0 or self.dst_stride < 0:
+            raise ValueError(
+                f"DMA strides must be non-negative, got src_stride="
+                f"{self.src_stride}, dst_stride={self.dst_stride}"
+            )
         if self.src_stride == 0:
             self.src_stride = self.row_bytes
         if self.dst_stride == 0:
             self.dst_stride = self.row_bytes
+
+    @property
+    def empty(self) -> bool:
+        """True when the transfer moves no bytes (zero rows or zero-byte rows)."""
+        return self.rows == 0 or self.row_bytes == 0
 
     @property
     def total_bytes(self) -> int:
@@ -85,6 +95,8 @@ class Dma2D:
 
     def transfer(self, request: DmaRequest) -> int:
         """Execute the whole transfer immediately; return its cycle cost."""
+        if request.empty:
+            return 0
         for row in range(request.rows):
             self._copy_row(request, row)
         cycles = self.cycles(request)
@@ -107,6 +119,8 @@ class Dma2D:
         that unblocks halfway through an allocation must observe the rows
         already copied and not the ones still pending.
         """
+        if request.empty:
+            return 0
         per_row = self.bus.transfer_cycles(request.row_bytes, offchip=request.offchip)
         for row in range(request.rows):
             self._copy_row(request, row)

@@ -5,20 +5,30 @@ Quickstart::
     from repro.serve import ServingEngine, gemm_request, conv_layer_request
 
     engine = ServingEngine(pool_size=2)
-    report = engine.serve(
+    report = engine.serve(          # offline: the whole batch at cycle 0
         [gemm_request(0, a, b), conv_layer_request(1, image, filters)],
         verify=True,
     )
+    online = engine.serve_online(   # online: arrival-driven, simulated time
+        requests, traffic="poisson:25", seed=7, verify=True,
+    )
     print(report.summary())
-    print(report.to_json())
+    print(online.summary())         # queue delay + service split, utilization
 
 See ``examples/serving.py`` for the full tour and
 ``benchmarks/bench_serving.py`` for the throughput benchmark.
 """
 
-from repro.eval.serving import ServingReport, build_serving_report, percentile
+from repro.eval.serving import (
+    MODES,
+    ServingReport,
+    build_serving_report,
+    latency_stats,
+    percentile,
+)
 from repro.serve.engine import POLICIES, ServingEngine
 from repro.serve.golden import expected_output, kernel_golden
+from repro.serve.online import OnlineDispatcher, OnlineEvent
 from repro.serve.request import (
     KINDS,
     GraphNode,
@@ -29,18 +39,30 @@ from repro.serve.request import (
     graph_request,
     kernel_request,
 )
+from repro.serve.traffic import (
+    TRAFFIC_KINDS,
+    TrafficSpec,
+    arrival_cycles,
+    stamp_arrivals,
+)
 from repro.serve.worker import RequestRejected, SystemWorker
 
 __all__ = [
     "KINDS",
+    "MODES",
     "POLICIES",
+    "TRAFFIC_KINDS",
     "GraphNode",
     "InferenceRequest",
+    "OnlineDispatcher",
+    "OnlineEvent",
     "RequestRejected",
     "RequestResult",
     "ServingEngine",
     "ServingReport",
     "SystemWorker",
+    "TrafficSpec",
+    "arrival_cycles",
     "build_serving_report",
     "conv_layer_request",
     "expected_output",
@@ -48,5 +70,7 @@ __all__ = [
     "graph_request",
     "kernel_golden",
     "kernel_request",
+    "latency_stats",
     "percentile",
+    "stamp_arrivals",
 ]

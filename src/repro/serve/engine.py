@@ -6,10 +6,15 @@ over a pool of long-lived, reusable
 layer the ROADMAP's "serve heavy traffic" north-star asks for, built on
 the lifecycle guarantees of ``ArcaneSystem.reset_heap()``:
 
-* **scheduling** — request→worker assignment is computed up front,
-  either balancing estimated load by operand volume (``least_loaded``,
-  models a load balancer fronting identical accelerator instances) or
-  strictly round-robin;
+* **scheduling** — the *offline* path (:meth:`ServingEngine.serve`)
+  computes request→worker assignment up front, either balancing
+  estimated load by operand volume (``least_loaded``, models a load
+  balancer fronting identical accelerator instances) or strictly
+  round-robin; the *online* path (:meth:`ServingEngine.serve_online`)
+  instead replays seeded request arrivals in simulated time through a
+  FIFO admission queue and dispatches each request at its arrival cycle
+  to the worker with the smallest actual backlog
+  (:mod:`repro.serve.online`);
 * **parallelism** — with ``processes > 1`` the pool is partitioned over
   OS processes (each owns its workers outright), so independent
   simulations use multiple host cores; results are identical to the
@@ -22,14 +27,16 @@ the lifecycle guarantees of ``ArcaneSystem.reset_heap()``:
 from __future__ import annotations
 
 import time
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.core.config import ArcaneConfig
 from repro.eval.serving import ServingReport, build_serving_report
 from repro.serve.golden import expected_output
+from repro.serve.online import OnlineDispatcher
 from repro.serve.request import InferenceRequest, RequestResult
+from repro.serve.traffic import TrafficSpec, stamp_arrivals
 from repro.serve.worker import SystemWorker
 
 POLICIES = ("least_loaded", "round_robin")
@@ -134,21 +141,38 @@ class ServingEngine:
 
     # -- serving --------------------------------------------------------------
 
+    @staticmethod
+    def _check_unique_ids(requests: Sequence[InferenceRequest]) -> None:
+        seen_ids = set()
+        for request in requests:
+            if request.request_id in seen_ids:
+                raise ValueError(f"duplicate request_id {request.request_id}")
+            seen_ids.add(request.request_id)
+
+    @staticmethod
+    def _verify_outputs(
+        requests: Sequence[InferenceRequest], results: Sequence[RequestResult]
+    ) -> bool:
+        for request, result in zip(requests, results):
+            expected = expected_output(request)
+            if not np.array_equal(result.output, expected):
+                raise AssertionError(
+                    f"request {request.request_id} ({request.kind}): output "
+                    "does not match the golden model"
+                )
+        return True
+
     def serve(
         self, requests: Sequence[InferenceRequest], verify: bool = False
     ) -> ServingReport:
-        """Run every request, return the aggregate report.
+        """Run every request as an offline batch, return the aggregate report.
 
         Per-request results (with outputs) are kept on ``report.results``;
         with ``verify=True`` every output is checked against the numpy
         golden model and a mismatch raises immediately.
         """
         requests = list(requests)
-        seen_ids = set()
-        for request in requests:
-            if request.request_id in seen_ids:
-                raise ValueError(f"duplicate request_id {request.request_id}")
-            seen_ids.add(request.request_id)
+        self._check_unique_ids(requests)
         assignments = self._assign(requests)
         # wall time covers serving on a ready pool in both modes: the serial
         # pool is built in __init__, and parallel shards time their serving
@@ -164,19 +188,58 @@ class ServingEngine:
 
         verified: Optional[bool] = None
         if verify:
-            for request, result in zip(requests, results):
-                expected = expected_output(request)
-                if not np.array_equal(result.output, expected):
-                    raise AssertionError(
-                        f"request {request.request_id} ({request.kind}): output "
-                        "does not match the golden model"
-                    )
-            verified = True
+            verified = self._verify_outputs(requests, results)
 
         report = build_serving_report(
             results, self.pool_size, self.processes, self.policy, wall, verified
         )
         report.results = results  # per-request detail rides along (not in JSON)
+        return report
+
+    def serve_online(
+        self,
+        requests: Sequence[InferenceRequest],
+        traffic: Optional[Union[str, TrafficSpec]] = None,
+        seed: int = 0,
+        verify: bool = False,
+    ) -> ServingReport:
+        """Serve requests as arrival-driven traffic in simulated time.
+
+        With ``traffic`` (a spec string like ``"poisson:25"`` or a
+        :class:`~repro.serve.traffic.TrafficSpec`), requests are stamped
+        with seeded arrival cycles first; without it, each request's own
+        ``arrival_cycle`` is replayed as-is.  The pool then runs the
+        :class:`~repro.serve.online.OnlineDispatcher` event loop — FIFO
+        admission, least-backlog dispatch — and the report splits each
+        request's end-to-end latency into ``queue_delay + service`` cycles, with
+        per-worker utilization over the simulated makespan.  Results are
+        deterministic for a fixed ``(traffic, seed)``.
+        """
+        if self.processes != 1:
+            raise RuntimeError(
+                "online serving runs the pool in one simulated-time domain; "
+                "use processes=1"
+            )
+        requests = list(requests)
+        self._check_unique_ids(requests)
+        spec: Optional[TrafficSpec] = None
+        if traffic is not None:
+            spec = traffic if isinstance(traffic, TrafficSpec) else TrafficSpec.parse(traffic)
+            requests = stamp_arrivals(requests, spec, seed)
+        dispatcher = OnlineDispatcher(self.workers)
+        start = time.perf_counter()
+        results = dispatcher.run(requests)
+        wall = time.perf_counter() - start
+
+        verified: Optional[bool] = None
+        if verify:
+            verified = self._verify_outputs(requests, results)
+
+        report = build_serving_report(
+            results, self.pool_size, self.processes, self.policy, wall, verified,
+            mode="online", traffic=spec.describe() if spec else "replay",
+        )
+        report.results = results
         return report
 
     def _serve_parallel(
@@ -205,9 +268,36 @@ class ServingEngine:
         ]
         with mp.Pool(self.processes) as pool:
             shard_results = pool.map(_serve_shard, jobs)
-        results: List[Optional[RequestResult]] = [None] * len(assignments)
-        for p, (_, batch) in enumerate(shard_results):
-            for position, result in zip(order[p], batch):
-                results[position] = result
+        results = self._reassemble(
+            len(assignments), order, [batch for _, batch in shard_results]
+        )
         wall = max((seconds for seconds, _ in shard_results), default=0.0)
-        return wall, [r for r in results if r is not None]
+        return wall, results
+
+    @staticmethod
+    def _reassemble(
+        n_requests: int,
+        order: Dict[int, List[int]],
+        batches: Sequence[Sequence[RequestResult]],
+    ) -> List[RequestResult]:
+        """Scatter shard batches back to submission order; every position
+        must be filled.  A missing result (a shard returning short) must
+        raise rather than be silently dropped — downstream ``serve()``
+        zips results against requests positionally, so a dropped entry
+        would misalign every later verify/report row."""
+        results: List[Optional[RequestResult]] = [None] * n_requests
+        for shard, batch in enumerate(batches):
+            positions = order[shard]
+            if len(batch) != len(positions):
+                raise RuntimeError(
+                    f"shard {shard} returned {len(batch)} results for "
+                    f"{len(positions)} requests"
+                )
+            for position, result in zip(positions, batch):
+                results[position] = result
+        missing = [i for i, r in enumerate(results) if r is None]
+        if missing:
+            raise RuntimeError(
+                f"parallel serving lost results for request positions {missing}"
+            )
+        return results  # type: ignore[return-value]

@@ -1,0 +1,119 @@
+"""Online serving: an arrival-driven event loop in simulated cycles.
+
+The offline :class:`~repro.serve.engine.ServingEngine` path assigns every
+request up front by *estimated* operand volume — a batch calculator.
+This module is the queueing simulator the ROADMAP's "heavy traffic"
+north-star needs: requests *arrive* over simulated time (stamped by
+:mod:`repro.serve.traffic`), wait in a FIFO admission queue, and are
+dispatched at their arrival cycle to the worker with the smallest
+**actual** cycle backlog — the load balancer sees real queue depths, not
+operand-volume guesses.
+
+Everything lives in one simulated-cycle domain: a request's service time
+is the cycles its ARCANE system actually simulates (bit-exact with a
+single-shot run, thanks to ``reset_heap()``), and its completion cycle is
+``start + service`` on the worker's timeline.  Per request::
+
+    queue_delay = start_cycle - arrival_cycle      (>= 0)
+    latency     = completion_cycle - arrival_cycle (== queue_delay + service)
+
+The loop is deterministic: a fixed traffic seed fixes the arrival stamps,
+FIFO admission breaks simultaneous arrivals by submission order, and
+backlog ties go to the lowest worker index — so online reports (and their
+queue-delay percentiles) are exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.serve.request import InferenceRequest, RequestResult
+from repro.serve.worker import SystemWorker
+
+#: Event kinds recorded on the dispatcher's timeline.
+ARRIVAL = "arrival"
+DISPATCH = "dispatch"
+COMPLETION = "completion"
+
+
+@dataclass(frozen=True)
+class OnlineEvent:
+    """One entry in the simulated-time event log."""
+
+    cycle: int
+    kind: str
+    request_id: int
+    worker: Optional[int] = None
+
+
+class OnlineDispatcher:
+    """FIFO admission + least-backlog dispatch over a worker pool.
+
+    The dispatcher owns the simulated clock.  Requests are admitted in
+    ``(arrival_cycle, submission order)`` order — a FIFO queue in front
+    of the pool — and each is routed *at its arrival cycle* to the
+    worker whose backlog (cycles of already-dispatched work still
+    pending at that instant) is smallest.  Service happens by actually
+    running the request on the chosen worker, so timing is the
+    simulator's, not an estimate.
+    """
+
+    def __init__(self, workers: Sequence[SystemWorker]) -> None:
+        if not workers:
+            raise ValueError("online dispatch needs at least one worker")
+        self.workers = list(workers)
+        #: cycle at which each worker drains all dispatched work
+        self.free_at = [0] * len(self.workers)
+        #: chronological event log (arrival / dispatch / completion)
+        self.events: List[OnlineEvent] = []
+
+    def backlog(self, worker: int, now: int) -> int:
+        """Cycles of pending work on ``worker`` as seen at cycle ``now``."""
+        return max(0, self.free_at[worker] - now)
+
+    def run(self, requests: Sequence[InferenceRequest]) -> List[RequestResult]:
+        """Serve every request in simulated time; results in input order."""
+        admission: List[Tuple[int, int, InferenceRequest]] = sorted(
+            ((request.arrival_cycle, position, request)
+             for position, request in enumerate(requests)),
+            key=lambda entry: entry[:2],
+        )
+        completions: List[Tuple[int, int, int, int]] = []  # heap: (cycle, pos, rid, w)
+        results: List[Optional[RequestResult]] = [None] * len(admission)
+        for arrival, position, request in admission:
+            # retire completions that happen before this arrival, so the
+            # event log interleaves chronologically
+            while completions and completions[0][0] <= arrival:
+                cycle, _, rid, worker = heapq.heappop(completions)
+                self.events.append(OnlineEvent(cycle, COMPLETION, rid, worker))
+            self.events.append(OnlineEvent(arrival, ARRIVAL, request.request_id))
+            worker = min(
+                range(len(self.workers)),
+                key=lambda w: (self.backlog(w, arrival), w),
+            )
+            start = max(arrival, self.free_at[worker])
+            result = self.workers[worker].run(request)
+            completion = start + result.sim_cycles
+            result.arrival_cycle = arrival
+            result.start_cycle = start
+            result.completion_cycle = completion
+            self.free_at[worker] = completion
+            self.events.append(
+                OnlineEvent(arrival, DISPATCH, request.request_id, result.worker)
+            )
+            heapq.heappush(
+                completions, (completion, position, request.request_id, result.worker)
+            )
+            results[position] = result
+        while completions:
+            cycle, _, rid, worker = heapq.heappop(completions)
+            self.events.append(OnlineEvent(cycle, COMPLETION, rid, worker))
+        assert all(r is not None for r in results)
+        return results  # type: ignore[return-value]
+
+    @property
+    def makespan_cycles(self) -> int:
+        """Simulated cycle at which the last dispatched request completes."""
+        return max(self.free_at, default=0)

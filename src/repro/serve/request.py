@@ -44,15 +44,25 @@ class GraphNode:
 
 @dataclass
 class InferenceRequest:
-    """One independent inference job for the serving engine."""
+    """One independent inference job for the serving engine.
+
+    ``arrival_cycle`` places the request in the pool's simulated-cycle
+    domain for online serving (:meth:`ServingEngine.serve_online`); the
+    offline path ignores it.  Traffic processes in
+    :mod:`repro.serve.traffic` stamp it; the default of 0 means "already
+    waiting when the simulation starts".
+    """
 
     request_id: int
     kind: str
     payload: Dict[str, Any]
+    arrival_cycle: int = 0
 
     def __post_init__(self) -> None:
         if self.kind not in KINDS:
             raise ValueError(f"unknown request kind {self.kind!r}; expected {KINDS}")
+        if self.arrival_cycle < 0:
+            raise ValueError(f"arrival_cycle must be >= 0, got {self.arrival_cycle}")
 
 
 def gemm_request(
@@ -133,7 +143,16 @@ def graph_request(
 
 @dataclass
 class RequestResult:
-    """The serving engine's answer for one request."""
+    """The serving engine's answer for one request.
+
+    ``sim_cycles`` is always the *service* time (cycles the assigned
+    system spent executing the request).  In online mode the dispatcher
+    also fills the simulated timeline — ``arrival_cycle``,
+    ``start_cycle``, ``completion_cycle`` — from which the queueing
+    split derives: ``queue_delay_cycles + sim_cycles ==
+    latency_cycles`` per request.  Offline results leave the timeline
+    ``None``.
+    """
 
     request_id: int
     kind: str
@@ -143,7 +162,24 @@ class RequestResult:
     breakdown: PhaseBreakdown
     wall_seconds: float
     reports: List[RunReport] = field(default_factory=list, repr=False)
+    arrival_cycle: Optional[int] = None
+    start_cycle: Optional[int] = None
+    completion_cycle: Optional[int] = None
 
     @property
     def offload_count(self) -> int:
         return sum(r.offload_count for r in self.reports)
+
+    @property
+    def queue_delay_cycles(self) -> Optional[int]:
+        """Cycles spent waiting in queue before service began (online)."""
+        if self.start_cycle is None or self.arrival_cycle is None:
+            return None
+        return self.start_cycle - self.arrival_cycle
+
+    @property
+    def latency_cycles(self) -> Optional[int]:
+        """End-to-end simulated latency: arrival to completion (online)."""
+        if self.completion_cycle is None or self.arrival_cycle is None:
+            return None
+        return self.completion_cycle - self.arrival_cycle

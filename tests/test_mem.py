@@ -160,6 +160,37 @@ class TestDma2D:
         with pytest.raises(ValueError):
             DmaRequest(src_addr=0, dst_addr=0, row_bytes=-1, rows=1)
 
+    def test_negative_strides_rejected(self):
+        with pytest.raises(ValueError, match="strides must be non-negative"):
+            DmaRequest(src_addr=0, dst_addr=0, row_bytes=8, rows=2, src_stride=-8)
+        with pytest.raises(ValueError, match="strides must be non-negative"):
+            DmaRequest(src_addr=0, dst_addr=0, row_bytes=8, rows=2, dst_stride=-8)
+
+    def test_empty_transfer_skips_stats(self):
+        # zero rows and zero-byte rows move nothing: no cycles, no counters
+        dma = Dma2D(BusModel())
+        assert dma.transfer(DmaRequest(src_addr=0, dst_addr=0, row_bytes=8,
+                                       rows=0)) == 0
+        assert dma.transfer(DmaRequest(src_addr=0, dst_addr=0, row_bytes=0,
+                                       rows=5)) == 0
+        assert dma.stats.value("dma.transfers") == 0
+        assert dma.stats.value("dma.bytes") == 0
+        assert dma.stats.value("dma.cycles") == 0
+
+    def test_empty_transfer_process_skips_stats(self):
+        dma = Dma2D(BusModel())
+        sim = Simulator()
+        sim.run_process(dma.transfer_process(
+            sim, DmaRequest(src_addr=0, dst_addr=0, row_bytes=8, rows=0)))
+        assert sim.now == 0
+        assert dma.stats.value("dma.transfers") == 0
+
+    @given(st.integers(0, 8), st.integers(0, 32))
+    @settings(max_examples=20, deadline=None)
+    def test_empty_iff_no_bytes(self, rows, row_bytes):
+        request = DmaRequest(src_addr=0, dst_addr=0, row_bytes=row_bytes, rows=rows)
+        assert request.empty == (request.total_bytes == 0)
+
     @given(st.integers(1, 8), st.integers(1, 32), st.integers(0, 64))
     @settings(max_examples=20, deadline=None)
     def test_total_bytes_property(self, rows, row_bytes, extra_stride):

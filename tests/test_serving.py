@@ -1,5 +1,6 @@
 """Serving engine tests: scheduling, bit-exactness, parallelism, reports."""
 
+import dataclasses
 import json
 
 import numpy as np
@@ -7,17 +8,21 @@ import pytest
 
 from repro.compiler import FUNC5_CGEMM, FUNC5_EWISE_ADD, FUNC5_FC, FUNC5_ROWSUM
 from repro.core.config import ArcaneConfig
-from repro.eval.serving import percentile
+from repro.eval.serving import build_serving_report, latency_stats, percentile
 from repro.serve import (
     GraphNode,
     InferenceRequest,
+    OnlineDispatcher,
     ServingEngine,
     SystemWorker,
+    TrafficSpec,
+    arrival_cycles,
     conv_layer_request,
     expected_output,
     gemm_request,
     graph_request,
     kernel_request,
+    stamp_arrivals,
 )
 
 CFG = ArcaneConfig(n_vpus=2, lanes=4, line_bytes=256, vpu_kib=8, main_memory_kib=512)
@@ -206,3 +211,278 @@ class TestWorkerLifecycle:
         )
         result = worker.run(good)
         assert np.array_equal(result.output, expected_output(good))
+
+
+class TestReportInvariants:
+    """The conservation laws a serving report must satisfy in any mode."""
+
+    def test_total_cycles_is_sum_of_per_request_cycles(self, rng):
+        engine = ServingEngine(pool_size=2, config=CFG)
+        report = engine.serve(mixed_requests(rng, 8))
+        assert report.total_sim_cycles == sum(r.sim_cycles for r in report.results)
+
+    def test_offline_makespan_bounds(self, rng):
+        engine = ServingEngine(pool_size=2, config=CFG)
+        report = engine.serve(mixed_requests(rng, 8))
+        # the slowest worker's pile is at least the largest single request
+        # and at most all the work
+        assert report.makespan_cycles >= max(r.sim_cycles for r in report.results)
+        assert report.makespan_cycles <= report.total_sim_cycles
+        busy = sum(w["busy_cycles"] for w in report.per_worker.values())
+        assert busy == report.total_sim_cycles
+
+    def test_per_worker_utilization_bounded(self, rng):
+        engine = ServingEngine(pool_size=2, config=CFG)
+        report = engine.serve(mixed_requests(rng, 8))
+        for stats in report.per_worker.values():
+            assert 0.0 < stats["utilization"] <= 1.0
+
+    def test_idle_workers_still_reported(self, rng):
+        """A pool slot that served nothing must show up with served=0 and
+        0% utilization, not vanish from the record."""
+        a = rng.integers(-5, 5, (4, 6)).astype(np.int16)
+        b = rng.integers(-5, 5, (6, 4)).astype(np.int16)
+        engine = ServingEngine(pool_size=3, config=CFG)
+        report = engine.serve([gemm_request(0, a, b)])
+        assert set(report.per_worker) == {0, 1, 2}
+        idle = [w for w, s in report.per_worker.items() if s["served"] == 0]
+        assert len(idle) == 2
+        for w in idle:
+            assert report.per_worker[w]["busy_cycles"] == 0
+            assert report.per_worker[w]["utilization"] == 0.0
+
+    def test_latency_stats_empty_and_single_sample(self):
+        empty = latency_stats([])
+        assert all(empty[k] == 0.0 for k in ("min", "mean", "p50", "p90", "p99", "max"))
+        single = latency_stats([42])
+        assert all(single[k] == 42.0 for k in ("min", "mean", "p50", "p90", "p99", "max"))
+
+    def test_empty_result_report(self):
+        report = build_serving_report([], pool_size=2, processes=1,
+                                      policy="least_loaded", wall_seconds=0.0)
+        assert report.n_requests == 0
+        assert report.total_sim_cycles == 0
+        assert report.makespan_cycles == 0
+        assert report.requests_per_megacycle == 0.0
+        assert report.latency_cycles["p99"] == 0.0
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="unknown serving mode"):
+            build_serving_report([], 1, 1, "least_loaded", 0.0, mode="sideways")
+
+    def test_online_report_requires_timelines(self, rng):
+        engine = ServingEngine(pool_size=1, config=CFG)
+        offline = engine.serve(mixed_requests(rng, 2))
+        with pytest.raises(ValueError, match="needs simulated timelines"):
+            build_serving_report(offline.results, 1, 1, "least_loaded", 0.0,
+                                 mode="online")
+
+
+class TestTraffic:
+    def test_parse_round_trips(self):
+        for text in ("poisson:25", "uniform:100:5000", "bursty:8:200000",
+                     "trace:0,500,500,9000"):
+            spec = TrafficSpec.parse(text)
+            assert spec.describe() == text
+            assert TrafficSpec.parse(spec.describe()) == spec
+
+    def test_bad_specs_rejected(self):
+        for text in ("gaussian:5", "poisson:0", "poisson:-3", "poisson:1:2",
+                     "uniform:5", "uniform:9:3", "bursty:0:100", "trace:",
+                     "poisson:abc"):
+            with pytest.raises(ValueError):
+                TrafficSpec.parse(text)
+
+    def test_trace_must_be_non_decreasing(self):
+        with pytest.raises(ValueError, match="non-decreasing"):
+            TrafficSpec("trace", (0, 500, 400))
+        with pytest.raises(ValueError, match="non-negative"):
+            TrafficSpec("trace", (-1, 500))
+
+    def test_arrival_cycles_deterministic_per_seed(self):
+        spec = TrafficSpec.parse("poisson:25")
+        assert arrival_cycles(spec, 20, seed=7) == arrival_cycles(spec, 20, seed=7)
+        assert arrival_cycles(spec, 20, seed=7) != arrival_cycles(spec, 20, seed=8)
+
+    def test_arrival_cycles_non_decreasing(self):
+        for text in ("poisson:25", "uniform:0:1000", "bursty:4:500"):
+            cycles = arrival_cycles(TrafficSpec.parse(text), 50, seed=3)
+            assert len(cycles) == 50
+            assert all(b >= a for a, b in zip(cycles, cycles[1:]))
+            assert all(c >= 0 for c in cycles)
+
+    def test_bursty_pattern(self):
+        cycles = arrival_cycles(TrafficSpec.parse("bursty:3:1000"), 8)
+        assert cycles == [0, 0, 0, 1000, 1000, 1000, 2000, 2000]
+
+    def test_uniform_gaps_within_bounds(self):
+        cycles = arrival_cycles(TrafficSpec.parse("uniform:10:20"), 30, seed=1)
+        gaps = [b - a for a, b in zip([0] + cycles, cycles)]
+        assert all(10 <= g <= 20 for g in gaps)
+
+    def test_trace_replay_and_exhaustion(self):
+        spec = TrafficSpec.parse("trace:0,500,9000")
+        assert arrival_cycles(spec, 2) == [0, 500]
+        with pytest.raises(ValueError, match="trace has 3 arrivals"):
+            arrival_cycles(spec, 4)
+
+    def test_stamp_arrivals_copies_not_mutates(self, rng):
+        a = rng.integers(-5, 5, (4, 4)).astype(np.int16)
+        b = rng.integers(-5, 5, (4, 4)).astype(np.int16)
+        originals = [gemm_request(0, a, b), gemm_request(1, a, b)]
+        stamped = stamp_arrivals(originals, TrafficSpec.parse("trace:100,200"))
+        assert [r.arrival_cycle for r in stamped] == [100, 200]
+        assert all(r.arrival_cycle == 0 for r in originals)
+        assert [r.request_id for r in stamped] == [0, 1]
+
+    def test_negative_arrival_cycle_rejected(self, rng):
+        a = rng.integers(-5, 5, (4, 4)).astype(np.int16)
+        request = gemm_request(0, a, a)
+        with pytest.raises(ValueError, match="arrival_cycle"):
+            dataclasses.replace(request, arrival_cycle=-5)
+
+
+class TestOnlineServing:
+    def test_conservation_laws_per_request(self, rng):
+        engine = ServingEngine(pool_size=2, config=CFG)
+        report = engine.serve_online(mixed_requests(rng, 8),
+                                     traffic="poisson:25", seed=7, verify=True)
+        assert report.mode == "online"
+        assert report.verified is True
+        for r in report.results:
+            assert r.completion_cycle >= r.arrival_cycle
+            assert r.start_cycle >= r.arrival_cycle
+            assert r.queue_delay_cycles >= 0
+            assert r.queue_delay_cycles + r.sim_cycles == r.latency_cycles
+
+    def test_deterministic_under_fixed_seed(self, rng):
+        requests = mixed_requests(rng, 8)
+        first = ServingEngine(pool_size=2, config=CFG).serve_online(
+            requests, traffic="poisson:25", seed=7)
+        second = ServingEngine(pool_size=2, config=CFG).serve_online(
+            requests, traffic="poisson:25", seed=7)
+        for a, b in zip(first.results, second.results):
+            assert (a.arrival_cycle, a.start_cycle, a.completion_cycle,
+                    a.worker) == (b.arrival_cycle, b.start_cycle,
+                                  b.completion_cycle, b.worker)
+        a_dict, b_dict = first.as_dict(), second.as_dict()
+        for volatile in ("wall_seconds", "requests_per_second"):
+            a_dict.pop(volatile), b_dict.pop(volatile)
+        assert a_dict == b_dict
+
+    def test_report_invariants_online(self, rng):
+        engine = ServingEngine(pool_size=2, config=CFG)
+        report = engine.serve_online(mixed_requests(rng, 8),
+                                     traffic="poisson:25", seed=7)
+        results = report.results
+        assert report.total_sim_cycles == sum(r.sim_cycles for r in results)
+        assert report.makespan_cycles == max(r.completion_cycle for r in results)
+        assert report.makespan_cycles >= max(r.latency_cycles for r in results)
+        assert report.traffic == "poisson:25"
+        for stats in report.per_worker.values():
+            assert 0.0 <= stats["utilization"] <= 1.0
+
+    def test_burst_queues_behind_busy_pool(self, rng):
+        # 4 simultaneous arrivals on one worker: FIFO queue, strictly
+        # increasing start cycles, everyone after the first waits
+        engine = ServingEngine(pool_size=1, config=CFG)
+        report = engine.serve_online(mixed_requests(rng, 4), traffic="bursty:4:0")
+        starts = [r.start_cycle for r in report.results]
+        assert starts == sorted(starts)
+        assert report.results[0].queue_delay_cycles == 0
+        for prev, r in zip(report.results, report.results[1:]):
+            assert r.start_cycle == prev.completion_cycle
+            assert r.queue_delay_cycles > 0
+
+    def test_replay_uses_request_stamps(self, rng):
+        a = rng.integers(-5, 5, (4, 6)).astype(np.int16)
+        b = rng.integers(-5, 5, (6, 4)).astype(np.int16)
+        requests = [
+            dataclasses.replace(gemm_request(0, a, b), arrival_cycle=1000),
+            dataclasses.replace(gemm_request(1, a, b), arrival_cycle=2500),
+        ]
+        report = ServingEngine(pool_size=2, config=CFG).serve_online(requests)
+        assert report.traffic == "replay"
+        assert [r.arrival_cycle for r in report.results] == [1000, 2500]
+
+    def test_least_backlog_spreads_simultaneous_burst(self, rng):
+        # a burst of 4 over 2 idle workers must use both (backlog-aware),
+        # with ties broken by lowest worker index
+        engine = ServingEngine(pool_size=2, config=CFG)
+        report = engine.serve_online(mixed_requests(rng, 4), traffic="bursty:4:0")
+        assert report.results[0].worker == 0
+        assert report.results[1].worker == 1
+        assert {r.worker for r in report.results} == {0, 1}
+
+    def test_online_json_record(self, rng):
+        engine = ServingEngine(pool_size=2, config=CFG)
+        report = engine.serve_online(mixed_requests(rng, 6),
+                                     traffic="uniform:100:5000", seed=3)
+        decoded = json.loads(report.to_json())
+        assert decoded["mode"] == "online"
+        assert decoded["traffic"] == "uniform:100:5000"
+        for block in ("latency_cycles", "queue_delay_cycles", "service_cycles"):
+            assert set(decoded[block]) == {"min", "mean", "p50", "p90", "p99", "max"}
+        for stats in decoded["per_worker"].values():
+            assert set(stats) == {"served", "busy_cycles", "utilization"}
+
+    def test_online_rejects_multiprocess_engine(self, rng):
+        engine = ServingEngine(pool_size=2, config=CFG, processes=2)
+        with pytest.raises(RuntimeError, match="processes=1"):
+            engine.serve_online(mixed_requests(rng, 2), traffic="poisson:25")
+
+    def test_online_matches_offline_outputs(self, rng):
+        """Queueing changes timing, never numerics: same outputs either way."""
+        requests = mixed_requests(rng, 8)
+        offline = ServingEngine(pool_size=2, config=CFG).serve(requests)
+        online = ServingEngine(pool_size=2, config=CFG).serve_online(
+            requests, traffic="poisson:25", seed=7)
+        for a, b in zip(offline.results, online.results):
+            assert np.array_equal(a.output, b.output)
+            assert a.sim_cycles == b.sim_cycles  # service time is arrival-free
+
+    def test_event_log_chronological(self, rng):
+        engine = ServingEngine(pool_size=2, config=CFG)
+        requests = engine.serve_online(mixed_requests(rng, 6),
+                                       traffic="poisson:25", seed=7)
+        del requests  # report unused; inspect the dispatcher via a fresh run
+        workers = [SystemWorker(i, CFG) for i in range(2)]
+        dispatcher = OnlineDispatcher(workers)
+        stamped = stamp_arrivals(mixed_requests(rng, 6),
+                                 TrafficSpec.parse("poisson:25"), seed=7)
+        dispatcher.run(stamped)
+        cycles = [event.cycle for event in dispatcher.events]
+        assert cycles == sorted(cycles)
+        kinds = {event.kind for event in dispatcher.events}
+        assert kinds == {"arrival", "dispatch", "completion"}
+        assert dispatcher.makespan_cycles == max(dispatcher.free_at)
+
+
+class TestParallelReassembly:
+    def test_short_shard_raises(self):
+        sentinel = object()
+        with pytest.raises(RuntimeError, match="shard 0 returned 1 results"):
+            ServingEngine._reassemble(2, {0: [0, 1]}, [[sentinel]])
+
+    def test_missing_position_raises(self):
+        sentinel = object()
+        with pytest.raises(RuntimeError, match=r"lost results .* \[1\]"):
+            ServingEngine._reassemble(2, {0: [0]}, [[sentinel]])
+
+    def test_full_reassembly_restores_submission_order(self):
+        first, second, third = "r0", "r1", "r2"
+        results = ServingEngine._reassemble(
+            3, {0: [2, 0], 1: [1]}, [[third, first], [second]])
+        assert results == [first, second, third]
+
+
+def test_partial_timeline_rejected_by_online_report(rng):
+    """A result with only some timeline fields set must hit the diagnostic
+    ValueError, not a TypeError inside latency_stats."""
+    a = rng.integers(-5, 5, (4, 4)).astype(np.int16)
+    engine = ServingEngine(pool_size=1, config=CFG)
+    report = engine.serve_online([gemm_request(0, a, a)], traffic="trace:100")
+    broken = report.results[0]
+    broken.arrival_cycle = None  # completion_cycle still set
+    with pytest.raises(ValueError, match="needs simulated timelines"):
+        build_serving_report([broken], 1, 1, "least_loaded", 0.0, mode="online")

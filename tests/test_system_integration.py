@@ -227,3 +227,34 @@ class TestSchedulerPolicies:
             ct.bind(line, 0x1000 + line.index * CFG.line_bytes)
             line.dirty = True
         assert scheduler.select_vpu() != 0
+
+
+class TestMatrixDtypeNormalization:
+    """Matrix is frozen and hashed; dtype must be canonical at construction."""
+
+    def test_dtype_class_and_instance_compare_equal(self):
+        from repro.core.api import Matrix
+
+        by_class = Matrix(address=0, rows=4, cols=4, dtype=np.int32)
+        by_instance = Matrix(address=0, rows=4, cols=4, dtype=np.dtype(np.int32))
+        assert by_class == by_instance
+        assert hash(by_class) == hash(by_instance)
+        assert isinstance(by_class.dtype, np.dtype)
+
+    def test_string_dtype_normalized(self):
+        from repro.core.api import Matrix
+
+        matrix = Matrix(address=0, rows=2, cols=3, dtype="int16")
+        assert matrix.dtype == np.dtype(np.int16)
+        assert matrix.itemsize == 2
+        assert matrix.row_bytes == 6
+
+    def test_system_handles_hash_consistently(self):
+        from repro.core.api import Matrix
+
+        system = ArcaneSystem(CFG)
+        handle = system.alloc_matrix((4, 4), np.int16)
+        # a lookup key built with the dtype *class* must find the handle
+        key = Matrix(handle.address, 4, 4, np.int16, name=handle.name)
+        assert key == handle
+        assert {handle: "x"}[key] == "x"
