@@ -56,6 +56,18 @@ class LlcController:
         self.lock_holder: Optional[str] = None
         self._host_inflight = 0
         self._state_change: Event = sim.event("llc.state_change")
+        # Hot-path counter handles, resolved once: the access/refill loops
+        # must not build f-string names per operation.
+        self._c_hits = self.stats.counter("llc.hits")
+        self._c_misses = self.stats.counter("llc.misses")
+        self._c_refills = self.stats.counter("llc.refills")
+        self._c_writebacks = self.stats.counter("llc.writebacks")
+        self._c_lock_acquired = self.stats.counter("llc.lock_acquired")
+        self._c_host_lock_stalls = self.stats.counter("llc.host_lock_stalls")
+        self._c_hazard_stalls = {
+            kind: self.stats.counter(f"llc.hazard_{kind.value}_stalls")
+            for kind in HazardKind
+        }
 
     # ------------------------------------------------------------------
     # state-change notification: waiters wake and re-check conditions
@@ -79,7 +91,7 @@ class LlcController:
         while self.lock_holder is not None or self._host_inflight > 0:
             yield self._state_change
         self.lock_holder = owner
-        self.stats.counter("llc.lock_acquired").add()
+        self._c_lock_acquired.add()
         self.tracer.log(self.sim.now, "llc", "lock_acquired", owner=owner)
 
     def release_lock(self, owner: str = "ecpu") -> None:
@@ -115,7 +127,7 @@ class LlcController:
 
         # 1. the eCPU lock blocks all host traffic.
         while self.lock_holder is not None:
-            self.stats.counter("llc.host_lock_stalls").add()
+            self._c_host_lock_stalls.add()
             self.tracer.log(self.sim.now, "host", "stall_lock", addr=address)
             yield self._state_change
 
@@ -130,7 +142,7 @@ class LlcController:
             if entry is None:
                 break
             hazard = self.at.hazard_for(address, size, is_write)
-            self.stats.counter(f"llc.hazard_{hazard.value}_stalls").add()
+            self._c_hazard_stalls[hazard].add()
             self.tracer.log(
                 self.sim.now, "host", "stall_hazard",
                 addr=address, hazard=hazard.value, matrix=entry.matrix_id,
@@ -145,10 +157,10 @@ class LlcController:
         try:
             line = self.ct.lookup(address)
             if line is not None:
-                self.stats.counter("llc.hits").add()
+                self._c_hits.add()
                 yield self.HIT_CYCLES
             else:
-                self.stats.counter("llc.misses").add()
+                self._c_misses.add()
                 line = yield from self._refill(address)
             self.ct.touch(line)
             offset = address - line.tag
@@ -194,7 +206,7 @@ class LlcController:
             victim.role = (
                 LineRole.SOURCE if entry.kind is OperandKind.SOURCE else LineRole.DEST
             )
-        self.stats.counter("llc.refills").add()
+        self._c_refills.add()
         return victim
 
     def _write_back(self, line: CacheLine) -> Generator:
@@ -204,7 +216,7 @@ class LlcController:
             return  # the allocator already flushed and claimed this line
         self._memory_write_line(line.tag, line.data.tobytes())
         line.dirty = False
-        self.stats.counter("llc.writebacks").add()
+        self._c_writebacks.add()
 
     def _memory_read_line(self, tag: int) -> bytes:
         if self.memory.contains(tag, self.ct.line_bytes):
@@ -267,11 +279,11 @@ class LlcController:
                     raise RuntimeError("no evictable cache line for fetch-on-write")
                 if victim.valid and victim.dirty:
                     self._memory_write_line(victim.tag, victim.data.tobytes())
-                    self.stats.counter("llc.writebacks").add()
+                    self._c_writebacks.add()
                 self.ct.bind(victim, tag)
                 victim.data[:] = bytearray(self._memory_read_line(tag))
                 line = victim
-                self.stats.counter("llc.refills").add()
+                self._c_refills.add()
             line.write_bytes(cursor - line.tag, bytes(view[:chunk]))
             line.dirty = True
             cursor += chunk

@@ -46,6 +46,9 @@ class ArcaneConfig:
     multi_vpu: bool = False  # shard kernels across all VPUs (section V-C)
     vpu_policy: str = "fewest_dirty"  # or "round_robin" / "first_free"
     main_memory_kib: int = 8192
+    #: kernel replay cache (bit-exact fast path for repeated launches);
+    #: ``ARCANE_NO_FASTPATH=1`` in the environment overrides this to off
+    fastpath: bool = True
 
     def __post_init__(self) -> None:
         if self.n_vpus < 1:
@@ -75,6 +78,9 @@ class ArcaneConfig:
 
     def with_multi_vpu(self, multi_vpu: bool = True) -> "ArcaneConfig":
         return replace(self, multi_vpu=multi_vpu)
+
+    def with_fastpath(self, fastpath: bool = True) -> "ArcaneConfig":
+        return replace(self, fastpath=fastpath)
 
     def describe(self) -> str:
         return (

@@ -83,6 +83,7 @@ class ArcaneLlc:
             tracer=self.tracer,
             multi_vpu=config.multi_vpu,
             vpu_policy=config.vpu_policy,
+            fastpath=config.fastpath,
         )
         self.runtime.allocator.lock_overhead_cycles = config.lock_overhead_cycles
         self.runtime.install_default_kernels()

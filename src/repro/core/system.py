@@ -53,6 +53,12 @@ class RunReport:
     outcomes: List[OffloadOutcome]
     stats: Dict[str, int]
     load_values: List[int] = field(default_factory=list)
+    #: kernel replay-cache activity during this run (hits / misses /
+    #: recorded / bypassed / invalidated); empty when the fast path is
+    #: off.  Kept out of :attr:`stats` on purpose — the simulated-world
+    #: counters must be bit-exact between fast and slow paths, while this
+    #: block describes the host-side machinery.
+    replay: Dict[str, int] = field(default_factory=dict)
 
     @property
     def offload_count(self) -> int:
@@ -191,8 +197,19 @@ class ArcaneSystem:
         self,
         config: Optional[ArcaneConfig] = None,
         trace: bool = False,
+        fastpath: Optional[bool] = None,
     ) -> None:
+        """Build one system.
+
+        ``fastpath`` overrides ``config.fastpath`` when given (debugging
+        convenience — ``ArcaneSystem(fastpath=False)`` forces every kernel
+        launch down the slow interpreted path; ``ARCANE_NO_FASTPATH=1``
+        does the same globally).  Tracing also disables the fast path: a
+        replayed kernel would not emit per-operation trace events.
+        """
         self.config = config or ArcaneConfig()
+        if fastpath is not None:
+            self.config = self.config.with_fastpath(fastpath)
         self.sim = Simulator()
         self.stats = StatsRegistry()
         self.tracer = Tracer(enabled=trace)
@@ -358,6 +375,8 @@ class ArcaneSystem:
         start_cycle = self.sim.now
         start_breakdowns = set(self.llc.runtime.breakdowns)
         start_counters = self.stats.counters()
+        replay_cache = self.llc.runtime.replay_cache
+        start_replay = dict(replay_cache.stats) if replay_cache is not None else {}
         host = self.sim.process(program._host_process(sink), name="host")
         self.sim.run()
         if not host.finished:
@@ -380,6 +399,14 @@ class ArcaneSystem:
             name: value - start_counters.get(name, 0)
             for name, value in self.stats.counters().items()
         }
+        replay_delta = (
+            {
+                name: value - start_replay.get(name, 0)
+                for name, value in replay_cache.stats.items()
+            }
+            if replay_cache is not None
+            else {}
+        )
         report = RunReport(
             total_cycles=self.sim.now - start_cycle,
             host_cycles=sink.get("host_done", self.sim.now) - start_cycle,
@@ -388,6 +415,7 @@ class ArcaneSystem:
             outcomes=sink.get("outcomes", []),
             stats=stats_delta,
             load_values=sink.get("loads", []),
+            replay=replay_delta,
         )
         self.last_report = report
         return report

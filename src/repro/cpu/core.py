@@ -57,6 +57,12 @@ _JUMP_MNEMONICS = frozenset({"jal", "jalr", "mret"})
 class Cpu:
     """RV32IMC(+XCVPULP, +xmnmc offload) instruction-set simulator."""
 
+    #: Decoded-instruction cache bound.  A long-lived core (a pooled
+    #: worker's host serving an unbounded request stream) must not grow
+    #: the cache without limit; the insertion-ordered dict evicts FIFO,
+    #: which is free on the hot path and good enough for looping code.
+    DECODE_CACHE_LIMIT = 4096
+
     def __init__(
         self,
         memory: MainMemory,
@@ -76,6 +82,10 @@ class Cpu:
         self.memory_wait_states = memory_wait_states
         self._offload_count = 0
         self._decode_cache: Dict[int, Instruction] = {}
+        # per-mnemonic base-cycle memo: TimingModel.cycles_for walks
+        # membership chains; the step loop pays it once per mnemonic
+        # instead of once per retired instruction
+        self._timing_cache: Dict[str, int] = {}
         self.mnemonic_counts: Dict[str, int] = {}
         self.count_mnemonics = False
 
@@ -138,6 +148,8 @@ class Cpu:
             instruction = decode(word, self.pc)
         except DecodeError as error:
             raise IllegalInstruction(str(error)) from error
+        if len(self._decode_cache) >= self.DECODE_CACHE_LIMIT:
+            self._decode_cache.pop(next(iter(self._decode_cache)))
         self._decode_cache[self.pc] = instruction
         return instruction
 
@@ -148,7 +160,11 @@ class Cpu:
         pc_before = self.pc
         next_pc = execute(self, instruction)
 
-        cycles = self.timing.cycles_for(instruction.mnemonic)
+        mnemonic = instruction.mnemonic
+        cycles = self._timing_cache.get(mnemonic)
+        if cycles is None:
+            cycles = self.timing.cycles_for(mnemonic)
+            self._timing_cache[mnemonic] = cycles
         if next_pc is not None:
             if instruction.mnemonic in _BRANCH_MNEMONICS:
                 cycles += self.timing.taken_branch_penalty
@@ -211,4 +227,5 @@ class Cpu:
         self.instret = 0
         self.hwloop = [HwLoop(), HwLoop()]
         self._offload_count = 0
+        self._decode_cache.clear()
         self.mnemonic_counts = {}

@@ -80,6 +80,10 @@ class Dma2D:
     def __init__(self, bus: BusModel, stats: Optional[StatsRegistry] = None) -> None:
         self.bus = bus
         self.stats = stats or StatsRegistry()
+        # counter handles resolved once (transfers run per kernel operand row)
+        self._c_transfers = self.stats.counter("dma.transfers")
+        self._c_bytes = self.stats.counter("dma.bytes")
+        self._c_cycles = self.stats.counter("dma.cycles")
 
     def _copy_row(self, request: DmaRequest, row: int) -> None:
         src = request.src_addr + row * request.src_stride
@@ -100,9 +104,9 @@ class Dma2D:
         for row in range(request.rows):
             self._copy_row(request, row)
         cycles = self.cycles(request)
-        self.stats.counter("dma.transfers").add()
-        self.stats.counter("dma.bytes").add(request.total_bytes)
-        self.stats.counter("dma.cycles").add(cycles)
+        self._c_transfers.add()
+        self._c_bytes.add(request.total_bytes)
+        self._c_cycles.add(cycles)
         return cycles
 
     def cycles(self, request: DmaRequest) -> int:
@@ -125,7 +129,7 @@ class Dma2D:
         for row in range(request.rows):
             self._copy_row(request, row)
             yield per_row
-        self.stats.counter("dma.transfers").add()
-        self.stats.counter("dma.bytes").add(request.total_bytes)
-        self.stats.counter("dma.cycles").add(per_row * request.rows)
+        self._c_transfers.add()
+        self._c_bytes.add(request.total_bytes)
+        self._c_cycles.add(per_row * request.rows)
         return per_row * request.rows

@@ -68,6 +68,14 @@ class MatrixAllocator:
         self._free: Dict[int, List[int]] = {
             v: list(range(ct.vregs_per_vpu)) for v in range(ct.n_vpus)
         }
+        # counter handles resolved once: these run per operand row moved
+        self._c_rows_loaded = self.stats.counter("alloc.rows_loaded")
+        self._c_load_cycles = self.stats.counter("alloc.load_cycles")
+        self._c_rows_stored = self.stats.counter("alloc.rows_stored")
+        self._c_store_cycles = self.stats.counter("alloc.store_cycles")
+        self._c_regs_claimed = self.stats.counter("alloc.regs_claimed")
+        self._c_regs_released = self.stats.counter("alloc.regs_released")
+        self._c_evicted_dirty = self.stats.counter("alloc.evicted_dirty")
 
     # -- vector register management ------------------------------------------
 
@@ -92,9 +100,9 @@ class MatrixAllocator:
             line = ct.vpu_lines(vpu_index)[reg]
             if line.valid and line.dirty:
                 self.controller._memory_write_line(line.tag, line.data.tobytes())
-                self.stats.counter("alloc.evicted_dirty").add()
+                self._c_evicted_dirty.add()
             ct.claim_for_compute(line)
-        self.stats.counter("alloc.regs_claimed").add(count)
+        self._c_regs_claimed.add(count)
         return RegisterWindow(vpu_index, taken)
 
     def release(self, window: RegisterWindow) -> None:
@@ -104,7 +112,7 @@ class MatrixAllocator:
             ct.release_from_compute(line)
         self._free[window.vpu_index].extend(window.vregs)
         self._free[window.vpu_index].sort()
-        self.stats.counter("alloc.regs_released").add(len(window.vregs))
+        self._c_regs_released.add(len(window.vregs))
         window.vregs = []
 
     # -- locking --------------------------------------------------------------
@@ -149,8 +157,8 @@ class MatrixAllocator:
                 yield cycles
         finally:
             self.controller.release_lock("ecpu")
-        self.stats.counter("alloc.rows_loaded").add(n_rows)
-        self.stats.counter("alloc.load_cycles").add(total)
+        self._c_rows_loaded.add(n_rows)
+        self._c_load_cycles.add(total)
         return total
 
     def load_row_set(self, specs) -> Generator:
@@ -179,8 +187,8 @@ class MatrixAllocator:
                 yield cycles
         finally:
             self.controller.release_lock("ecpu")
-        self.stats.counter("alloc.rows_loaded").add(len(specs))
-        self.stats.counter("alloc.load_cycles").add(total)
+        self._c_rows_loaded.add(len(specs))
+        self._c_load_cycles.add(total)
         return total
 
     def load_packed(
@@ -217,8 +225,8 @@ class MatrixAllocator:
                 yield cycles
         finally:
             self.controller.release_lock("ecpu")
-        self.stats.counter("alloc.rows_loaded").add(matrix.rows)
-        self.stats.counter("alloc.load_cycles").add(total)
+        self._c_rows_loaded.add(matrix.rows)
+        self._c_load_cycles.add(total)
         return total
 
     def store_rows(
@@ -252,6 +260,6 @@ class MatrixAllocator:
                 yield cycles
         finally:
             self.controller.release_lock("ecpu")
-        self.stats.counter("alloc.rows_stored").add(n_rows)
-        self.stats.counter("alloc.store_cycles").add(total)
+        self._c_rows_stored.add(n_rows)
+        self._c_store_cycles.add(total)
         return total

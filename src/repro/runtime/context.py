@@ -172,6 +172,10 @@ class KernelContext:
             stride=stride,
             vd_offset=vd_offset,
         )
+        return self._issue(op)
+
+    def _issue(self, op: VectorOp) -> Generator:
+        """Issue one built :class:`VectorOp` (replay-recording hook point)."""
         cost = self.dispatcher.dispatch(self.vpu_index, op)
         self.phases.add("compute", cost)
         yield cost

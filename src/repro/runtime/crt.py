@@ -21,6 +21,7 @@ from repro.runtime.kernel_lib import KernelLibrary
 from repro.runtime.matrix import MatrixMap
 from repro.runtime.phases import PhaseBreakdown
 from repro.runtime.queue import KernelQueue, QueuedKernel
+from repro.runtime.replay import ReplayCache, fastpath_enabled
 from repro.runtime.scheduler import KernelScheduler
 from repro.sim.kernel import Process, Simulator
 from repro.sim.stats import StatsRegistry
@@ -45,6 +46,7 @@ class CacheRuntime:
         decode_costs: DecodeCosts = DecodeCosts(),
         multi_vpu: bool = False,
         vpu_policy: str = "fewest_dirty",
+        fastpath: bool = True,
     ) -> None:
         self.sim = sim
         self.controller = controller
@@ -60,9 +62,17 @@ class CacheRuntime:
             sim, self.matrix_map, self.library, self.queue, controller.at,
             self.stats, self.tracer, decode_costs,
         )
+        #: the kernel replay cache (None when the fast path is disabled via
+        #: config, ``ARCANE_NO_FASTPATH=1`` or per-op tracing)
+        self.replay_cache = (
+            ReplayCache(self.library)
+            if fastpath_enabled(fastpath) and not self.tracer.enabled
+            else None
+        )
         self.scheduler = KernelScheduler(
             sim, self.queue, self.library, dispatcher, self.allocator, controller,
             self.stats, self.tracer, multi_vpu=multi_vpu, vpu_policy=vpu_policy,
+            replay_cache=self.replay_cache,
         )
         self._scheduler_process: Optional[Process] = None
 

@@ -66,6 +66,10 @@ class KernelDecoder:
         self.stats = stats or StatsRegistry()
         self.tracer = tracer or Tracer(enabled=False)
         self.costs = costs
+        self._c_renames = self.stats.counter("decoder.renames")
+        self._c_xmr = self.stats.counter("decoder.xmr")
+        self._c_accepted = self.stats.counter("decoder.accepted")
+        self._c_rejected = self.stats.counter("decoder.rejected")
         self._next_kernel_id = 0
         # eCPU decode cycles not yet attributed to a kernel: xmr decode is
         # part of the *preamble* of the kernel that consumes the reserved
@@ -94,8 +98,8 @@ class KernelDecoder:
         renames_before = self.matrix_map.rename_count
         self.matrix_map.bind(md, address, rows, cols, stride, etype)
         if self.matrix_map.rename_count > renames_before:
-            self.stats.counter("decoder.renames").add()
-        self.stats.counter("decoder.xmr").add()
+            self._c_renames.add()
+        self._c_xmr.add()
         self.tracer.log(
             self.sim.now, "decoder", "xmr",
             md=md, addr=address, rows=rows, cols=cols, etype=etype.suffix,
@@ -109,7 +113,7 @@ class KernelDecoder:
         self._pending_preamble_cycles += self.costs.kernel_lookup
         spec = self.library.lookup(request.func5)
         if spec is None:
-            self.stats.counter("decoder.rejected").add()
+            self._c_rejected.add()
             self.tracer.log(self.sim.now, "decoder", "reject", func5=request.func5)
             yield self.costs.reject
             self._pending_preamble_cycles = 0
@@ -147,7 +151,7 @@ class KernelDecoder:
 
         yield self.costs.kernel_preamble
         yield from self.queue.push_wait(kernel)
-        self.stats.counter("decoder.accepted").add()
+        self._c_accepted.add()
         self.tracer.log(
             self.sim.now, "decoder", "accept",
             kernel=kernel.kernel_id, name=spec.name, func5=request.func5,

@@ -44,6 +44,10 @@ class KernelLibrary:
 
     def __init__(self) -> None:
         self._by_func5: Dict[int, KernelSpec] = {}
+        #: bumped on every (re)registration; the kernel replay cache keys
+        #: its recordings to this so reprogramming a slot invalidates any
+        #: recorded micro-program streams of the old body.
+        self.generation = 0
 
     def register(self, spec: KernelSpec, replace: bool = False) -> None:
         """Install a kernel in slot ``spec.func5``.
@@ -63,6 +67,7 @@ class KernelLibrary:
                 f"(pass replace=True to reprogram the slot)"
             )
         self._by_func5[spec.func5] = spec
+        self.generation += 1
 
     def lookup(self, func5: int) -> Optional[KernelSpec]:
         """O(1) lookup by func5; None for unrecognised operations."""

@@ -1,0 +1,800 @@
+"""The kernel replay cache — the serving-path fast lane.
+
+Serving workloads launch the *same* ``(kernel, shape, operand data)``
+thousands of times (one pooled worker replays identical requests
+back-to-back), yet the stock scheduler re-runs the kernel body's Python
+tile-loop generator on every launch: thousands of generator suspensions,
+``VectorOp`` constructions and per-row bookkeeping just to re-derive a
+micro-program stream that is fully determined by the launch key.  This
+module separates the *schedule* from its *execution* (the Exo/SYS_ATL
+record-once-replay-cheaply idea applied to a simulator): the first launch
+records the stream of :class:`~repro.runtime.context.KernelContext`
+effects, and later launches replay that stream in a tight loop with a
+single simulator suspension.
+
+Bit-exactness contract
+----------------------
+
+Replays reproduce the slow path exactly — results, ``RunReport`` cycle
+counts, phase breakdowns and stats counters — because nothing about a
+replay is *assumed* from the recording where live state could differ:
+
+* functional effects (DMA row reads/writes, vector-op execution, register
+  claims) are re-executed against live memory, cache and VRF state
+  through the same primitives the slow path uses;
+* per-row DMA cycle costs are *recomputed* from the live cache-hit state
+  of each row, not taken from the recording;
+* the LLC-lock serialization of loads, stores and double-buffered
+  prefetches is replayed with a closed-form timeline (a prefetch holds
+  the lock until its last row, later locked sections start no earlier
+  than that, and ``wait_prefetch`` charges only the exposed cycles) —
+  the same arrival times the event loop would produce;
+* recordings are keyed on a digest of the *source operand bytes*, so the
+  data-dependent parts of a stream (``read_element`` coefficients that
+  gate zero-skipping, scalar operands) can never be replayed against
+  different data; every replayed ``read_element`` additionally
+  re-reads the live value and verifies it matches the recording.
+
+Recordings reference operands by *position* (source index / destination)
+and rows by index, never by absolute address, so ``free_matrix()`` /
+``reset_heap()`` recycling heap addresses between launches cannot stale a
+recording — the canonical serving flow (reset between requests) replays
+at full speed.  What *does* invalidate recordings:
+
+* reprogramming a library slot (``KernelLibrary.generation`` mismatch);
+* a different VPU selection, operand geometry, scalar set or source-data
+  digest (all part of the key — a miss, not a wrong replay);
+* an environment the timeline model cannot promise to reproduce (LLC
+  lock held or host access in flight at launch, a different VRF
+  free-list state, multi-VPU sharding, tracing) — the launch silently
+  takes the slow path ("bypassed").
+
+Kernel bodies interact with the machinery only through the closed
+:class:`KernelContext` API; a body that mutated simulator state behind
+the context's back would record an incomplete stream, which the
+phase-accounting cross-check in :meth:`Recording.finalize` turns into a
+poisoned (never replayed) recording rather than a wrong replay.
+
+Concurrency envelope
+--------------------
+
+A replayed body is atomic: all effects land at its start cycle, then one
+suspension covers its duration.  Host accesses to the kernel's *operand
+regions* cannot tell the difference — they are hazard-blocked by the
+Address Table until operand release in both paths.  Host traffic to
+**unrelated addresses that begins mid-kernel** is outside the replay
+guarantee: in the slow path it would interleave with (and stall on) the
+body's locked DMA sections, while a replay has already applied them.
+``can_replay`` rejects launches with the LLC lock held or a host access
+in flight, which covers every launch-time race; serving workloads — the
+fast path's purpose — issue only offloads while kernels execute, so no
+such traffic exists there.  Debugging a workload that does mix them:
+``ARCANE_NO_FASTPATH=1``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from collections import OrderedDict
+from typing import Dict, Generator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.runtime.context import KernelContext
+from repro.runtime.matrix import MatrixBinding
+from repro.runtime.queue import QueuedKernel
+from repro.vpu.visa import VectorOp
+
+#: Step opcodes of the recorded effect stream.
+STEP_CLAIM, STEP_LOAD, STEP_STORE, STEP_VOP, STEP_READ, STEP_PREFETCH, STEP_WAIT = (
+    range(7)
+)
+
+
+class ReplayDivergence(RuntimeError):
+    """A replayed stream observed different data than it recorded.
+
+    Unreachable through the public API (the launch key digests every
+    operand's bytes, destination included); raised as a hard
+    internal-invariant failure rather than risking a silently wrong
+    result.
+    """
+
+
+def fastpath_enabled(flag: bool) -> bool:
+    """Resolve the effective fast-path switch (``ARCANE_NO_FASTPATH=1``
+    overrides any constructor/config request to enable it)."""
+    return flag and os.environ.get("ARCANE_NO_FASTPATH", "") in ("", "0")
+
+
+class Recording:
+    """One kernel launch's recorded effect stream plus replay guards."""
+
+    __slots__ = (
+        "steps",
+        "replayable",
+        "reason",
+        "free_regs",
+        "vpu_index",
+        "outstanding",
+        "phase_check",
+        "compiled",
+    )
+
+    def __init__(self, vpu_index: int, free_regs: List[int]) -> None:
+        self.steps: List[tuple] = []
+        #: lazily built on first replay: the step stream with every run of
+        #: compute steps pre-bound to closures (see :func:`_compile_steps`)
+        self.compiled: Optional[list] = None
+        self.replayable = True
+        self.reason = ""
+        #: exact VRF free-list at recording start; replay requires equality
+        #: (claim order and strip-mining budgets both derive from it).
+        self.free_regs = list(free_regs)
+        self.vpu_index = vpu_index
+        self.outstanding: set = set()
+        #: phase cycles attributable to recorded steps, cross-checked
+        #: against the actual breakdown delta in :meth:`finalize`.
+        self.phase_check: Dict[str, int] = {}
+
+    def poison(self, reason: str) -> None:
+        """Mark the recording as slow-path-only (kept to avoid re-recording)."""
+        if self.replayable:
+            self.replayable = False
+            self.reason = reason
+            self.steps.clear()
+
+    def note_phase(self, phase: str, cycles: int) -> None:
+        self.phase_check[phase] = self.phase_check.get(phase, 0) + cycles
+
+    def finalize(self, phase_delta: Dict[str, int]) -> bool:
+        """Validate the completed recording; returns its replayability.
+
+        ``phase_delta`` is what the kernel body actually added to its
+        :class:`PhaseBreakdown`; any cycles not accounted for by recorded
+        steps mean the body produced effects the recorder did not see
+        (e.g. direct ``phases.add`` calls), so the recording is poisoned
+        instead of ever replaying incompletely.
+        """
+        if self.outstanding:
+            self.poison("prefetch started but never waited on")
+        checked = {k: v for k, v in self.phase_check.items() if v}
+        actual = {k: v for k, v in phase_delta.items() if v}
+        if self.replayable and checked != actual:
+            self.poison(
+                f"phase accounting mismatch (recorded {checked}, body added "
+                f"{actual}); the body bypassed the KernelContext API"
+            )
+        return self.replayable
+
+
+class RecordingContext(KernelContext):
+    """A :class:`KernelContext` that mirrors every effect into a recording.
+
+    Timing, stats and functional behaviour are untouched — each call
+    delegates to the stock implementation and appends one step, so the
+    recording launch is indistinguishable from a plain slow-path launch.
+    """
+
+    def __init__(
+        self,
+        vpu_index: int,
+        etype,
+        allocator,
+        dispatcher,
+        phases,
+        kernel: QueuedKernel,
+        recording: Recording,
+    ) -> None:
+        super().__init__(vpu_index, etype, allocator, dispatcher, phases)
+        self._kernel = kernel
+        self._rec = recording
+        self._handle_ords: Dict[int, int] = {}
+        self._next_handle = 0
+
+    # -- operand references ------------------------------------------------
+
+    def _ref(self, matrix: MatrixBinding) -> Optional[tuple]:
+        """Positional reference of ``matrix`` among the kernel's operands.
+
+        Derived bindings (a sub-plane view a body builds over an operand,
+        like conv_layer's per-channel filter planes) are recorded as a
+        base-relative rebase so a replay against relocated operands
+        reconstructs them at the new address.
+        """
+        kernel = self._kernel
+        for index, source in enumerate(kernel.sources):
+            if source is matrix:
+                return ("s", index)
+        if matrix is kernel.dest:
+            return ("d",)
+        bases: List[Tuple[tuple, MatrixBinding]] = [
+            (("s", i), s) for i, s in enumerate(kernel.sources)
+        ]
+        if kernel.dest is not None:
+            bases.append((("d",), kernel.dest))
+        for base_ref, base in bases:
+            if (
+                base.address <= matrix.address
+                and matrix.end_address <= base.end_address
+                and base.etype is matrix.etype
+            ):
+                return (
+                    "rel",
+                    base_ref,
+                    matrix.address - base.address,
+                    matrix.rows,
+                    matrix.cols,
+                    matrix.stride,
+                )
+        self._rec.poison(f"binding {matrix!r} is not derived from a kernel operand")
+        return None
+
+    # -- recorded context calls --------------------------------------------
+
+    def claim(self, count: int):
+        window = super().claim(count)
+        if self._rec.replayable:
+            self._rec.steps.append((STEP_CLAIM, count))
+        return window
+
+    def load_rows(self, window, matrix, row_start, n_rows, reg_start=0) -> Generator:
+        cycles = yield from super().load_rows(window, matrix, row_start, n_rows, reg_start)
+        if n_rows > 0 and self._rec.replayable:
+            ref = self._ref(matrix)
+            if ref is not None:
+                items = tuple(
+                    (ref, window[reg_start + i], row_start + i, 0)
+                    for i in range(n_rows)
+                )
+                self._rec.steps.append((STEP_LOAD, items))
+                self._rec.note_phase("allocation", cycles)
+        return cycles
+
+    def load_packed(self, window, matrix, reg_index=0) -> Generator:
+        cycles = yield from super().load_packed(window, matrix, reg_index)
+        if self._rec.replayable:
+            ref = self._ref(matrix)
+            if ref is not None:
+                register = window[reg_index]
+                items = tuple(
+                    (ref, register, row, row * matrix.cols)
+                    for row in range(matrix.rows)
+                )
+                self._rec.steps.append((STEP_LOAD, items))
+                self._rec.note_phase("allocation", cycles)
+        return cycles
+
+    def _row_set_items(self, specs) -> Optional[tuple]:
+        items = []
+        for window, matrix, row, reg in specs:
+            ref = self._ref(matrix)
+            if ref is None:
+                return None
+            items.append((ref, window[reg], row, 0))
+        return tuple(items)
+
+    def load_row_set(self, specs) -> Generator:
+        cycles = yield from super().load_row_set(specs)
+        if specs and self._rec.replayable:
+            items = self._row_set_items(specs)
+            if items is not None:
+                self._rec.steps.append((STEP_LOAD, items))
+                self._rec.note_phase("allocation", cycles)
+        return cycles
+
+    def prefetch_row_set(self, specs):
+        handle = super().prefetch_row_set(specs)
+        if self._rec.replayable:
+            items = self._row_set_items(specs)
+            if items is not None:
+                ordinal = self._next_handle
+                self._next_handle += 1
+                self._handle_ords[id(handle)] = ordinal
+                self._rec.outstanding.add(ordinal)
+                self._rec.steps.append((STEP_PREFETCH, ordinal, items))
+        return handle
+
+    def wait_prefetch(self, handle) -> Generator:
+        exposed = yield from super().wait_prefetch(handle)
+        if handle is not None and self._rec.replayable:
+            ordinal = self._handle_ords.pop(id(handle), None)
+            if ordinal is None:
+                self._rec.poison("wait_prefetch on a handle this kernel did not start")
+            else:
+                self._rec.outstanding.discard(ordinal)
+                self._rec.steps.append((STEP_WAIT, ordinal))
+                self._rec.note_phase("allocation", exposed)
+        return exposed
+
+    def store_rows(
+        self, window, matrix, row_start, n_rows, reg_start=0, n_cols=None
+    ) -> Generator:
+        cycles = yield from super().store_rows(
+            window, matrix, row_start, n_rows, reg_start, n_cols
+        )
+        if n_rows > 0 and self._rec.replayable:
+            ref = self._ref(matrix)
+            if ref is not None:
+                items = tuple(
+                    (window[reg_start + i], row_start + i) for i in range(n_rows)
+                )
+                self._rec.steps.append(
+                    (STEP_STORE, ref, items, matrix.cols if n_cols is None else n_cols)
+                )
+                self._rec.note_phase("writeback", cycles)
+        return cycles
+
+    def _issue(self, op: VectorOp) -> Generator:
+        cost = yield from super()._issue(op)
+        if self._rec.replayable:
+            self._rec.steps.append((STEP_VOP, op))
+            self._rec.note_phase("compute", cost)
+        return cost
+
+    def read_element(self, vreg, index, etype=None) -> Generator:
+        value = yield from super().read_element(vreg, index, etype)
+        if self._rec.replayable:
+            self._rec.steps.append(
+                (STEP_READ, vreg, index, etype or self.etype, value)
+            )
+            self._rec.note_phase("compute", self.SCALAR_READ_CYCLES)
+        return value
+
+
+def _resolve_ref(ref: tuple, kernel: QueuedKernel) -> MatrixBinding:
+    if ref[0] == "s":
+        return kernel.sources[ref[1]]
+    if ref[0] == "d":
+        return kernel.dest
+    _, base_ref, delta, rows, cols, stride = ref
+    base = _resolve_ref(base_ref, kernel)
+    return MatrixBinding(
+        address=base.address + delta, rows=rows, cols=cols, stride=stride,
+        etype=base.etype,
+    )
+
+
+#: compiled-segment marker for a fused run of VOP/READ compute steps
+_SEG_OPS = -1
+
+
+def _compile_vop(op: VectorOp, vrf) -> Optional[callable]:
+    """Pre-bind one recorded vector op to a zero-lookup closure.
+
+    Mirrors :meth:`Vpu.execute` functionally, with every view, slice,
+    scalar cast and trait resolved at compile time; only the numpy work
+    remains per call.  Returns None for ``vl == 0`` timing-only ops.
+    """
+    from repro.vpu.visa import VectorOpcode
+
+    vl = op.vl
+    if vl == 0:
+        return None
+    opcode = op.opcode
+    etype = op.etype
+    dtype = etype.np_dtype
+    dst_view = vrf.view(op.vd, etype)
+    dst = dst_view[op.vd_offset : op.vd_offset + vl]
+    if len(dst) != vl:  # pragma: no cover - the recording launch validated this
+        raise ValueError(
+            f"vl={vl} at vd_offset={op.vd_offset} overflows register {op.vd}"
+        )
+    if opcode is VectorOpcode.VCLEAR:
+        def clear() -> None:
+            dst[:] = 0
+        return clear
+
+    view = vrf.view(op.vs1, etype)
+    offset = op.offset
+    if op.stride == 1:
+        src = view[offset : offset + vl]
+        if len(src) != vl:  # pragma: no cover - validated at record time
+            raise ValueError(f"vl={vl} at offset={offset} overflows register {op.vs1}")
+    else:
+        last = offset + op.stride * (vl - 1)
+        if last >= len(view):  # pragma: no cover - validated at record time
+            raise ValueError(
+                f"strided access (off={offset}, stride={op.stride}, vl={vl}) "
+                f"overflows source register {op.vs1}"
+            )
+        src = view[offset : last + 1 : op.stride]
+    scalar = int(op.scalar)
+    int64 = np.int64
+    # Arithmetic note: the slow path computes in int64 and truncates into
+    # the element dtype.  Truncation mod 2**w is a ring homomorphism, so
+    # add/mul/macc chains computed directly in the (wrapping) element
+    # dtype — with the scalar pre-wrapped — produce bit-identical values
+    # while running one same-width ufunc instead of three widening ones.
+    wrapped = int64(scalar).astype(dtype)
+
+    if opcode is VectorOpcode.VMACC_VS:
+        buffer = np.empty(vl, dtype)
+        def macc() -> None:
+            np.multiply(src, wrapped, out=buffer)
+            np.add(dst, buffer, out=dst)
+        return macc
+    if opcode is VectorOpcode.VMV:
+        if op.vs1 == op.vd:
+            def move_aliased() -> None:
+                dst[:] = src.copy()
+            return move_aliased
+        def move() -> None:
+            dst[:] = src
+        return move
+    if opcode in (VectorOpcode.VADD_VV, VectorOpcode.VMUL_VV):
+        other = vrf.view(op.vs2, etype)[:vl]
+        ufunc = np.add if opcode is VectorOpcode.VADD_VV else np.multiply
+        def ewise() -> None:
+            ufunc(src, other, out=dst)
+        return ewise
+    if opcode is VectorOpcode.VMUL_VS:
+        def mul_vs() -> None:
+            np.multiply(src, wrapped, out=dst)
+        return mul_vs
+    if opcode is VectorOpcode.VADD_VS:
+        def add_vs() -> None:
+            np.add(src, wrapped, out=dst)
+        return add_vs
+    if opcode is VectorOpcode.VMAX_VV:
+        def max_vv() -> None:
+            np.maximum(dst, src, out=dst)
+        return max_vv
+    if opcode in (VectorOpcode.VMAX_VS, VectorOpcode.VMIN_VS):
+        np_scalar = dtype(op.scalar)  # slow path semantics: raises on overflow
+        ufunc = np.maximum if opcode is VectorOpcode.VMAX_VS else np.minimum
+        def minmax_vs() -> None:
+            ufunc(src, np_scalar, out=dst)
+        return minmax_vs
+    if opcode is VectorOpcode.VSRA_VS:
+        def sra() -> None:
+            np.right_shift(src, scalar, out=dst)
+        return sra
+    if opcode is VectorOpcode.VREDSUM:
+        vd_offset = op.vd_offset
+        def redsum() -> None:
+            dst_view[vd_offset] = src.astype(int64).sum().astype(dtype)
+        return redsum
+    raise NotImplementedError(opcode)  # pragma: no cover - enum is closed
+
+
+def _compile_steps(recording: Recording, kernel: QueuedKernel, scheduler, vpu_index: int) -> list:
+    """Fuse runs of compute steps into pre-bound closure segments.
+
+    Cycle costs and counter increments of VOP/READ runs are static (they
+    depend only on the op fields and the VPU geometry), so each run
+    collapses to one segment ``(_SEG_OPS, closures, t_cycles, n_ops,
+    vpu_cycles, elems, issue_bound, dispatch_cycles)`` applied in O(ops)
+    numpy calls and O(1) counter updates.  DMA/claim steps pass through
+    untouched — their costs depend on live cache state.
+    """
+    vpu = scheduler.dispatcher.vpus[vpu_index]
+    vrf = vpu.vrf
+    issue_cycles = scheduler.dispatcher.issue_cycles
+    scalar_read = KernelContext.SCALAR_READ_CYCLES
+    name = kernel.name
+    segments: list = []
+    closures: list = []
+    t_cycles = n_ops = vpu_cycles = elems = issue_bound = dispatch_cycles = 0
+
+    def flush() -> None:
+        nonlocal closures, t_cycles, n_ops, vpu_cycles, elems, issue_bound
+        nonlocal dispatch_cycles
+        if t_cycles or closures:
+            segments.append(
+                (_SEG_OPS, tuple(closures), t_cycles, n_ops, vpu_cycles, elems,
+                 issue_bound, dispatch_cycles)
+            )
+        closures = []
+        t_cycles = n_ops = vpu_cycles = elems = issue_bound = dispatch_cycles = 0
+
+    for step in recording.steps:
+        kind = step[0]
+        if kind == STEP_VOP:
+            op = step[1]
+            fn = _compile_vop(op, vrf)
+            if fn is not None:
+                closures.append(fn)
+            op_cycles = vpu.op_cycles(op)
+            cost = op_cycles if op_cycles > issue_cycles else issue_cycles
+            t_cycles += cost
+            dispatch_cycles += cost
+            n_ops += 1
+            vpu_cycles += op_cycles
+            elems += op.vl
+            if issue_cycles >= op_cycles:
+                issue_bound += 1
+        elif kind == STEP_READ:
+            _, vreg, index, etype, expected = step
+            read_view = vrf.view(vreg, etype)
+
+            def check(read_view=read_view, vreg=vreg, index=index,
+                      expected=expected) -> None:
+                if read_view[index] != expected:
+                    raise ReplayDivergence(
+                        f"kernel {name!r} replay read v{vreg}[{index}] != "
+                        "recorded value; replay-cache key invariant broken"
+                    )
+            closures.append(check)
+            t_cycles += scalar_read
+        else:
+            flush()
+            segments.append(step)
+    flush()
+    return segments
+
+
+def replay_kernel(
+    recording: Recording,
+    kernel: QueuedKernel,
+    context: KernelContext,
+    scheduler,
+) -> Generator:
+    """Simulation process: replay a recorded kernel in one suspension.
+
+    Functional effects are applied in LLC-lock acquisition order (exactly
+    the order the event loop serializes them in), cycle costs of DMA rows
+    are recomputed from live cache state, and the whole body advances the
+    simulator with a single ``yield`` of its total duration.
+    """
+    allocator = scheduler.allocator
+    controller = scheduler.controller
+    dispatcher = scheduler.dispatcher
+    vpu_index = context.vpu_index
+    vrf = allocator.vpus[vpu_index].vrf
+    lock_overhead = allocator.lock_overhead_cycles
+    ct = controller.ct
+    lookup = ct.lookup
+    tag_map = ct._tag_map
+    line_bytes = ct.line_bytes
+    memory = controller.memory
+    mem_data = memory.data
+    mem_base = memory.base
+    mem_end = memory.base + memory.size
+    transfer_cycles = allocator.bus.transfer_cycles
+    route_read = controller.route_read
+    route_write = controller.route_write
+    frombuffer = np.frombuffer
+
+    t = 0  # body-relative cycle offset
+    lock_free = 0  # when the LLC lock is next free (prefetches hold it)
+    pending: Dict[int, int] = {}  # prefetch ordinal -> completion offset
+    compute = alloc_cycles = wb_cycles = 0
+    bindings: Dict[tuple, MatrixBinding] = {}
+    row_costs: Dict[Tuple[int, bool], int] = {}  # (row_bytes, cached) -> cycles
+
+    def binding_of(ref: tuple) -> MatrixBinding:
+        binding = bindings.get(ref)
+        if binding is None:
+            binding = _resolve_ref(ref, kernel)
+            bindings[ref] = binding
+        return binding
+
+    def row_cost(row_bytes: int, cached: bool) -> int:
+        cost = row_costs.get((row_bytes, cached))
+        if cost is None:
+            cost = transfer_cycles(row_bytes, offchip=not cached)
+            row_costs[(row_bytes, cached)] = cost
+        return cost
+
+    def apply_rows(items: tuple) -> int:
+        total = 0
+        for ref, reg, row, offset in items:
+            matrix = binding_of(ref)
+            address = matrix.row_address(row)
+            row_bytes = matrix.row_bytes
+            # Cycle cost uses the slow path's exact criterion: is the
+            # *first* byte's line resident (allocator.load_rows).
+            total += row_cost(row_bytes, lookup(address) is not None)
+            # Functionally, any cached line overlaying the row forces the
+            # routed read; the common serving case (cold cache, sources
+            # straight from memory) copies memory -> VRF as one numpy
+            # slice assignment with no bytes round-trip.
+            tag = address - (address % line_bytes)
+            end = address + row_bytes
+            overlaid = False
+            while tag < end:
+                line = tag_map.get(tag)
+                if line is not None and line.valid:
+                    overlaid = True
+                    break
+                tag += line_bytes
+            etype = matrix.etype
+            if not overlaid and address >= mem_base and end <= mem_end:
+                values = mem_data[address - mem_base : end - mem_base].view(
+                    etype.np_dtype
+                )
+            else:
+                values = frombuffer(
+                    route_read(address, row_bytes), dtype=etype.np_dtype
+                )
+            vrf.write(reg, values, offset)
+        return total
+
+    compiled = recording.compiled
+    if compiled is None:
+        compiled = _compile_steps(recording, kernel, scheduler, vpu_index)
+        recording.compiled = compiled
+
+    for step in compiled:
+        kind = step[0]
+        if kind == _SEG_OPS:
+            (_, closures, t_cycles, n_ops, vpu_cycles, elems, issue_bound,
+             disp_cycles) = step
+            for fn in closures:
+                fn()
+            t += t_cycles
+            compute += t_cycles
+            if n_ops:
+                vpu = dispatcher.vpus[vpu_index]
+                vpu._c_ops.value += n_ops
+                vpu._c_cycles.value += vpu_cycles
+                vpu._c_elems.value += elems
+                dispatcher._c_ops.value += n_ops
+                dispatcher._c_cycles.value += disp_cycles
+                dispatcher._c_issue_bound.value += issue_bound
+        elif kind == STEP_LOAD:
+            items = step[1]
+            start = t if t >= lock_free else lock_free
+            total = apply_rows(items)
+            t = start + lock_overhead + total
+            lock_free = t
+            alloc_cycles += total
+            controller._c_lock_acquired.value += 1
+            allocator._c_rows_loaded.value += len(items)
+            allocator._c_load_cycles.value += total
+        elif kind == STEP_STORE:
+            _, ref, items, n_cols = step
+            matrix = binding_of(ref)
+            etype = matrix.etype
+            row_bytes = n_cols * etype.nbytes
+            start = t if t >= lock_free else lock_free
+            total = 0
+            for reg, row in items:
+                address = matrix.row_address(row)
+                total += row_cost(row_bytes, lookup(address) is not None)
+                route_write(address, vrf.view(reg, etype)[:n_cols].tobytes())
+            t = start + lock_overhead + total
+            lock_free = t
+            wb_cycles += total
+            controller._c_lock_acquired.value += 1
+            allocator._c_rows_stored.value += len(items)
+            allocator._c_store_cycles.value += total
+        elif kind == STEP_PREFETCH:
+            _, ordinal, items = step
+            if items:
+                start = t if t >= lock_free else lock_free
+                total = apply_rows(items)
+                end = start + lock_overhead + total
+                lock_free = end
+                controller._c_lock_acquired.value += 1
+                allocator._c_rows_loaded.value += len(items)
+                allocator._c_load_cycles.value += total
+            else:
+                end = t
+            pending[ordinal] = end
+        elif kind == STEP_WAIT:
+            end = pending.pop(step[1])
+            if end > t:
+                alloc_cycles += end - t
+                t = end
+        else:  # STEP_CLAIM — free-list equality guarantees identical regs
+            context.claim(step[1])
+
+    phases = context.phases
+    if alloc_cycles:
+        phases.add("allocation", alloc_cycles)
+    if compute:
+        phases.add("compute", compute)
+    if wb_cycles:
+        phases.add("writeback", wb_cycles)
+    yield t
+
+
+class ReplayCache:
+    """Bounded cache of kernel recordings, keyed on the full launch key."""
+
+    def __init__(self, library, capacity: int = 256) -> None:
+        if capacity < 1:
+            raise ValueError("replay cache capacity must be positive")
+        self.library = library
+        self.capacity = capacity
+        self._entries: "OrderedDict[tuple, Recording]" = OrderedDict()
+        self._generation = library.generation
+        self.stats: Dict[str, int] = {
+            "hits": 0, "misses": 0, "recorded": 0, "bypassed": 0, "invalidated": 0,
+        }
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # -- keys ---------------------------------------------------------------
+
+    @staticmethod
+    def key_for(kernel: QueuedKernel, vpu_index: int, controller) -> tuple:
+        """Launch key: identity + geometry + scalars + operand-data digest.
+
+        The digest reads the operand bytes through the controller (cache
+        overlay over memory) — exactly the bytes the kernel's DMA loads
+        would observe — so any data difference is a cache miss, never a
+        wrong replay.  The *destination's* initial bytes are digested
+        too: a body is free to load and branch on its output region
+        (read-modify-write kernels), and only the data actually loaded
+        during execution is otherwise guarded.  Addresses are
+        deliberately absent: recordings are position-independent, which
+        is what lets the serving loop's ``reset_heap()``-then-reallocate
+        lifecycle keep hitting.
+        """
+        digest = hashlib.blake2b(digest_size=16)
+        operands = list(kernel.sources)
+        if kernel.dest is not None:
+            operands.append(kernel.dest)
+        for binding in operands:
+            digest.update(
+                controller.peek(binding.address, binding.end_address - binding.address)
+            )
+        geometry = tuple(
+            (b.rows, b.cols, b.stride, b.etype.suffix) for b in kernel.sources
+        )
+        dest = kernel.dest
+        dest_geometry = (
+            (dest.rows, dest.cols, dest.stride, dest.etype.suffix)
+            if dest is not None
+            else None
+        )
+        return (
+            kernel.func5,
+            kernel.name,
+            kernel.etype.suffix,
+            vpu_index,
+            tuple(sorted(kernel.scalars.items())),
+            geometry,
+            dest_geometry,
+            digest.digest(),
+        )
+
+    # -- storage ------------------------------------------------------------
+
+    def _sync_generation(self) -> None:
+        # Reprogramming any library slot drops every recording: a body
+        # registered under an old generation must never replay again.
+        if self._generation != self.library.generation:
+            self.clear()
+            self._generation = self.library.generation
+
+    def lookup(self, key: tuple) -> Optional[Recording]:
+        self._sync_generation()
+        recording = self._entries.get(key)
+        if recording is not None:
+            # LRU refresh: a stream of one-off keys (every distinct
+            # operand payload records) must not evict the hot recordings
+            # the cache exists for.
+            self._entries.move_to_end(key)
+        return recording
+
+    def store(self, key: tuple, recording: Recording) -> None:
+        self._sync_generation()
+        self._entries[key] = recording
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        self.stats["invalidated"] += len(self._entries)
+        self._entries.clear()
+
+    # -- replay preconditions ------------------------------------------------
+
+    def can_replay(self, recording: Recording, scheduler, vpu_index: int) -> bool:
+        """Cheap, side-effect-free environment check before a replay.
+
+        The closed-form timeline assumes the body is the only LLC-lock /
+        host-path actor for its duration and that register claims pop the
+        same VRF free list; anything else takes the slow path.
+        """
+        if not recording.replayable or recording.vpu_index != vpu_index:
+            return False
+        controller = scheduler.controller
+        if controller.lock_holder is not None or controller._host_inflight > 0:
+            return False
+        return scheduler.allocator._free[vpu_index] == recording.free_regs

@@ -23,9 +23,10 @@ from typing import Callable, Dict, Generator, List, Optional
 from repro.cache.controller import LlcController
 from repro.runtime.allocator import MatrixAllocator
 from repro.runtime.context import KernelContext
-from repro.runtime.kernel_lib import KernelLibrary
+from repro.runtime.kernel_lib import KernelLibrary, KernelSpec
 from repro.runtime.phases import PhaseBreakdown
 from repro.runtime.queue import KernelQueue, QueuedKernel
+from repro.runtime.replay import Recording, RecordingContext, ReplayCache, replay_kernel
 from repro.sim.kernel import Simulator
 from repro.sim.stats import StatsRegistry
 from repro.sim.trace import Tracer
@@ -50,6 +51,7 @@ class KernelScheduler:
         tracer: Optional[Tracer] = None,
         multi_vpu: bool = False,
         vpu_policy: str = "fewest_dirty",
+        replay_cache: Optional[ReplayCache] = None,
     ) -> None:
         self.sim = sim
         self.queue = queue
@@ -61,7 +63,12 @@ class KernelScheduler:
         self.tracer = tracer or Tracer(enabled=False)
         self.multi_vpu = multi_vpu
         self.vpu_policy = vpu_policy
+        #: the kernel replay cache (None = fast path disabled).  Replay is
+        #: incompatible with per-op tracing and with multi-VPU sharding,
+        #: so those launches always take the slow path.
+        self.replay_cache = replay_cache
         self.completed: List[QueuedKernel] = []
+        self._c_kernels = self.stats.counter("scheduler.kernels")
         self.breakdowns: Dict[int, PhaseBreakdown] = {}
         self._stop = False
         self._epoch = 0
@@ -141,7 +148,10 @@ class KernelScheduler:
                 yield from self._execute_multi(kernel, spec.body, phases)
             else:
                 vpu_index = self.select_vpu()
-                yield from self._execute_single(kernel, spec.body, vpu_index, phases)
+                if self.replay_cache is not None and not self.tracer.enabled:
+                    yield from self._execute_replayable(kernel, spec, vpu_index, phases)
+                else:
+                    yield from self._execute_single(kernel, spec.body, vpu_index, phases)
         finally:
             # guard against a superseded loop's last kernel clearing a
             # replacement loop's in-flight marker (stop + immediate restart)
@@ -153,19 +163,69 @@ class KernelScheduler:
         self.completed.append(kernel)
         if kernel.done is not None:
             kernel.done.fire(phases)
-        self.stats.counter("scheduler.kernels").add()
+        self._c_kernels.add()
         self.tracer.log(
             self.sim.now, "scheduler", "kernel_done",
             kernel=kernel.kernel_id, name=kernel.name, cycles=phases.total,
         )
 
-    def _execute_single(
-        self, kernel: QueuedKernel, body: Callable, vpu_index: int, phases: PhaseBreakdown
+    def _execute_replayable(
+        self, kernel: QueuedKernel, spec: KernelSpec, vpu_index: int,
+        phases: PhaseBreakdown,
+    ) -> Generator:
+        """Fast-path dispatch: replay a recording, or record this launch."""
+        cache = self.replay_cache
+        key = cache.key_for(kernel, vpu_index, self.controller)
+        recording = cache.lookup(key)
+        if recording is not None:
+            if cache.can_replay(recording, self, vpu_index):
+                cache.stats["hits"] += 1
+                yield from self._execute_recorded(recording, kernel, vpu_index, phases)
+            else:
+                cache.stats["bypassed"] += 1
+                yield from self._execute_single(kernel, spec.body, vpu_index, phases)
+            return
+        cache.stats["misses"] += 1
+        recording = Recording(vpu_index, self.allocator._free[vpu_index])
+        before = dict(phases.cycles)
+        yield from self._execute_single(
+            kernel, spec.body, vpu_index, phases, recording=recording
+        )
+        delta = {
+            name: cycles - before.get(name, 0) for name, cycles in phases.cycles.items()
+        }
+        if recording.finalize(delta):
+            cache.stats["recorded"] += 1
+        cache.store(key, recording)
+
+    def _execute_recorded(
+        self, recording: Recording, kernel: QueuedKernel, vpu_index: int,
+        phases: PhaseBreakdown,
     ) -> Generator:
         self.dispatcher.claim(vpu_index, kernel.kernel_id)
         context = KernelContext(
             vpu_index, kernel.etype, self.allocator, self.dispatcher, phases
         )
+        try:
+            yield from replay_kernel(recording, kernel, context, self)
+        finally:
+            context.release_all()
+            self.dispatcher.release(vpu_index)
+
+    def _execute_single(
+        self, kernel: QueuedKernel, body: Callable, vpu_index: int,
+        phases: PhaseBreakdown, recording: Optional[Recording] = None,
+    ) -> Generator:
+        self.dispatcher.claim(vpu_index, kernel.kernel_id)
+        if recording is None:
+            context = KernelContext(
+                vpu_index, kernel.etype, self.allocator, self.dispatcher, phases
+            )
+        else:
+            context = RecordingContext(
+                vpu_index, kernel.etype, self.allocator, self.dispatcher, phases,
+                kernel, recording,
+            )
         self.tracer.log(
             self.sim.now, "scheduler", "kernel_start",
             kernel=kernel.kernel_id, name=kernel.name, vpu=vpu_index,

@@ -21,7 +21,8 @@ stalls and DMA/VPU concurrency faithfully.
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
+from collections import deque
+from typing import Any, Callable, Deque, Generator, Iterable, List, Optional, Tuple
 
 
 class SimulationError(RuntimeError):
@@ -136,11 +137,28 @@ class Process:
 
 
 class Simulator:
-    """The event loop: schedules process resumptions on an integer timeline."""
+    """The event loop: schedules process resumptions on an integer timeline.
+
+    Two fast paths keep long simulations cheap without changing the
+    documented FIFO determinism:
+
+    * zero-delay wakeups (``yield 0``, event fires, process starts) go to
+      a same-cycle FIFO instead of the time heap.  Entries already in the
+      heap for the current cycle were scheduled *earlier* (a zero-delay
+      schedule created during cycle ``T`` can only land in the FIFO), so
+      draining heap entries at ``now`` first, then the FIFO, reproduces
+      the global scheduling order exactly — with no heap traffic for the
+      dominant wake-everyone-this-cycle pattern;
+    * when exactly one resumption is pending (a single runnable process
+      stepping through ``yield n`` after ``yield n`` — the shape of every
+      kernel-replay and DMA loop), the next entry is popped without a
+      heap sift.
+    """
 
     def __init__(self) -> None:
         self.now = 0
         self._heap: List[Tuple[int, int, Process, Any]] = []
+        self._ready: Deque[Tuple[Process, Any]] = deque()
         self._sequence = 0
         self._processes: List[Process] = []
 
@@ -156,6 +174,12 @@ class Simulator:
         return process
 
     def _schedule(self, delay: int, process: Process, send_value: Any) -> None:
+        if delay == 0:
+            # Same-cycle wakeup: FIFO append, no heap traffic.  Ordering
+            # versus heap entries at the current cycle is preserved by the
+            # run loop (heap entries for ``now`` always predate FIFO ones).
+            self._ready.append((process, send_value))
+            return
         heapq.heappush(self._heap, (self.now + delay, self._sequence, process, send_value))
         self._sequence += 1
 
@@ -168,13 +192,30 @@ class Simulator:
         forever.
         """
         handled = 0
-        while self._heap:
-            time, _, process, send_value = self._heap[0]
-            if until is not None and time > until:
-                self.now = until
-                return self.now
-            heapq.heappop(self._heap)
-            self.now = time
+        heap = self._heap
+        ready = self._ready
+        while True:
+            if heap and heap[0][0] == self.now:
+                # Same-cycle heap entries were scheduled in earlier cycles,
+                # so they come before anything appended to the FIFO during
+                # this cycle.
+                _, _, process, send_value = heapq.heappop(heap)
+            elif ready:
+                process, send_value = ready.popleft()
+            elif heap:
+                time = heap[0][0]
+                if until is not None and time > until:
+                    self.now = until
+                    self._prune_finished()
+                    return self.now
+                self.now = time
+                if len(heap) == 1:
+                    # Single-runnable fast path: advance time without a sift.
+                    _, _, process, send_value = heap.pop()
+                else:
+                    _, _, process, send_value = heapq.heappop(heap)
+            else:
+                break
             process._step(send_value)
             handled += 1
             if handled > max_events:
@@ -184,11 +225,14 @@ class Simulator:
                 )
         if until is not None and until > self.now:
             self.now = until
+        self._prune_finished()
+        return self.now
+
+    def _prune_finished(self) -> None:
         # Drop finished processes from the registry: a long-lived system
         # (the serving engine runs thousands of programs on one simulator)
         # must not accumulate dead generator wrappers without bound.
         self._processes = [p for p in self._processes if not p.finished]
-        return self.now
 
     def run_process(self, generator: Generator, name: str = "") -> Any:
         """Convenience: register ``generator``, run to completion, return its result."""

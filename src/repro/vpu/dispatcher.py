@@ -34,6 +34,10 @@ class Dispatcher:
         self.issue_cycles = issue_cycles
         self.stats = stats or StatsRegistry()
         self._owner: Dict[int, Optional[int]] = {vpu.index: None for vpu in vpus}
+        # counter handles resolved once: dispatch runs per vector instruction
+        self._c_ops = self.stats.counter("dispatch.ops")
+        self._c_cycles = self.stats.counter("dispatch.cycles")
+        self._c_issue_bound = self.stats.counter("dispatch.issue_bound")
 
     @property
     def n_vpus(self) -> int:
@@ -66,9 +70,12 @@ class Dispatcher:
         """Execute ``op`` on VPU ``vpu_index``; return the pipelined cycle cost."""
         vpu = self.vpus[vpu_index]
         op_cycles = vpu.execute(op)
-        cost = max(self.issue_cycles, op_cycles)
-        self.stats.counter("dispatch.ops").add()
-        self.stats.counter("dispatch.cycles").add(cost)
-        if self.issue_cycles >= op_cycles:
-            self.stats.counter("dispatch.issue_bound").add()
-        return cost
+        issue = self.issue_cycles
+        # hot path: counters are monotonic by construction, bump directly
+        self._c_ops.value += 1
+        if issue >= op_cycles:
+            self._c_issue_bound.value += 1
+            self._c_cycles.value += issue
+            return issue
+        self._c_cycles.value += op_cycles
+        return op_cycles

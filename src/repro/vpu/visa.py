@@ -43,6 +43,9 @@ class ElementType(enum.Enum):
         self.suffix = suffix
         self.nbytes = nbytes
         self.np_dtype = np_dtype
+        #: sub-word SIMD elements packed per 32-bit lane (precomputed:
+        #: the VPU timing model reads this per dispatched instruction)
+        self.elems_per_word = 4 // nbytes
 
     @classmethod
     def from_suffix(cls, suffix: str) -> "ElementType":
@@ -58,10 +61,6 @@ class ElementType(enum.Enum):
                 return member
         raise ValueError(f"no element type of {nbytes} bytes")
 
-    @property
-    def elems_per_word(self) -> int:
-        """Sub-word SIMD elements packed per 32-bit lane."""
-        return 4 // self.nbytes
 
 
 class VectorOpcode(enum.Enum):
@@ -123,6 +122,14 @@ OP_TRAITS = {
     VectorOpcode.VSRA_VS: OpTraits(1, False),
     VectorOpcode.VREDSUM: OpTraits(1, True),
 }
+
+# The VPU execute loop runs per vector instruction; looking traits up by
+# enum key pays a (pure-Python) Enum.__hash__ per access, so the static
+# metadata is also mirrored onto the enum members as plain attributes.
+for _opcode, _traits in OP_TRAITS.items():
+    _opcode.traits = _traits
+    _opcode.strided = _opcode in STRIDED_SOURCES
+del _opcode, _traits
 
 
 @dataclass(frozen=True)

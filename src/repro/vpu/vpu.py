@@ -45,6 +45,15 @@ class Vpu:
         self.vrf = vrf
         self.lanes = lanes
         self.stats = stats or StatsRegistry()
+        # Counter handles are resolved once here: the execute loop runs per
+        # vector instruction and must not build f-string names or walk the
+        # registry dict on every op.
+        self._c_ops = self.stats.counter(f"vpu{index}.ops")
+        self._c_cycles = self.stats.counter(f"vpu{index}.cycles")
+        self._c_elems = self.stats.counter(f"vpu{index}.elems")
+        self._reduction_cycles = max(
+            1, int(math.log2(lanes)) if lanes > 1 else 1
+        )
 
     # -- timing ----------------------------------------------------------
 
@@ -55,78 +64,95 @@ class Vpu:
         return self.lanes
 
     def op_cycles(self, op: VectorOp) -> int:
-        """Cycle cost of executing ``op`` on this VPU."""
-        if op.vl == 0:
+        """Cycle cost of executing ``op`` on this VPU.
+
+        The single source of the timing formula — ``execute`` and the
+        replay compiler both charge through here, so the fast and slow
+        paths cannot drift apart.  Traits come from the precomputed
+        enum-member attributes (no per-op dict hashing).
+        """
+        opcode = op.opcode
+        vl = op.vl
+        if vl == 0:
             return self.STARTUP_CYCLES
-        stride = op.stride if op.opcode in STRIDED_SOURCES else 1
-        throughput = self.elems_per_cycle(op.etype, stride)
-        cycles = self.STARTUP_CYCLES + math.ceil(op.vl / throughput)
-        if OP_TRAITS[op.opcode].is_reduction:
-            cycles += max(1, int(math.log2(self.lanes)) if self.lanes > 1 else 1)
+        if opcode.strided and op.stride != 1:
+            throughput = self.lanes
+        else:
+            throughput = self.lanes * op.etype.elems_per_word
+        cycles = self.STARTUP_CYCLES + -(-vl // throughput)  # ceil division
+        if opcode.traits.is_reduction:
+            cycles += self._reduction_cycles
         return cycles
 
     # -- functional execution ------------------------------------------------
 
     def execute(self, op: VectorOp) -> int:
         """Execute ``op`` functionally; return its cycle cost."""
+        opcode = op.opcode
+        etype = op.etype
+        traits = opcode.traits  # hoisted: plain attribute, no enum hashing
+        vl = op.vl
         cycles = self.op_cycles(op)
-        self.stats.counter(f"vpu{self.index}.ops").add()
-        self.stats.counter(f"vpu{self.index}.cycles").add(cycles)
-        self.stats.counter(f"vpu{self.index}.elems").add(op.vl)
-        if op.vl == 0:
+        # hot path: counters are monotonic by construction, bump directly
+        self._c_ops.value += 1
+        self._c_cycles.value += cycles
+        self._c_elems.value += vl
+        if vl == 0:
             return cycles
 
-        etype = op.etype
         dtype = etype.np_dtype
         dst_view = self.vrf.view(op.vd, etype)
-        dst = dst_view[op.vd_offset : op.vd_offset + op.vl]
-        if len(dst) != op.vl:
+        dst = dst_view[op.vd_offset : op.vd_offset + vl]
+        if len(dst) != vl:
             raise ValueError(
-                f"vl={op.vl} at vd_offset={op.vd_offset} overflows register {op.vd}"
+                f"vl={vl} at vd_offset={op.vd_offset} overflows register {op.vd}"
             )
 
-        if op.opcode is VectorOpcode.VCLEAR:
+        if opcode is VectorOpcode.VCLEAR:
             dst[:] = 0
             return cycles
 
-        src = self._gather(op.vs1, etype, op.vl, op.offset, op.stride)
+        src = self._gather(op.vs1, etype, vl, op.offset, op.stride, op.vd)
         # vs2 is fetched only by the two-source opcode forms
         other = (
-            self.vrf.view(op.vs2, etype)[: op.vl]
-            if OP_TRAITS[op.opcode].n_vs_registers == 2
+            self.vrf.view(op.vs2, etype)[:vl]
+            if traits.n_vs_registers == 2
             else None
         )
 
-        if op.opcode is VectorOpcode.VMV:
+        if opcode is VectorOpcode.VMV:
             dst[:] = src
-        elif op.opcode is VectorOpcode.VADD_VV:
+        elif opcode is VectorOpcode.VADD_VV:
             dst[:] = (src.astype(np.int64) + other.astype(np.int64)).astype(dtype)
-        elif op.opcode is VectorOpcode.VMUL_VV:
+        elif opcode is VectorOpcode.VMUL_VV:
             dst[:] = (src.astype(np.int64) * other.astype(np.int64)).astype(dtype)
-        elif op.opcode is VectorOpcode.VMACC_VS:
+        elif opcode is VectorOpcode.VMACC_VS:
             acc = dst.astype(np.int64) + src.astype(np.int64) * int(op.scalar)
             dst[:] = acc.astype(dtype)
-        elif op.opcode is VectorOpcode.VMUL_VS:
+        elif opcode is VectorOpcode.VMUL_VS:
             dst[:] = (src.astype(np.int64) * int(op.scalar)).astype(dtype)
-        elif op.opcode is VectorOpcode.VADD_VS:
+        elif opcode is VectorOpcode.VADD_VS:
             dst[:] = (src.astype(np.int64) + int(op.scalar)).astype(dtype)
-        elif op.opcode is VectorOpcode.VMAX_VV:
+        elif opcode is VectorOpcode.VMAX_VV:
             dst[:] = np.maximum(dst, src)
-        elif op.opcode is VectorOpcode.VMAX_VS:
+        elif opcode is VectorOpcode.VMAX_VS:
             dst[:] = np.maximum(src, dtype(op.scalar))
-        elif op.opcode is VectorOpcode.VMIN_VS:
+        elif opcode is VectorOpcode.VMIN_VS:
             dst[:] = np.minimum(src, dtype(op.scalar))
-        elif op.opcode is VectorOpcode.VSRA_VS:
+        elif opcode is VectorOpcode.VSRA_VS:
             dst[:] = src >> int(op.scalar)
-        elif op.opcode is VectorOpcode.VREDSUM:
-            total = int(src.astype(np.int64).sum())
-            dst_view[op.vd_offset] = dtype(np.int64(total) & np.int64(-1))
+        elif opcode is VectorOpcode.VREDSUM:
+            # Wrap the int64 total straight through the element dtype (the
+            # old ``& -1`` int64 mask was a no-op on the way to the cast).
+            total = src.astype(np.int64).sum()
+            dst_view[op.vd_offset] = total.astype(dtype)
         else:  # pragma: no cover - enum is closed
-            raise NotImplementedError(op.opcode)
+            raise NotImplementedError(opcode)
         return cycles
 
     def _gather(
-        self, vs: int, etype: ElementType, vl: int, offset: int, stride: int
+        self, vs: int, etype: ElementType, vl: int, offset: int, stride: int,
+        vd: int = -1,
     ) -> np.ndarray:
         view = self.vrf.view(vs, etype)
         if stride == 1:
@@ -135,11 +161,16 @@ class Vpu:
                 raise ValueError(
                     f"vl={vl} at offset={offset} overflows source register {vs}"
                 )
-            return src.copy()
-        indices = offset + stride * np.arange(vl)
-        if indices[-1] >= len(view):
+            return src.copy() if vs == vd else src
+        last = offset + stride * (vl - 1)
+        if last >= len(view):
             raise ValueError(
                 f"strided access (off={offset}, stride={stride}, vl={vl}) "
                 f"overflows source register {vs}"
             )
-        return view[indices]
+        # Strided slice *view* instead of a fancy-index temp array: no
+        # per-op index-array allocation.  Only reads aliasing the
+        # destination register still need a defensive copy (``dst[:] =
+        # src`` with overlapping views is undefined).
+        src = view[offset : last + 1 : stride]
+        return src.copy() if vs == vd else src

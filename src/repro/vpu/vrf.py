@@ -24,6 +24,16 @@ class VectorRegisterFile:
             raise ValueError("a VRF needs at least one line")
         self.lines = lines
         self.line_bytes = lines[0].size
+        # Typed views are pure aliases of the (never-reallocated) line
+        # buffers, built once per (element width, register) and reused:
+        # the VPU execute loop would otherwise allocate a fresh numpy view
+        # object per operand fetch.  Keyed by element *width* (a plain
+        # int) rather than the ElementType enum — enum hashing is a
+        # pure-Python call and this lookup runs several times per op.
+        self._views = {
+            etype.nbytes: [line.data.view(etype.np_dtype) for line in lines]
+            for etype in ElementType
+        }
 
     @property
     def n_regs(self) -> int:
@@ -35,9 +45,14 @@ class VectorRegisterFile:
 
     def view(self, index: int, etype: ElementType) -> np.ndarray:
         """A mutable typed view of the whole register ``index``."""
-        if not 0 <= index < self.n_regs:
+        if index < 0:
             raise IndexError(f"vector register {index} out of range 0..{self.n_regs - 1}")
-        return self.lines[index].data.view(etype.np_dtype)
+        try:
+            return self._views[etype.nbytes][index]
+        except IndexError:
+            raise IndexError(
+                f"vector register {index} out of range 0..{self.n_regs - 1}"
+            ) from None
 
     def read(self, index: int, etype: ElementType, vl: int) -> np.ndarray:
         """A copy of the first ``vl`` elements of register ``index``."""
@@ -45,8 +60,14 @@ class VectorRegisterFile:
 
     def write(self, index: int, values: np.ndarray, offset: int = 0) -> None:
         """Write ``values`` (typed array) into register ``index`` at element offset."""
-        etype = ElementType.from_bytes(values.dtype.itemsize)
-        view = self.view(index, etype)
+        if not 0 <= index < self.n_regs:
+            raise IndexError(f"vector register {index} out of range 0..{self.n_regs - 1}")
+        try:
+            view = self._views[values.dtype.itemsize][index]
+        except KeyError:
+            raise ValueError(
+                f"cannot write {values.dtype} values to register {index}"
+            ) from None
         if offset + len(values) > len(view):
             raise ValueError(
                 f"write of {len(values)} elements at offset {offset} "

@@ -181,3 +181,38 @@ class TestRuntimeGuards:
         cpu = Cpu(memory)
         with pytest.raises(IllegalInstruction, match="no coprocessor"):
             cpu.step()
+
+
+class TestDecodeCacheBound:
+    """The decoded-instruction cache must stay bounded on long-lived
+    cores (a pooled serving worker's host executes unbounded request
+    streams through one Cpu instance)."""
+
+    def _straight_line_cpu(self, n_instructions):
+        source = "\n".join(["addi x1, x1, 1"] * n_instructions + ["ebreak"])
+        program = assemble(source)
+        memory = MainMemory(4 * 1024 * 1024)
+        memory.write_block(0, bytes(program.data))
+        return Cpu(memory)
+
+    def test_cache_never_exceeds_limit(self, monkeypatch):
+        monkeypatch.setattr(Cpu, "DECODE_CACHE_LIMIT", 64)
+        cpu = self._straight_line_cpu(300)
+        cpu.run()
+        assert len(cpu._decode_cache) <= 64
+        assert cpu.instret == 300  # ebreak halts before retiring
+
+    def test_reset_clears_decode_cache(self):
+        cpu = self._straight_line_cpu(10)
+        cpu.run()
+        assert cpu._decode_cache
+        cpu.reset()
+        assert not cpu._decode_cache
+
+    def test_eviction_keeps_execution_correct(self, monkeypatch):
+        # a stream longer than the cache bound re-decodes evicted entries
+        # transparently; the architectural result must not change
+        monkeypatch.setattr(Cpu, "DECODE_CACHE_LIMIT", 8)
+        cpu = self._straight_line_cpu(50)
+        cpu.run()
+        assert cpu.regs[1] == 50

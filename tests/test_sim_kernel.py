@@ -239,3 +239,92 @@ def test_timeout_call():
     sim.timeout_call(15, lambda: fired.append(sim.now))
     sim.run()
     assert fired == [15]
+
+
+class TestFastForwardOrdering:
+    """The same-cycle ready FIFO and single-runnable fast path must keep
+    the documented FIFO determinism of the event loop."""
+
+    def test_heap_entries_run_before_same_cycle_wakeups(self):
+        # B was scheduled for cycle 5 in the past (heap); A is woken at
+        # cycle 5 by an event fired during cycle 5 (ready FIFO).  B's
+        # schedule predates A's wakeup, so B must step first.
+        sim = Simulator()
+        order = []
+        gate = sim.event("gate")
+
+        def firer():
+            yield 5
+            order.append("firer")
+            gate.fire()
+
+        def waiter():
+            yield gate
+            order.append("waiter")
+
+        def sleeper():
+            yield 5
+            order.append("sleeper")
+
+        sim.process(waiter(), name="waiter")
+        sim.process(firer(), name="firer")
+        sim.process(sleeper(), name="sleeper")
+        sim.run()
+        assert order == ["firer", "sleeper", "waiter"]
+
+    def test_zero_delay_wakeups_preserve_fifo_order(self):
+        sim = Simulator()
+        order = []
+        event = sim.event("e")
+
+        def waiter(tag):
+            yield event
+            order.append(tag)
+
+        for tag in range(5):
+            sim.process(waiter(tag), name=f"w{tag}")
+        sim.run()
+        order.clear()
+        event.fire()
+        sim.run()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_single_process_advances_clock_correctly(self):
+        sim = Simulator()
+        seen = []
+
+        def stepper():
+            for _ in range(1000):
+                yield 3
+            seen.append(sim.now)
+
+        sim.process(stepper(), name="stepper")
+        sim.run()
+        assert seen == [3000]
+        assert sim.now == 3000
+
+    def test_zero_delay_livelock_still_guarded(self):
+        sim = Simulator()
+
+        def spinner():
+            while True:
+                yield 0
+
+        sim.process(spinner(), name="spinner")
+        with pytest.raises(SimulationError, match="livelock"):
+            sim.run(max_events=1000)
+
+    def test_run_until_with_pending_ready_items(self):
+        sim = Simulator()
+        log = []
+
+        def ticker():
+            while True:
+                log.append(sim.now)
+                yield 10
+
+        sim.process(ticker(), name="ticker")
+        assert sim.run(until=25) == 25
+        assert log == [0, 10, 20]
+        assert sim.run(until=45) == 45
+        assert log == [0, 10, 20, 30, 40]

@@ -215,3 +215,100 @@ class TestDispatcher:
         dispatcher = self.make(issue=100)
         dispatcher.dispatch(0, VectorOp(VectorOpcode.VCLEAR, ElementType.W, vd=0, vl=4))
         assert dispatcher.stats.value("dispatch.issue_bound") == 1
+
+
+class TestRedsumWrapBoundaries:
+    """VREDSUM wraps its int64 total through the element dtype (the old
+    ``& -1`` int64 mask was a no-op; the cast does the wrapping)."""
+
+    @pytest.mark.parametrize(
+        "etype,values,expected",
+        [
+            # int8: 100 + 100 = 200 -> wraps to -56
+            (ElementType.B, [100, 100], -56),
+            # int8: exactly the negative boundary
+            (ElementType.B, [-128, -128], 0),
+            # int16: 30000 + 30000 = 60000 -> wraps to -5536
+            (ElementType.H, [30000, 30000], -5536),
+            # int16: one past the positive boundary
+            (ElementType.H, [32767, 1], -32768),
+            # int32: 2**31 total wraps to the negative boundary
+            (ElementType.W, [2**30, 2**30], -(2**31)),
+            # int32: stays representable, no wrap
+            (ElementType.W, [2**30, 2**30 - 1], 2**31 - 1),
+        ],
+    )
+    def test_wrap_at_width_boundary(self, etype, values, expected):
+        vpu = make_vpu()
+        vpu.vrf.write(0, np.array(values, dtype=etype.np_dtype))
+        vpu.execute(
+            VectorOp(VectorOpcode.VREDSUM, etype, vd=1, vs1=0, vl=len(values))
+        )
+        assert int(vpu.vrf.view(1, etype)[0]) == expected
+
+    def test_negative_total_wraps(self):
+        vpu = make_vpu()
+        vpu.vrf.write(0, np.array([-100, -100, -100], dtype=np.int8))
+        vpu.execute(VectorOp(VectorOpcode.VREDSUM, ElementType.B, vd=1, vs1=0, vl=3))
+        # -300 mod 256 -> -44
+        assert int(vpu.vrf.view(1, ElementType.B)[0]) == -44
+
+
+class TestStridedGatherView:
+    """The strided source path uses a slice view (no per-op index-array
+    allocation) with an arithmetic bounds check."""
+
+    def test_strided_gather_matches_manual_indexing(self):
+        vpu = make_vpu()
+        data = np.arange(64, dtype=np.int16)
+        vpu.vrf.write(0, data)
+        vpu.execute(
+            VectorOp(VectorOpcode.VMV, ElementType.H, vd=1, vs1=0, vl=10,
+                     offset=3, stride=5)
+        )
+        assert np.array_equal(
+            vpu.vrf.view(1, ElementType.H)[:10], data[3 : 3 + 5 * 10 : 5]
+        )
+
+    def test_strided_bounds_check_exact_fit(self):
+        vpu = make_vpu(line_bytes=64)  # 32 int16 elements per register
+        vpu.vrf.write(0, np.arange(32, dtype=np.int16))
+        # last index = 1 + 10*3 = 31: legal
+        vpu.execute(
+            VectorOp(VectorOpcode.VMV, ElementType.H, vd=1, vs1=0, vl=11,
+                     offset=1, stride=3)
+        )
+        # last index = 2 + 10*3 = 32: one past the end
+        with pytest.raises(ValueError, match="overflows source register"):
+            vpu.execute(
+                VectorOp(VectorOpcode.VMV, ElementType.H, vd=1, vs1=0, vl=11,
+                         offset=2, stride=3)
+            )
+
+    def test_strided_self_move_copies_before_writing(self):
+        # vs1 == vd with overlapping strided/contiguous windows: the
+        # source must be snapshotted before the destination is written
+        vpu = make_vpu()
+        data = np.arange(16, dtype=np.int16)
+        vpu.vrf.write(0, data)
+        vpu.execute(
+            VectorOp(VectorOpcode.VMV, ElementType.H, vd=0, vs1=0, vl=5,
+                     offset=1, stride=2)
+        )
+        assert np.array_equal(
+            vpu.vrf.view(0, ElementType.H)[:5], data[1:11:2]
+        )
+
+    def test_strided_macc_still_exact(self):
+        vpu = make_vpu()
+        src = np.arange(20, dtype=np.int32)
+        acc = np.ones(6, dtype=np.int32)
+        vpu.vrf.write(0, src)
+        vpu.vrf.write(1, acc)
+        vpu.execute(
+            VectorOp(VectorOpcode.VMACC_VS, ElementType.W, vd=1, vs1=0, vl=6,
+                     scalar=7, offset=2, stride=3)
+        )
+        assert np.array_equal(
+            vpu.vrf.view(1, ElementType.W)[:6], acc + 7 * src[2 : 2 + 3 * 6 : 3]
+        )
