@@ -13,6 +13,13 @@ admission queue + least-backlog dispatcher, reporting the
 ``queue_delay + service`` latency split, per-worker utilization and the
 sustained req/Mcycle under load).
 
+With ``--faults`` the record gains a third section, **online_faults**:
+the same traffic replayed under a seeded fault plan
+(:meth:`repro.serve.faults.FaultPlan.parse` — e.g. ``kill:0.1`` or
+``kill:0.05,slow:0.02:4x``), whose availability metrics (success rate,
+retries, failovers, sheds, worker health events) land in the JSON
+alongside the clean-run throughput numbers.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_serving.py --smoke
@@ -20,14 +27,16 @@ Usage::
         --processes 2 --output my_record.json
     PYTHONPATH=src python benchmarks/bench_serving.py --trace poisson:50
     PYTHONPATH=src python benchmarks/bench_serving.py --trace bursty:8:200000
+    PYTHONPATH=src python benchmarks/bench_serving.py --smoke --faults kill:0.1
 
 ``--trace`` takes any :meth:`repro.serve.traffic.TrafficSpec.parse` spec
 (``poisson:<rate>``, ``uniform:<low>:<high>``, ``bursty:<burst>:<gap>``,
-``trace:<c0,c1,...>``); arrivals are seeded by ``--traffic-seed`` so the
-online section is reproducible.  ``--smoke`` is the CI configuration:
-100 small requests over a pool of 2, single process — exercising the
-long-lived-pool lifecycle (the run would MemoryError within a handful of
-requests without heap recycling) in a few seconds.  The JSON lands at
+``trace:<c0,c1,...>``); arrivals are seeded by ``--traffic-seed`` and
+fault draws by ``--fault-seed``, so every section is reproducible.
+``--smoke`` is the CI configuration: 100 small requests over a pool of
+2, single process — exercising the long-lived-pool lifecycle (the run
+would MemoryError within a handful of requests without heap recycling)
+in a few seconds.  The JSON lands at
 ``benchmarks/results/BENCH_serving.json`` by default.
 """
 
@@ -108,6 +117,11 @@ def main() -> None:
                              "trace:0,500,9000 (rate in req/Mcycle)")
     parser.add_argument("--traffic-seed", type=int, default=7,
                         help="seed for the online arrival process")
+    parser.add_argument("--faults", default=None,
+                        help="fault plan for an extra online_faults section, "
+                             "e.g. kill:0.1 or kill:0.05,slow:0.02:4x")
+    parser.add_argument("--fault-seed", type=int, default=2025,
+                        help="seed for the fault injector draws")
     parser.add_argument("--lanes", type=int, default=4)
     parser.add_argument("--no-verify", action="store_true",
                         help="skip golden-model output checks")
@@ -139,6 +153,16 @@ def main() -> None:
         verify=not args.no_verify,
     )
 
+    faulty = None
+    if args.faults:
+        # same traffic under a seeded fault plan: the availability section
+        # (success rate, retries, failovers, worker health) joins the record
+        faulty = online_engine.serve_online(
+            requests, traffic=args.trace, seed=args.traffic_seed,
+            faults=args.faults, fault_seed=args.fault_seed,
+            verify=not args.no_verify,
+        )
+
     record = {
         "benchmark": "serving",
         "unix_time": int(time.time()),
@@ -150,6 +174,8 @@ def main() -> None:
             "mix": "40% conv_layer / 30% gemm / 20% fc / 10% 3-node graph",
             "trace": args.trace,
             "traffic_seed": args.traffic_seed,
+            "faults": args.faults,
+            "fault_seed": args.fault_seed if args.faults else None,
         },
         "system": {
             "pool_size": args.pool,
@@ -159,6 +185,8 @@ def main() -> None:
         "offline": offline.as_dict(),
         "online": online.as_dict(),
     }
+    if faulty is not None:
+        record["online_faults"] = faulty.as_dict()
     args.output.parent.mkdir(parents=True, exist_ok=True)
     args.output.write_text(json.dumps(record, indent=2) + "\n")
 
@@ -166,6 +194,9 @@ def main() -> None:
     print(offline.summary())
     print("\n== online (arrival-driven) ==")
     print(online.summary())
+    if faulty is not None:
+        print(f"\n== online under faults ({args.faults}) ==")
+        print(faulty.summary())
     print(f"\nJSON perf record written to {args.output}")
 
 

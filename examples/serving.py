@@ -13,6 +13,13 @@ with the smallest actual cycle backlog.  The online report splits
 end-to-end latency into queue delay + service and shows per-worker
 utilization — the queueing view the offline batch report cannot give.
 
+Finally the batch is replayed once more under a seeded *fault plan*
+(kernel kills, latency spikes and a worker crash): failed attempts back
+off in simulated cycles, re-enter the admission queue and fail over to
+another worker, the crashed instance is rebuilt, and the availability
+section of the report accounts for every retry — while every request
+that completes still verifies bit-exactly against the golden model.
+
 Every output is verified against the numpy golden models, and every
 request runs on a long-lived system whose heap is recycled between
 requests — the lifecycle that used to exhaust the bump allocator after
@@ -103,6 +110,26 @@ def main() -> None:
               f"wait {result.queue_delay_cycles:>7,}  "
               f"serve {result.sim_cycles:>7,}  "
               f"done {result.completion_cycle:>9,}")
+
+    faults = "kill:0.2,slow:0.1:4x,crash_worker:0@3"
+    faulty = engine.serve_online(requests, traffic="poisson:120", seed=7,
+                                 faults=faults, fault_seed=11, verify=True)
+    print(f"\n== online under injected faults ({faults}) ==")
+    print(faulty.summary())
+    avail = faulty.availability
+    print("\navailability:")
+    print(f"  success rate : {avail['success_rate']:.1%} "
+          f"(statuses: {avail['statuses']})")
+    print(f"  retries      : {avail['retries']} "
+          f"({avail['failovers']} failed over to another worker)")
+    print(f"  injected     : {avail['injected_faults']}")
+    for event in avail["worker_events"]:
+        print(f"  worker {event['worker']} {event['event']} "
+              f"at cycle {event['cycle']:,}")
+    for result in faulty.results:
+        if result.attempts > 1 or result.status != "ok":
+            print(f"  request {result.request_id:>2} [{result.status}] "
+                  f"{result.attempts} attempt(s): {result.error}")
 
 
 if __name__ == "__main__":

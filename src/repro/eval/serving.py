@@ -1,4 +1,4 @@
-"""Aggregate serving metrics: throughput, latency, and the queueing split.
+"""Aggregate serving metrics: throughput, latency, queueing, availability.
 
 A :class:`ServingReport` condenses one served batch into the numbers a
 capacity planner reads.  Both serving modes share the core fields —
@@ -17,10 +17,18 @@ things per mode:
   ``requests_per_megacycle`` over that makespan is the pool's
   *sustained* throughput under the offered load.
 
-``per_worker`` carries each worker's served count, busy cycles and
+Latency percentiles cover **completed** requests (``ok`` +
+``timed_out``); failed and shed requests are excluded (they have no
+service timeline) but show up in the **availability** section: success
+rate, per-status counts, retry/failover totals, per-class failed-attempt
+counts, injected-fault tallies and the chronological worker health
+events (quarantine/probation/reinstatement).
+
+``per_worker`` carries each worker's served count, busy cycles,
 utilization (busy / makespan — idle gaps between arrivals count against
-it in online mode).  ``as_dict`` is JSON-clean; ``bench_serving.py``
-persists both modes as the repo's serving-perf trajectory record.
+it in online mode) and its recovery/rebuild counters for the run.
+``as_dict`` is JSON-clean; ``bench_serving.py`` persists both modes as
+the repo's serving-perf trajectory record.
 """
 
 from __future__ import annotations
@@ -76,9 +84,14 @@ class ServingReport:
     mode: str = "offline"
     #: canonical traffic spec string (online mode only)
     traffic: Optional[str] = None
+    #: canonical fault spec string (None = no injection)
+    faults: Optional[str] = None
     #: queueing split (online mode only): latency == queue_delay + service
     queue_delay_cycles: Optional[Dict[str, float]] = None
     service_cycles: Optional[Dict[str, float]] = None
+    #: availability block: success rate, status counts, retries/failovers,
+    #: per-class failure counts, injected faults, worker health events
+    availability: Optional[Dict] = None
     #: per-request detail (with outputs); rides along, excluded from as_dict
     results: List = field(default_factory=list, repr=False)
 
@@ -100,6 +113,13 @@ class ServingReport:
         if not self.makespan_cycles:
             return 0.0
         return self.n_requests / self.makespan_cycles * 1e6
+
+    @property
+    def success_rate(self) -> float:
+        """Fraction of requests that completed ``ok`` (1.0 when n == 0)."""
+        if self.availability is None:
+            return 1.0
+        return self.availability.get("success_rate", 1.0)
 
     def as_dict(self) -> dict:
         record = {
@@ -125,6 +145,8 @@ class ServingReport:
             },
             "phase_cycles": self.breakdown.as_dict(),
             "verified": self.verified,
+            "faults": self.faults,
+            "availability": self.availability,
         }
         if self.mode == "online":
             record["traffic"] = self.traffic
@@ -145,7 +167,8 @@ class ServingReport:
             f"served {self.n_requests} requests over {self.pool_size} ARCANE "
             f"instance(s), {self.processes} process(es), "
             + (f"traffic={self.traffic}" if self.mode == "online"
-               else f"policy={self.policy}"),
+               else f"policy={self.policy}")
+            + (f", faults={self.faults}" if self.faults else ""),
             f"  wall-clock      : {self.wall_seconds:.2f} s "
             f"({self.requests_per_second:.1f} req/s)",
             f"  simulated       : {self.total_sim_cycles:,} cycles total, "
@@ -164,6 +187,26 @@ class ServingReport:
                 f"p90={q.get('p90', 0):,.0f} p99={q.get('p99', 0):,.0f} "
                 f"max={q.get('max', 0):,.0f}"
             )
+        if self.availability is not None:
+            avail = self.availability
+            statuses = avail.get("statuses", {})
+            lines.append(
+                f"  availability    : {avail.get('success_rate', 1.0):.1%} ok "
+                f"({statuses.get('failed', 0)} failed, "
+                f"{statuses.get('timed_out', 0)} timed out, "
+                f"{statuses.get('shed', 0)} shed; "
+                f"{avail.get('retries', 0)} retries, "
+                f"{avail.get('failovers', 0)} failovers)"
+            )
+            if avail.get("worker_events"):
+                events = avail["worker_events"]
+                counts: Dict[str, int] = {}
+                for event in events:
+                    counts[event["event"]] = counts.get(event["event"], 0) + 1
+                lines.append(
+                    "  worker health   : "
+                    + ", ".join(f"{k}={v}" for k, v in sorted(counts.items()))
+                )
         if self.per_worker:
             util = ", ".join(
                 f"w{worker}={stats.get('utilization', 0.0):.0%}"
@@ -188,26 +231,48 @@ def build_serving_report(
     verified: Optional[bool] = None,
     mode: str = "offline",
     traffic: Optional[str] = None,
+    faults: Optional[str] = None,
+    health: Optional[Dict] = None,
 ) -> ServingReport:
     """Fold per-request results into one :class:`ServingReport`.
 
     Offline latency is service time; online latency is end-to-end
     (``completion - arrival``), with the queue-delay and service splits
     reported alongside, and the makespan is the last completion cycle.
+    Latency/throughput stats cover completed requests only; failed and
+    shed requests are folded into the availability block.  ``health``
+    carries the engine's injector/supervisor/worker-counter record.
     """
     if mode not in MODES:
         raise ValueError(f"unknown serving mode {mode!r}; expected one of {MODES}")
-    services = [r.sim_cycles for r in results]
+    statuses = {"ok": 0, "failed": 0, "timed_out": 0, "shed": 0}
+    for result in results:
+        statuses[result.status] = statuses.get(result.status, 0) + 1
+    completed = [r for r in results if r.status in ("ok", "timed_out")]
+    services = [r.sim_cycles for r in completed]
     per_kind: Dict[str, int] = {}
     # seed every pool slot so idle workers report served=0 / 0% utilization
     # instead of silently vanishing from the record
     per_worker: Dict[int, Dict[str, float]] = {
-        w: {"served": 0, "busy_cycles": 0} for w in range(pool_size)
+        w: {"served": 0, "busy_cycles": 0, "recoveries": 0, "rebuilds": 0}
+        for w in range(pool_size)
     }
+    if health is not None:
+        for worker, counters in health.get("workers", {}).items():
+            stats = per_worker.setdefault(
+                worker, {"served": 0, "busy_cycles": 0, "recoveries": 0, "rebuilds": 0}
+            )
+            stats["recoveries"] = counters.get("recoveries", 0)
+            stats["rebuilds"] = counters.get("rebuilds", 0)
     breakdown = PhaseBreakdown()
     for result in results:
         per_kind[result.kind] = per_kind.get(result.kind, 0) + 1
-        worker = per_worker.setdefault(result.worker, {"served": 0, "busy_cycles": 0})
+        if result.worker < 0 or result.status not in ("ok", "timed_out"):
+            continue  # shed/failed results consumed no worker cycles
+        worker = per_worker.setdefault(
+            result.worker,
+            {"served": 0, "busy_cycles": 0, "recoveries": 0, "rebuilds": 0},
+        )
         worker["served"] += 1
         worker["busy_cycles"] += result.sim_cycles
         breakdown.merge(result.breakdown)
@@ -216,7 +281,7 @@ def build_serving_report(
     service_stats: Optional[Dict[str, float]] = None
     if mode == "online":
         missing = [
-            r.request_id for r in results
+            r.request_id for r in completed
             if r.latency_cycles is None or r.queue_delay_cycles is None
         ]
         if missing:
@@ -224,10 +289,10 @@ def build_serving_report(
                 f"online report needs simulated timelines; requests {missing} "
                 "have none (were they served offline?)"
             )
-        latencies = [r.latency_cycles for r in results]
-        queue_delays = latency_stats([r.queue_delay_cycles for r in results])
+        latencies = [r.latency_cycles for r in completed]
+        queue_delays = latency_stats([r.queue_delay_cycles for r in completed])
         service_stats = latency_stats(services)
-        makespan = max((r.completion_cycle for r in results), default=0)
+        makespan = max((r.completion_cycle for r in completed), default=0)
     else:
         latencies = services
         makespan = max(
@@ -237,13 +302,26 @@ def build_serving_report(
         stats["utilization"] = (
             stats["busy_cycles"] / makespan if makespan else 0.0
         )
+
+    n = len(results)
+    health = health or {}
+    availability = {
+        "success_rate": round(statuses["ok"] / n, 6) if n else 1.0,
+        "statuses": statuses,
+        "attempts": sum(r.attempts for r in results),
+        "retries": health.get("retries", sum(r.attempts - 1 for r in results)),
+        "failovers": health.get("failovers", 0),
+        "failed_attempts_by_class": health.get("failed_attempts_by_class", {}),
+        "injected_faults": health.get("injected", {}),
+        "worker_events": health.get("worker_events", []),
+    }
     return ServingReport(
-        n_requests=len(results),
+        n_requests=n,
         pool_size=pool_size,
         processes=processes,
         policy=policy,
         wall_seconds=wall_seconds,
-        total_sim_cycles=sum(services),
+        total_sim_cycles=sum(r.sim_cycles for r in results),
         makespan_cycles=makespan,
         latency_cycles=latency_stats(latencies),
         per_kind=per_kind,
@@ -252,6 +330,8 @@ def build_serving_report(
         verified=verified,
         mode=mode,
         traffic=traffic,
+        faults=faults,
         queue_delay_cycles=queue_delays,
         service_cycles=service_stats,
+        availability=availability,
     )

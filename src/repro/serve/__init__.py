@@ -12,8 +12,12 @@ Quickstart::
     online = engine.serve_online(   # online: arrival-driven, simulated time
         requests, traffic="poisson:25", seed=7, verify=True,
     )
+    faulty = engine.serve_online(   # rehearse failures, deterministically
+        requests, traffic="poisson:25", seed=7, faults="kill:0.1", fault_seed=3,
+    )
     print(report.summary())
     print(online.summary())         # queue delay + service split, utilization
+    print(faulty.availability)      # success rate, retries, failovers, sheds
 
 See ``examples/serving.py`` for the full tour and
 ``benchmarks/bench_serving.py`` for the throughput benchmark.
@@ -27,10 +31,24 @@ from repro.eval.serving import (
     percentile,
 )
 from repro.serve.engine import POLICIES, ServingEngine
+from repro.serve.faults import (
+    FAULT_KINDS,
+    FaultClause,
+    FaultInjector,
+    FaultPlan,
+    KernelKilledError,
+    RequestRejected,
+    RetryPolicy,
+    ServingError,
+    TransientOffloadError,
+    WorkerCrashError,
+    WorkerSupervisor,
+)
 from repro.serve.golden import expected_output, kernel_golden
 from repro.serve.online import OnlineDispatcher, OnlineEvent
 from repro.serve.request import (
     KINDS,
+    STATUSES,
     GraphNode,
     InferenceRequest,
     RequestResult,
@@ -44,24 +62,36 @@ from repro.serve.traffic import (
     TrafficSpec,
     arrival_cycles,
     stamp_arrivals,
+    stamp_deadlines,
 )
-from repro.serve.worker import RequestRejected, SystemWorker
+from repro.serve.worker import SystemWorker
 
 __all__ = [
+    "FAULT_KINDS",
     "KINDS",
     "MODES",
     "POLICIES",
+    "STATUSES",
     "TRAFFIC_KINDS",
+    "FaultClause",
+    "FaultInjector",
+    "FaultPlan",
     "GraphNode",
     "InferenceRequest",
+    "KernelKilledError",
     "OnlineDispatcher",
     "OnlineEvent",
     "RequestRejected",
     "RequestResult",
+    "RetryPolicy",
     "ServingEngine",
+    "ServingError",
     "ServingReport",
     "SystemWorker",
     "TrafficSpec",
+    "TransientOffloadError",
+    "WorkerCrashError",
+    "WorkerSupervisor",
     "arrival_cycles",
     "build_serving_report",
     "conv_layer_request",
@@ -73,4 +103,5 @@ __all__ = [
     "latency_stats",
     "percentile",
     "stamp_arrivals",
+    "stamp_deadlines",
 ]

@@ -15,13 +15,23 @@ the lifecycle guarantees of ``ArcaneSystem.reset_heap()``:
   FIFO admission queue and dispatches each request at its arrival cycle
   to the worker with the smallest actual backlog
   (:mod:`repro.serve.online`);
+* **fault tolerance** — both paths speak the
+  :mod:`repro.serve.faults` taxonomy: a failed request becomes a
+  ``status="failed"`` result instead of aborting the batch, retryable
+  failures are retried under a :class:`~repro.serve.faults.RetryPolicy`
+  (failing over to a different worker), repeatedly-failing workers are
+  quarantined by a :class:`~repro.serve.faults.WorkerSupervisor`, and a
+  seeded fault spec (``faults="kill:0.1"``) rehearses all of it
+  deterministically;
 * **parallelism** — with ``processes > 1`` the pool is partitioned over
   OS processes (each owns its workers outright), so independent
   simulations use multiple host cores; results are identical to the
-  serial path because request→worker assignment is computed up front;
+  serial path because request→worker assignment is computed up front
+  (fault injection/retry need the serial pool: ``processes=1``);
 * **aggregation** — per-request :class:`RunReport`s fold into a
-  :class:`~repro.eval.serving.ServingReport` with throughput and
-  latency percentiles.
+  :class:`~repro.eval.serving.ServingReport` with throughput, latency
+  percentiles and an availability section (success rate, retries,
+  failovers, sheds, per-worker health events).
 """
 
 from __future__ import annotations
@@ -33,6 +43,14 @@ import numpy as np
 
 from repro.core.config import ArcaneConfig
 from repro.eval.serving import ServingReport, build_serving_report
+from repro.serve.faults import (
+    FaultInjector,
+    FaultPlan,
+    RetryPolicy,
+    ServingError,
+    WorkerCrashError,
+    WorkerSupervisor,
+)
 from repro.serve.golden import expected_output
 from repro.serve.online import OnlineDispatcher
 from repro.serve.request import InferenceRequest, RequestResult
@@ -50,15 +68,24 @@ def _serve_shard(args: tuple) -> Tuple[float, List[RequestResult]]:
     the serial schedule exactly.  The returned seconds time the serving
     loop only — pool construction stays outside, mirroring the serial
     path where the pool is built in ``__init__`` before the timer.
+    A structured serving failure becomes a ``status="failed"`` result
+    (no retries in shards — retry/failover need the serial pool).
     """
     worker_indices, config, with_compiled, assignments = args
     workers = {
         index: SystemWorker(index, config, with_compiled) for index in worker_indices
     }
     start = time.perf_counter()
-    results = [
-        workers[worker_index].run(request) for worker_index, request in assignments
-    ]
+    results = []
+    for worker_index, request in assignments:
+        try:
+            results.append(workers[worker_index].run(request))
+        except ServingError as error:
+            results.append(RequestResult.failure(
+                request, "failed",
+                f"attempt 1 on worker {worker_index}: {error}",
+                worker=worker_index, fault_class=error.fault_class,
+            ))
     return time.perf_counter() - start, results
 
 
@@ -153,48 +180,201 @@ class ServingEngine:
     def _verify_outputs(
         requests: Sequence[InferenceRequest], results: Sequence[RequestResult]
     ) -> bool:
+        """Check every completed output against the golden model.
+
+        Collects *all* mismatching requests (not just the first) and
+        reports, per mismatch, how many elements differ and the max
+        absolute difference.  Non-completed results (failed/shed) carry
+        no output and are skipped.
+        """
+        mismatches: List[str] = []
         for request, result in zip(requests, results):
+            if not result.completed:
+                continue
             expected = expected_output(request)
-            if not np.array_equal(result.output, expected):
-                raise AssertionError(
-                    f"request {request.request_id} ({request.kind}): output "
-                    "does not match the golden model"
+            actual = result.output
+            if np.array_equal(actual, expected):
+                continue
+            if actual is None or actual.shape != expected.shape:
+                got = "None" if actual is None else f"shape {actual.shape}"
+                mismatches.append(
+                    f"request {request.request_id} ({request.kind}): expected "
+                    f"shape {expected.shape}, got {got}"
                 )
+                continue
+            diff = np.abs(
+                np.asarray(actual, dtype=np.int64)
+                - np.asarray(expected, dtype=np.int64)
+            )
+            mismatches.append(
+                f"request {request.request_id} ({request.kind}): "
+                f"{int(np.count_nonzero(diff))}/{diff.size} elements differ, "
+                f"max |diff| = {int(diff.max())}"
+            )
+        if mismatches:
+            raise AssertionError(
+                f"{len(mismatches)} request(s) mismatch the golden model: "
+                + "; ".join(mismatches)
+            )
         return True
 
     def serve(
-        self, requests: Sequence[InferenceRequest], verify: bool = False
+        self,
+        requests: Sequence[InferenceRequest],
+        verify: bool = False,
+        faults: Optional[Union[str, FaultPlan]] = None,
+        fault_seed: int = 0,
+        retry: Optional[RetryPolicy] = None,
     ) -> ServingReport:
         """Run every request as an offline batch, return the aggregate report.
 
         Per-request results (with outputs) are kept on ``report.results``;
-        with ``verify=True`` every output is checked against the numpy
-        golden model and a mismatch raises immediately.
+        with ``verify=True`` every completed output is checked against the
+        numpy golden model and any mismatch raises with full detail.
+
+        A request that fails does **not** abort the batch: retryable
+        failures are retried (immediately, failing over to a different
+        worker) up to ``retry.max_attempts``, and exhausted or
+        non-retryable failures become ``status="failed"`` results.  A
+        ``faults`` spec (e.g. ``"kill:0.1"``, see
+        :meth:`~repro.serve.faults.FaultPlan.parse`) injects seeded
+        faults deterministically; it requires the serial pool
+        (``processes=1``).
         """
         requests = list(requests)
         self._check_unique_ids(requests)
+        plan = FaultPlan.coerce(faults)
+        if plan is not None and self.processes != 1:
+            raise RuntimeError(
+                "fault injection shares injector/supervisor state across the "
+                "pool; use processes=1"
+            )
         assignments = self._assign(requests)
         # wall time covers serving on a ready pool in both modes: the serial
         # pool is built in __init__, and parallel shards time their serving
         # loop after constructing their workers (max over concurrent shards).
         if self.processes == 1:
+            injector = FaultInjector(plan, fault_seed) if plan else None
+            policy = retry or RetryPolicy()
+            supervisor = WorkerSupervisor(self.pool_size)
+            tally: Dict = {"retries": 0, "failovers": 0,
+                           "failed_attempts_by_class": {}}
+            before = [w.health_snapshot() for w in self.workers]
             start = time.perf_counter()
             results = [
-                self.workers[worker].run(request) for worker, request in assignments
+                self._run_with_recovery(
+                    request, worker, seq, injector, policy, supervisor, tally
+                )
+                for seq, (worker, request) in enumerate(assignments)
             ]
             wall = time.perf_counter() - start
+            health = self._collect_health(injector, supervisor, tally, before)
         else:
             wall, results = self._serve_parallel(assignments)
+            health = None
 
         verified: Optional[bool] = None
         if verify:
             verified = self._verify_outputs(requests, results)
 
         report = build_serving_report(
-            results, self.pool_size, self.processes, self.policy, wall, verified
+            results, self.pool_size, self.processes, self.policy, wall, verified,
+            faults=plan.describe() if plan else None, health=health,
         )
         report.results = results  # per-request detail rides along (not in JSON)
         return report
+
+    def _run_with_recovery(
+        self,
+        request: InferenceRequest,
+        preferred: int,
+        seq: int,
+        injector: Optional[FaultInjector],
+        policy: RetryPolicy,
+        supervisor: WorkerSupervisor,
+        tally: Dict,
+    ) -> RequestResult:
+        """Offline retry loop: bounded attempts, failover, quarantine.
+
+        ``seq`` (the dispatch sequence number) stands in for the clock in
+        supervision events — the offline path has no simulated arrivals.
+        """
+        attempt = 1
+        last_failed: Optional[int] = None
+        history: List[str] = []
+        while True:
+            supervisor.tick(seq)
+            candidates = supervisor.available(seq)
+            if attempt == 1 and preferred in candidates:
+                worker = preferred
+            else:
+                pool = candidates
+                if last_failed is not None and policy.failover:
+                    others = [w for w in candidates if w != last_failed]
+                    if others:
+                        pool = others
+                worker = min(
+                    pool, key=lambda w: (self.workers[w].busy_cycles, w)
+                )
+            if attempt > 1 and worker != last_failed:
+                tally["failovers"] += 1
+            try:
+                result = self.workers[worker].run(
+                    request, attempt=attempt, injector=injector
+                )
+            except ServingError as error:
+                history.append(f"attempt {attempt} on worker {worker}: {error}")
+                recovery = self.workers[worker].last_recovery
+                if recovery and recovery.get("error"):
+                    history.append(
+                        f"worker {worker} rebuilt after reset failure: "
+                        f"{recovery['error']}"
+                    )
+                by_class = tally["failed_attempts_by_class"]
+                by_class[error.fault_class] = by_class.get(error.fault_class, 0) + 1
+                quarantined = supervisor.record_failure(worker, seq, error)
+                if quarantined and not isinstance(error, WorkerCrashError):
+                    # crash already rebuilt the worker inside run()
+                    self.workers[worker].rebuild()
+                last_failed = worker
+                if error.retryable and attempt < policy.max_attempts:
+                    attempt += 1
+                    tally["retries"] += 1
+                    continue
+                return RequestResult.failure(
+                    request, "failed", "; ".join(history),
+                    worker=worker, attempts=attempt,
+                    fault_class=error.fault_class,
+                )
+            supervisor.record_success(worker, seq)
+            result.attempts = attempt
+            if history:
+                result.error = "; ".join(history)
+            return result
+
+    def _collect_health(
+        self,
+        injector: Optional[FaultInjector],
+        supervisor: WorkerSupervisor,
+        tally: Dict,
+        before: Sequence[Dict[str, int]],
+    ) -> Dict:
+        """Fold injector/supervisor/worker state into the report's health
+        record; worker counters are deltas over this serving run."""
+        workers = {}
+        for worker, snapshot in zip(self.workers, before):
+            now = worker.health_snapshot()
+            workers[worker.index] = {
+                key: now[key] - snapshot[key] for key in now
+            }
+        return {
+            "retries": tally["retries"],
+            "failovers": tally["failovers"],
+            "failed_attempts_by_class": dict(tally["failed_attempts_by_class"]),
+            "injected": dict(injector.injected) if injector else {},
+            "worker_events": list(supervisor.events),
+            "workers": workers,
+        }
 
     def serve_online(
         self,
@@ -202,6 +382,10 @@ class ServingEngine:
         traffic: Optional[Union[str, TrafficSpec]] = None,
         seed: int = 0,
         verify: bool = False,
+        faults: Optional[Union[str, FaultPlan]] = None,
+        fault_seed: int = 0,
+        retry: Optional[RetryPolicy] = None,
+        queue_capacity: Optional[int] = None,
     ) -> ServingReport:
         """Serve requests as arrival-driven traffic in simulated time.
 
@@ -212,8 +396,17 @@ class ServingEngine:
         :class:`~repro.serve.online.OnlineDispatcher` event loop — FIFO
         admission, least-backlog dispatch — and the report splits each
         request's end-to-end latency into ``queue_delay + service`` cycles, with
-        per-worker utilization over the simulated makespan.  Results are
-        deterministic for a fixed ``(traffic, seed)``.
+        per-worker utilization over the simulated makespan.
+
+        Failure machinery rides the same loop: ``faults`` injects a
+        seeded fault plan, retryable failures back off in simulated
+        cycles and re-enter the admission queue (failing over to another
+        worker), ``queue_capacity`` bounds the admission queue (excess
+        arrivals are shed), per-request ``deadline_cycle`` stamps cause
+        deadline-aware shedding and ``timed_out`` statuses, and workers
+        that fail repeatedly are quarantined then reinstated after
+        probation.  Results are deterministic for a fixed ``(traffic,
+        seed, fault_seed)``.
         """
         if self.processes != 1:
             raise RuntimeError(
@@ -226,7 +419,14 @@ class ServingEngine:
         if traffic is not None:
             spec = traffic if isinstance(traffic, TrafficSpec) else TrafficSpec.parse(traffic)
             requests = stamp_arrivals(requests, spec, seed)
-        dispatcher = OnlineDispatcher(self.workers)
+        plan = FaultPlan.coerce(faults)
+        injector = FaultInjector(plan, fault_seed) if plan else None
+        supervisor = WorkerSupervisor(self.pool_size)
+        before = [w.health_snapshot() for w in self.workers]
+        dispatcher = OnlineDispatcher(
+            self.workers, injector=injector, retry=retry,
+            supervisor=supervisor, queue_capacity=queue_capacity,
+        )
         start = time.perf_counter()
         results = dispatcher.run(requests)
         wall = time.perf_counter() - start
@@ -235,9 +435,11 @@ class ServingEngine:
         if verify:
             verified = self._verify_outputs(requests, results)
 
+        health = self._collect_health(injector, supervisor, dispatcher.tally, before)
         report = build_serving_report(
             results, self.pool_size, self.processes, self.policy, wall, verified,
             mode="online", traffic=spec.describe() if spec else "replay",
+            faults=plan.describe() if plan else None, health=health,
         )
         report.results = results
         return report

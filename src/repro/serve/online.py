@@ -17,18 +17,37 @@ single-shot run, thanks to ``reset_heap()``), and its completion cycle is
     queue_delay = start_cycle - arrival_cycle      (>= 0)
     latency     = completion_cycle - arrival_cycle (== queue_delay + service)
 
+The dispatcher also owns the **failure half** of online serving
+(:mod:`repro.serve.faults`): a failed attempt is detected at its
+dispatch instant, backed off in simulated cycles, and *re-enters the
+admission queue* as a later attempt (failing over to a different worker
+when possible); a bounded admission queue sheds arrivals when too many
+admitted requests are still waiting; deadline-aware admission sheds a
+request whose projected start would already miss its ``deadline_cycle``
+and marks late completions ``timed_out``; and a
+:class:`~repro.serve.faults.WorkerSupervisor` quarantines workers that
+fail repeatedly (the dispatcher skips them until probation).
+
 The loop is deterministic: a fixed traffic seed fixes the arrival stamps,
-FIFO admission breaks simultaneous arrivals by submission order, and
-backlog ties go to the lowest worker index — so online reports (and their
-queue-delay percentiles) are exactly reproducible.
+FIFO admission breaks simultaneous arrivals by submission order, backlog
+ties go to the lowest worker index, and fault draws hash ``(fault seed,
+request, attempt)`` — so online reports (availability included) are
+exactly reproducible for a fixed ``(traffic seed, fault seed)``.
 """
 
 from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.serve.faults import (
+    FaultInjector,
+    RetryPolicy,
+    ServingError,
+    WorkerCrashError,
+    WorkerSupervisor,
+)
 from repro.serve.request import InferenceRequest, RequestResult
 from repro.serve.worker import SystemWorker
 
@@ -36,6 +55,9 @@ from repro.serve.worker import SystemWorker
 ARRIVAL = "arrival"
 DISPATCH = "dispatch"
 COMPLETION = "completion"
+FAIL = "fail"
+RETRY = "retry"
+SHED = "shed"
 
 
 @dataclass(frozen=True)
@@ -54,64 +76,205 @@ class OnlineDispatcher:
     The dispatcher owns the simulated clock.  Requests are admitted in
     ``(arrival_cycle, submission order)`` order — a FIFO queue in front
     of the pool — and each is routed *at its arrival cycle* to the
-    worker whose backlog (cycles of already-dispatched work still
-    pending at that instant) is smallest.  Service happens by actually
-    running the request on the chosen worker, so timing is the
+    available worker whose backlog (cycles of already-dispatched work
+    still pending at that instant) is smallest.  Service happens by
+    actually running the request on the chosen worker, so timing is the
     simulator's, not an estimate.
+
+    Optional fault machinery: ``injector`` injects seeded faults at each
+    attempt, ``retry`` bounds attempts and spaces them with simulated
+    backoff (a retry re-enters the admission queue), ``supervisor``
+    quarantines repeatedly-failing workers, and ``queue_capacity``
+    bounds how many admitted requests may be waiting (excess arrivals
+    are shed).  All default to off, reproducing the plain FIFO loop.
     """
 
-    def __init__(self, workers: Sequence[SystemWorker]) -> None:
+    def __init__(
+        self,
+        workers: Sequence[SystemWorker],
+        injector: Optional[FaultInjector] = None,
+        retry: Optional[RetryPolicy] = None,
+        supervisor: Optional[WorkerSupervisor] = None,
+        queue_capacity: Optional[int] = None,
+    ) -> None:
         if not workers:
             raise ValueError("online dispatch needs at least one worker")
+        if queue_capacity is not None and queue_capacity < 1:
+            raise ValueError("queue_capacity must be >= 1 (or None for unbounded)")
         self.workers = list(workers)
+        self.injector = injector
+        self.retry = retry or RetryPolicy()
+        self.supervisor = supervisor
+        self.queue_capacity = queue_capacity
         #: cycle at which each worker drains all dispatched work
         self.free_at = [0] * len(self.workers)
-        #: chronological event log (arrival / dispatch / completion)
+        #: chronological event log (arrival/dispatch/completion/fail/retry/shed)
         self.events: List[OnlineEvent] = []
+        #: availability tally for the serving report
+        self.tally: Dict = {
+            "retries": 0,
+            "failovers": 0,
+            "failed_attempts_by_class": {},
+        }
 
     def backlog(self, worker: int, now: int) -> int:
         """Cycles of pending work on ``worker`` as seen at cycle ``now``."""
         return max(0, self.free_at[worker] - now)
 
+    def _candidates(self, now: int, avoid: Optional[int]) -> List[int]:
+        """Dispatchable workers at ``now``, preferring not-``avoid``."""
+        if self.supervisor is not None:
+            ready = self.supervisor.available(now)
+        else:
+            ready = list(range(len(self.workers)))
+        if avoid is not None and self.retry.failover:
+            others = [w for w in ready if w != avoid]
+            if others:
+                return others
+        return ready
+
     def run(self, requests: Sequence[InferenceRequest]) -> List[RequestResult]:
         """Serve every request in simulated time; results in input order."""
-        admission: List[Tuple[int, int, InferenceRequest]] = sorted(
-            ((request.arrival_cycle, position, request)
+        requests = list(requests)
+        admission = sorted(
+            ((request.arrival_cycle, position)
              for position, request in enumerate(requests)),
             key=lambda entry: entry[:2],
         )
+        # the pending heap orders (ready_cycle, admission seq); retries
+        # re-enter with a fresh seq so FIFO ties stay deterministic
+        pending: List[Tuple[int, int, int, int]] = [
+            (arrival, seq, 1, position)
+            for seq, (arrival, position) in enumerate(admission)
+        ]
+        heapq.heapify(pending)
+        next_seq = len(pending)
         completions: List[Tuple[int, int, int, int]] = []  # heap: (cycle, pos, rid, w)
-        results: List[Optional[RequestResult]] = [None] * len(admission)
-        for arrival, position, request in admission:
-            # retire completions that happen before this arrival, so the
+        results: List[Optional[RequestResult]] = [None] * len(requests)
+        attempt_errors: Dict[int, List[str]] = {}
+        last_failed: Dict[int, int] = {}
+        dispatched_starts: List[int] = []
+
+        while pending:
+            ready, seq, attempt, position = heapq.heappop(pending)
+            request = requests[position]
+            rid = request.request_id
+            # retire completions that happen before this instant, so the
             # event log interleaves chronologically
-            while completions and completions[0][0] <= arrival:
-                cycle, _, rid, worker = heapq.heappop(completions)
-                self.events.append(OnlineEvent(cycle, COMPLETION, rid, worker))
-            self.events.append(OnlineEvent(arrival, ARRIVAL, request.request_id))
-            worker = min(
-                range(len(self.workers)),
-                key=lambda w: (self.backlog(w, arrival), w),
-            )
-            start = max(arrival, self.free_at[worker])
-            result = self.workers[worker].run(request)
+            while completions and completions[0][0] <= ready:
+                cycle, _, crid, worker = heapq.heappop(completions)
+                self.events.append(OnlineEvent(cycle, COMPLETION, crid, worker))
+            if attempt == 1:
+                self.events.append(OnlineEvent(ready, ARRIVAL, rid))
+            if self.supervisor is not None:
+                self.supervisor.tick(ready)
+            # bounded admission: how many admitted requests are still
+            # waiting (dispatched but not yet started) at this instant?
+            if self.queue_capacity is not None:
+                depth = sum(1 for s in dispatched_starts if s > ready)
+                if depth >= self.queue_capacity:
+                    self.events.append(OnlineEvent(ready, SHED, rid))
+                    results[position] = RequestResult.failure(
+                        request, "shed",
+                        f"admission queue full ({depth} waiting, capacity "
+                        f"{self.queue_capacity}) at cycle {ready}",
+                        attempts=attempt, arrival_cycle=request.arrival_cycle,
+                        fault_class="queue_full",
+                    )
+                    continue
+            candidates = self._candidates(ready, last_failed.get(position))
+            worker = min(candidates, key=lambda w: (self.backlog(w, ready), w))
+            start = max(ready, self.free_at[worker])
+            # deadline-aware load shedding: don't burn cycles on a request
+            # whose queue delay already blew its deadline
+            if request.deadline_cycle is not None and start > request.deadline_cycle:
+                self.events.append(OnlineEvent(ready, SHED, rid))
+                results[position] = RequestResult.failure(
+                    request, "shed",
+                    f"projected start cycle {start} past deadline "
+                    f"{request.deadline_cycle} (queue delay would blow it)",
+                    attempts=attempt, arrival_cycle=request.arrival_cycle,
+                    fault_class="deadline",
+                )
+                continue
+            if attempt > 1 and worker != last_failed.get(position):
+                self.tally["failovers"] += 1
+            try:
+                result = self.workers[worker].run(
+                    request, attempt=attempt, injector=self.injector
+                )
+            except ServingError as error:
+                self._record_failure(
+                    request, worker, ready, attempt, error,
+                    attempt_errors.setdefault(position, []),
+                )
+                last_failed[position] = worker
+                if error.retryable and attempt < self.retry.max_attempts:
+                    retry_at = ready + self.retry.backoff(attempt)
+                    self.events.append(OnlineEvent(ready, RETRY, rid, worker))
+                    self.tally["retries"] += 1
+                    heapq.heappush(pending, (retry_at, next_seq, attempt + 1, position))
+                    next_seq += 1
+                else:
+                    results[position] = RequestResult.failure(
+                        request, "failed",
+                        "; ".join(attempt_errors.get(position, [])),
+                        worker=worker, attempts=attempt,
+                        arrival_cycle=request.arrival_cycle,
+                        fault_class=error.fault_class,
+                    )
+                continue
+            if self.supervisor is not None:
+                self.supervisor.record_success(worker, ready)
             completion = start + result.sim_cycles
-            result.arrival_cycle = arrival
+            result.arrival_cycle = request.arrival_cycle
             result.start_cycle = start
             result.completion_cycle = completion
+            result.attempts = attempt
+            if attempt_errors.get(position):
+                # succeeded after retries: keep the failure history around
+                result.error = "; ".join(attempt_errors[position])
+            if (
+                request.deadline_cycle is not None
+                and completion > request.deadline_cycle
+            ):
+                result.status = "timed_out"
             self.free_at[worker] = completion
-            self.events.append(
-                OnlineEvent(arrival, DISPATCH, request.request_id, result.worker)
-            )
-            heapq.heappush(
-                completions, (completion, position, request.request_id, result.worker)
-            )
+            dispatched_starts.append(start)
+            self.events.append(OnlineEvent(ready, DISPATCH, rid, worker))
+            heapq.heappush(completions, (completion, position, rid, worker))
             results[position] = result
         while completions:
-            cycle, _, rid, worker = heapq.heappop(completions)
-            self.events.append(OnlineEvent(cycle, COMPLETION, rid, worker))
+            cycle, _, crid, worker = heapq.heappop(completions)
+            self.events.append(OnlineEvent(cycle, COMPLETION, crid, worker))
         assert all(r is not None for r in results)
         return results  # type: ignore[return-value]
+
+    def _record_failure(
+        self,
+        request: InferenceRequest,
+        worker: int,
+        cycle: int,
+        attempt: int,
+        error: ServingError,
+        history: List[str],
+    ) -> None:
+        """Log one failed attempt: event, class tally, recovery diagnostic,
+        supervision (quarantine rebuilds the worker's system)."""
+        self.events.append(OnlineEvent(cycle, FAIL, request.request_id, worker))
+        history.append(f"attempt {attempt} on worker {worker}: {error}")
+        recovery = self.workers[worker].last_recovery
+        if recovery and recovery.get("error"):
+            history.append(
+                f"worker {worker} rebuilt after reset failure: {recovery['error']}"
+            )
+        by_class = self.tally["failed_attempts_by_class"]
+        by_class[error.fault_class] = by_class.get(error.fault_class, 0) + 1
+        if self.supervisor is not None:
+            quarantined = self.supervisor.record_failure(worker, cycle, error)
+            if quarantined and not isinstance(error, WorkerCrashError):
+                # crash already rebuilt the worker inside run()
+                self.workers[worker].rebuild()
 
     @property
     def makespan_cycles(self) -> int:

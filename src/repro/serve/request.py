@@ -25,6 +25,31 @@ from repro.runtime.phases import PhaseBreakdown
 #: Request kinds understood by the worker dispatch table.
 KINDS = ("gemm", "conv_layer", "kernel", "graph")
 
+#: Lifecycle states a :class:`RequestResult` can end in.
+STATUSES = ("ok", "failed", "timed_out", "shed")
+
+
+def validate_out_shape(out_shape, where: str) -> Tuple[int, int]:
+    """Check an output shape at request-construction time.
+
+    ``SystemWorker._run_kernel`` assumes a 2-tuple of positive dims;
+    validating here turns a deep, cryptic worker failure into a clear
+    error at the API boundary.
+    """
+    try:
+        shape = tuple(int(d) for d in out_shape)
+    except (TypeError, ValueError):
+        raise ValueError(
+            f"{where}: out_shape must be a (rows, cols) pair of ints, "
+            f"got {out_shape!r}"
+        ) from None
+    if len(shape) != 2 or any(d <= 0 for d in shape):
+        raise ValueError(
+            f"{where}: out_shape must be a (rows, cols) pair of positive "
+            f"dims, got {out_shape!r}"
+        )
+    return shape  # type: ignore[return-value]
+
 
 @dataclass
 class GraphNode:
@@ -41,6 +66,11 @@ class GraphNode:
     params: Tuple[int, ...] = ()
     dtype: Optional[Any] = None  # defaults to the first input's dtype
 
+    def __post_init__(self) -> None:
+        self.out_shape = validate_out_shape(
+            self.out_shape, f"graph node {self.name!r}"
+        )
+
 
 @dataclass
 class InferenceRequest:
@@ -51,18 +81,30 @@ class InferenceRequest:
     offline path ignores it.  Traffic processes in
     :mod:`repro.serve.traffic` stamp it; the default of 0 means "already
     waiting when the simulation starts".
+
+    ``deadline_cycle`` is an *absolute* simulated cycle by which the
+    request must complete (``None`` = no deadline).  The online
+    dispatcher sheds the request if its projected start would already
+    miss the deadline, and marks it ``timed_out`` if it completes late;
+    the offline path ignores deadlines.  Stamp relative budgets after
+    arrivals with :func:`repro.serve.traffic.stamp_deadlines`.
     """
 
     request_id: int
     kind: str
     payload: Dict[str, Any]
     arrival_cycle: int = 0
+    deadline_cycle: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.kind not in KINDS:
             raise ValueError(f"unknown request kind {self.kind!r}; expected {KINDS}")
         if self.arrival_cycle < 0:
             raise ValueError(f"arrival_cycle must be >= 0, got {self.arrival_cycle}")
+        if self.deadline_cycle is not None and self.deadline_cycle < 0:
+            raise ValueError(
+                f"deadline_cycle must be >= 0, got {self.deadline_cycle}"
+            )
 
 
 def gemm_request(
@@ -105,7 +147,7 @@ def kernel_request(
         {
             "func5": int(func5),
             "inputs": list(inputs),
-            "out_shape": tuple(out_shape),
+            "out_shape": validate_out_shape(out_shape, "kernel request"),
             "params": tuple(int(p) for p in params),
             "dtype": dtype,
         },
@@ -152,12 +194,21 @@ class RequestResult:
     split derives: ``queue_delay_cycles + sim_cycles ==
     latency_cycles`` per request.  Offline results leave the timeline
     ``None``.
+
+    ``status`` is the request's lifecycle outcome (one of
+    :data:`STATUSES`): ``ok``, ``failed`` (all attempts exhausted or a
+    non-retryable error — ``output`` is ``None``), ``timed_out``
+    (completed past its ``deadline_cycle``; output kept) or ``shed``
+    (dropped by admission control before running).  ``error`` carries
+    the per-attempt failure history, ``attempts`` how many tries the
+    request consumed (1 = first try succeeded), and ``fault_class`` the
+    taxonomy bucket of the final failure.
     """
 
     request_id: int
     kind: str
     worker: int
-    output: np.ndarray
+    output: Optional[np.ndarray]
     sim_cycles: int
     breakdown: PhaseBreakdown
     wall_seconds: float
@@ -165,6 +216,48 @@ class RequestResult:
     arrival_cycle: Optional[int] = None
     start_cycle: Optional[int] = None
     completion_cycle: Optional[int] = None
+    status: str = "ok"
+    error: Optional[str] = None
+    attempts: int = 1
+    fault_class: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.status not in STATUSES:
+            raise ValueError(
+                f"unknown result status {self.status!r}; expected {STATUSES}"
+            )
+
+    @classmethod
+    def failure(
+        cls,
+        request: InferenceRequest,
+        status: str,
+        error: str,
+        worker: int = -1,
+        attempts: int = 1,
+        arrival_cycle: Optional[int] = None,
+        fault_class: Optional[str] = None,
+    ) -> "RequestResult":
+        """A terminal non-ok result (no output, zero service cycles)."""
+        return cls(
+            request_id=request.request_id,
+            kind=request.kind,
+            worker=worker,
+            output=None,
+            sim_cycles=0,
+            breakdown=PhaseBreakdown(),
+            wall_seconds=0.0,
+            arrival_cycle=arrival_cycle,
+            status=status,
+            error=error,
+            attempts=attempts,
+            fault_class=fault_class,
+        )
+
+    @property
+    def completed(self) -> bool:
+        """True when the request actually ran to completion (possibly late)."""
+        return self.status in ("ok", "timed_out")
 
     @property
     def offload_count(self) -> int:

@@ -151,3 +151,23 @@ def stamp_arrivals(
         dataclasses.replace(request, arrival_cycle=cycle)
         for request, cycle in zip(requests, cycles)
     ]
+
+
+def stamp_deadlines(
+    requests: Sequence[InferenceRequest], budget_cycles: int
+) -> List[InferenceRequest]:
+    """Return copies with ``deadline_cycle = arrival_cycle + budget``.
+
+    Deadlines are absolute simulated cycles, so a relative latency
+    budget must be stamped *after* arrivals (``stamp_arrivals``).  The
+    online dispatcher sheds a request whose projected start would miss
+    its deadline and marks late completions ``timed_out``.
+    """
+    if budget_cycles < 0:
+        raise ValueError(f"deadline budget must be >= 0, got {budget_cycles}")
+    return [
+        dataclasses.replace(
+            request, deadline_cycle=request.arrival_cycle + int(budget_cycles)
+        )
+        for request in requests
+    ]

@@ -8,6 +8,15 @@ That reset is what makes per-request results (and cycle counts) on a
 long-lived worker bit-exact with single-shot runs — and what keeps the
 bump allocator from exhausting the matrix heap after a handful of
 requests, the lifecycle bug this engine exists to exercise.
+
+The worker is also the **fault boundary**: a
+:class:`~repro.serve.faults.FaultInjector` passed to :meth:`run` decides
+each attempt's fate *before* the kernel executes (so injected failures
+never perturb the simulated machine — a later retry is bit-exact with a
+fault-free run), and every failure path funnels through
+:meth:`_recover`, which counts recoveries (``reset_heap`` sufficed) vs
+rebuilds (fresh system) and keeps the swallowed reset diagnostic for the
+failure record instead of silently discarding it.
 """
 
 from __future__ import annotations
@@ -22,12 +31,14 @@ from repro.core.api import Matrix
 from repro.core.config import ArcaneConfig
 from repro.core.system import ArcaneSystem, RunReport
 from repro.runtime.phases import PhaseBreakdown
+from repro.serve.faults import (
+    FaultInjector,
+    RequestRejected,
+    ServingError,
+    WorkerCrashError,
+)
 from repro.serve.request import GraphNode, InferenceRequest, RequestResult
 from repro.xbridge.bridge import OffloadOutcome
-
-
-class RequestRejected(RuntimeError):
-    """A request's offload was killed by the decoder (e.g. unknown slot)."""
 
 
 class SystemWorker:
@@ -49,12 +60,48 @@ class SystemWorker:
         #: scheduling itself assigns up front from operand volume)
         self.busy_cycles = 0
         self.served = 0
+        #: failed attempts this worker has seen (injected or organic)
+        self.failures = 0
+        #: post-failure recoveries where ``reset_heap()`` sufficed
+        self.recoveries = 0
+        #: times the simulation universe had to be rebuilt from scratch
+        self.rebuilds = 0
+        #: how the most recent failure was recovered:
+        #: ``{"via": "reset"|"rebuild", "error": <swallowed reset diag>}``
+        self.last_recovery: Optional[Dict[str, Optional[str]]] = None
 
     # -- request execution ----------------------------------------------------
 
-    def run(self, request: InferenceRequest) -> RequestResult:
-        """Execute one request on the long-lived system and reset it."""
+    def run(
+        self,
+        request: InferenceRequest,
+        attempt: int = 1,
+        injector: Optional[FaultInjector] = None,
+    ) -> RequestResult:
+        """Execute one attempt on the long-lived system and reset it.
+
+        Raises a :class:`~repro.serve.faults.ServingError` subclass on
+        failure (injected or organic); the system is always left
+        serviceable — via ``reset_heap()`` when possible, a full rebuild
+        when not (a worker crash always rebuilds).
+        """
         start = time.perf_counter()
+        self.last_recovery = None
+        slow_factor = 1.0
+        if injector is not None:
+            try:
+                slow_factor = injector.before_attempt(request, attempt, self.index)
+            except WorkerCrashError:
+                # the simulated hardware died: all state is lost
+                self.failures += 1
+                self.rebuild()
+                self.last_recovery = {"via": "rebuild", "error": None}
+                raise
+            except ServingError:
+                # injected pre-execution fault: the system never ran, so
+                # it is still clean — no recovery needed
+                self.failures += 1
+                raise
         try:
             output, reports = self._dispatch(request)
             for report in reports:
@@ -62,18 +109,24 @@ class SystemWorker:
                 if killed:
                     raise RequestRejected(
                         f"request {request.request_id} ({request.kind}): "
-                        f"{len(killed)} offload(s) killed by the decoder"
+                        f"{len(killed)} offload(s) killed by the decoder",
+                        request_id=request.request_id, worker=self.index,
                     )
         except BaseException:
             # Keep the original diagnostic: a failed request may leave
             # kernels pending, in which case reset_heap() itself raises —
             # recover the pool slot with a fresh system instead of letting
             # that error mask the real one.
+            self.failures += 1
             self._recover()
             raise
         self.system.reset_heap()
         wall = time.perf_counter() - start
         sim_cycles = sum(r.total_cycles for r in reports)
+        if slow_factor > 1.0:
+            # injected latency spike: stretches the serving timeline only
+            # (the RunReports keep the machine's true cycle counts)
+            sim_cycles = int(round(sim_cycles * slow_factor))
         breakdown = PhaseBreakdown()
         for report in reports:
             breakdown.merge(report.breakdown)
@@ -88,17 +141,41 @@ class SystemWorker:
             breakdown=breakdown,
             wall_seconds=wall,
             reports=reports,
+            attempts=attempt,
         )
 
+    def rebuild(self) -> None:
+        """Replace the simulation universe with a fresh one (counted)."""
+        self.system = ArcaneSystem(self.config)
+        if self.with_compiled:
+            install_compiled(self.system.llc.runtime.library)
+        self.rebuilds += 1
+
     def _recover(self) -> None:
-        """Restore a serviceable system after a failed request."""
+        """Restore a serviceable system after a failed request.
+
+        Counts whether ``reset_heap()`` sufficed (``recoveries``) or the
+        universe had to be rebuilt (``rebuilds``), and keeps the
+        swallowed reset-failure diagnostic on ``last_recovery`` so the
+        engine can attach it to the request's failure record.
+        """
         try:
             self.system.reset_heap()
-        except Exception:
+        except Exception as reset_error:
             # kernels stuck mid-flight: rebuild the simulation universe
-            self.system = ArcaneSystem(self.config)
-            if self.with_compiled:
-                install_compiled(self.system.llc.runtime.library)
+            self.rebuild()
+            self.last_recovery = {"via": "rebuild", "error": repr(reset_error)}
+        else:
+            self.recoveries += 1
+            self.last_recovery = {"via": "reset", "error": None}
+
+    def health_snapshot(self) -> Dict[str, int]:
+        """Cumulative health counters (for ServingReport deltas)."""
+        return {
+            "failures": self.failures,
+            "recoveries": self.recoveries,
+            "rebuilds": self.rebuilds,
+        }
 
     def _dispatch(self, request: InferenceRequest) -> Tuple[np.ndarray, List[RunReport]]:
         payload = request.payload

@@ -342,6 +342,61 @@ class TestTraffic:
             dataclasses.replace(request, arrival_cycle=-5)
 
 
+class TestTrafficEdgeCases:
+    """Boundary shapes the arrival processes must survive."""
+
+    def test_bursty_burst_larger_than_batch(self, rng):
+        # burst 8 but only 3 requests: one incomplete burst, all at cycle 0
+        assert arrival_cycles(TrafficSpec.parse("bursty:8:100"), 3) == [0, 0, 0]
+        report = ServingEngine(pool_size=2, config=CFG).serve_online(
+            mixed_requests(rng, 3), traffic="bursty:8:100", verify=True)
+        assert all(r.arrival_cycle == 0 for r in report.results)
+        assert all(r.status == "ok" for r in report.results)
+
+    def test_trace_with_exactly_n_arrivals(self, rng):
+        # the == boundary of the trace-exhaustion check: no error, all used
+        report = ServingEngine(pool_size=1, config=CFG).serve_online(
+            mixed_requests(rng, 3), traffic="trace:0,500,9000", verify=True)
+        assert [r.arrival_cycle for r in report.results] == [0, 500, 9000]
+
+    def test_high_rate_poisson_collapses_gaps_to_zero(self, rng):
+        # mean gap = 1e6/rate < 1 cycle: int() truncation makes most gaps 0,
+        # so arrivals pile onto the same cycle — still non-decreasing, and
+        # FIFO admission must break those ties by submission order
+        cycles = arrival_cycles(TrafficSpec.parse("poisson:4000000"), 50, seed=3)
+        assert len(cycles) != len(set(cycles))  # duplicates actually occur
+        assert all(b >= a for a, b in zip(cycles, cycles[1:]))
+        report = ServingEngine(pool_size=2, config=CFG).serve_online(
+            mixed_requests(rng, 6), traffic="poisson:4000000", seed=3)
+        assert [r.request_id for r in report.results] == list(range(6))
+        for a, b in zip(report.results, report.results[1:]):
+            if a.worker == b.worker:  # same-worker service order is FIFO
+                assert b.start_cycle >= a.start_cycle
+
+    def test_completion_event_precedes_later_arrival(self, rng):
+        """When a completion lands before a later arrival cycle, the event
+        log must interleave them chronologically, not batch completions at
+        the end."""
+        a = rng.integers(-5, 5, (4, 4)).astype(np.int16)
+        requests = [gemm_request(0, a, a), gemm_request(1, a, a)]
+        worker = SystemWorker(0, CFG)
+        probe = worker.run(requests[0])
+        service = probe.sim_cycles
+        trace = f"trace:0,{service + 1000}"  # second arrival after completion
+        dispatcher = OnlineDispatcher([SystemWorker(0, CFG)])
+        results = dispatcher.run(
+            stamp_arrivals(requests, TrafficSpec.parse(trace)))
+        log = [(e.kind, e.request_id) for e in dispatcher.events]
+        assert log == [
+            ("arrival", 0), ("dispatch", 0), ("completion", 0),
+            ("arrival", 1), ("dispatch", 1), ("completion", 1),
+        ]
+        cycles = [e.cycle for e in dispatcher.events]
+        assert cycles == sorted(cycles)
+        assert results[0].completion_cycle == service
+        assert results[1].start_cycle == service + 1000
+
+
 class TestOnlineServing:
     def test_conservation_laws_per_request(self, rng):
         engine = ServingEngine(pool_size=2, config=CFG)
@@ -424,7 +479,10 @@ class TestOnlineServing:
         for block in ("latency_cycles", "queue_delay_cycles", "service_cycles"):
             assert set(decoded[block]) == {"min", "mean", "p50", "p90", "p99", "max"}
         for stats in decoded["per_worker"].values():
-            assert set(stats) == {"served", "busy_cycles", "utilization"}
+            assert set(stats) == {"served", "busy_cycles", "utilization",
+                                  "recoveries", "rebuilds"}
+        assert decoded["faults"] is None
+        assert decoded["availability"]["success_rate"] == 1.0
 
     def test_online_rejects_multiprocess_engine(self, rng):
         engine = ServingEngine(pool_size=2, config=CFG, processes=2)
