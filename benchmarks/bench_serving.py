@@ -20,6 +20,12 @@ the same traffic replayed under a seeded fault plan
 retries, failovers, sheds, worker health events) land in the JSON
 alongside the clean-run throughput numbers.
 
+Online runs are observed (``observe=True``): each online section carries
+a rolling-metrics ``timeline`` (windowed queue depth / in-flight /
+rates / per-worker busy fractions), and the run's request-span tree is
+exported as a Perfetto-loadable Chrome trace-event file next to the
+record (``BENCH_serving.trace.json``); CI uploads both as artifacts.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_serving.py --smoke
@@ -52,6 +58,7 @@ import numpy as np
 
 from repro.compiler import FUNC5_CGEMM, FUNC5_EWISE_ADD, FUNC5_FC, FUNC5_ROWSUM
 from repro.core.config import ArcaneConfig
+from repro.obs import write_chrome_trace
 from repro.serve import (
     GraphNode,
     ServingEngine,
@@ -150,7 +157,7 @@ def main() -> None:
     )
     online = online_engine.serve_online(
         requests, traffic=args.trace, seed=args.traffic_seed,
-        verify=not args.no_verify,
+        verify=not args.no_verify, observe=True,
     )
 
     faulty = None
@@ -160,8 +167,14 @@ def main() -> None:
         faulty = online_engine.serve_online(
             requests, traffic=args.trace, seed=args.traffic_seed,
             faults=args.faults, fault_seed=args.fault_seed,
-            verify=not args.no_verify,
+            verify=not args.no_verify, observe=True,
         )
+
+    # Perfetto-loadable trace of the most interesting observed run (the
+    # faulted one when present); CI uploads it as an artifact
+    trace_path = args.output.with_suffix(".trace.json")
+    args.output.parent.mkdir(parents=True, exist_ok=True)
+    write_chrome_trace(faulty if faulty is not None else online, trace_path)
 
     record = {
         "benchmark": "serving",
@@ -198,6 +211,7 @@ def main() -> None:
         print(f"\n== online under faults ({args.faults}) ==")
         print(faulty.summary())
     print(f"\nJSON perf record written to {args.output}")
+    print(f"Perfetto trace written to {trace_path}")
 
 
 if __name__ == "__main__":

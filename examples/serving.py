@@ -25,10 +25,21 @@ request runs on a long-lived system whose heap is recycled between
 requests — the lifecycle that used to exhaust the bump allocator after
 a handful of programs.
 
+The faulted replay runs observed (``observe=True``): the script prints
+the recorded span tree for one retried request, renders the rolling
+fleet-metrics timeline as a text strip chart, and exports the full run
+as a Chrome trace-event JSON you can open in Perfetto
+(https://ui.perfetto.dev).
+
 Usage:  python examples/serving.py
 """
 
+import os
+import tempfile
+
 import numpy as np
+
+from repro.obs import render_timeline, write_chrome_trace
 
 from repro.compiler import FUNC5_CGEMM, FUNC5_EWISE_ADD, FUNC5_FC, FUNC5_ROWSUM
 from repro.core.config import ArcaneConfig
@@ -113,7 +124,8 @@ def main() -> None:
 
     faults = "kill:0.2,slow:0.1:4x,crash_worker:0@3"
     faulty = engine.serve_online(requests, traffic="poisson:120", seed=7,
-                                 faults=faults, fault_seed=11, verify=True)
+                                 faults=faults, fault_seed=11, verify=True,
+                                 observe=True)
     print(f"\n== online under injected faults ({faults}) ==")
     print(faulty.summary())
     avail = faulty.availability
@@ -130,6 +142,33 @@ def main() -> None:
         if result.attempts > 1 or result.status != "ok":
             print(f"  request {result.request_id:>2} [{result.status}] "
                   f"{result.attempts} attempt(s): {result.error}")
+
+    # the run was observed: show one retried request's span tree ...
+    recorder = faulty.spans
+    retried = [r for r in faulty.results if r.attempts > 1 and r.status == "ok"]
+    if retried:
+        root = recorder.find(category="request",
+                             request=retried[0].request_id)[0]
+        print(f"\nspan tree for retried request {retried[0].request_id}:")
+        depth = {root.span_id: 0}
+        for span in recorder.tree(root.span_id):
+            if span.span_id not in depth:
+                depth[span.span_id] = depth[span.parent_id] + 1
+            notes = {k: v for k, v in span.attrs.items()
+                     if k not in ("request", "kind")}
+            print(f"  {'  ' * depth[span.span_id]}{span.name:<24} "
+                  f"[{span.start_cycle:,}..{span.end_cycle:,}] {notes}")
+
+    # ... the rolling fleet-metrics timeline as a strip chart ...
+    print("\nfleet timeline (faulted run):")
+    print(render_timeline(faulty))
+
+    # ... and the whole run as a Perfetto-loadable Chrome trace
+    trace_path = os.path.join(tempfile.gettempdir(),
+                              "arcane_serving.trace.json")
+    write_chrome_trace(faulty, trace_path)
+    print(f"\nPerfetto trace written to {trace_path} "
+          f"(open at https://ui.perfetto.dev)")
 
 
 if __name__ == "__main__":

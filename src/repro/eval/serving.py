@@ -94,6 +94,14 @@ class ServingReport:
     availability: Optional[Dict] = None
     #: per-request detail (with outputs); rides along, excluded from as_dict
     results: List = field(default_factory=list, repr=False)
+    #: rolling-metrics window samples (``observe=True`` online runs);
+    #: schema documented on :func:`repro.obs.metrics.build_timeline`
+    timeline: Optional[List[Dict]] = None
+    #: the run's SpanRecorder (``observe=True``); rides along for trace
+    #: export (:func:`repro.obs.export.chrome_trace`), excluded from JSON
+    spans: Optional[object] = field(default=None, repr=False)
+    #: raw dispatcher event log (online runs); feeds :meth:`events`
+    dispatch_events: List = field(default_factory=list, repr=False)
 
     @property
     def requests_per_second(self) -> float:
@@ -156,7 +164,37 @@ class ServingReport:
             record["service_cycles"] = {
                 k: round(v, 1) for k, v in (self.service_cycles or {}).items()
             }
+        if self.timeline is not None:
+            record["timeline"] = self.timeline
         return record
+
+    def events(self) -> List[Dict]:
+        """The run's chronological event stream, merged and cycle-sorted.
+
+        Unifies the three logs that used to require hand zip-merging:
+        dispatcher lifecycle events (``source="dispatch"``:
+        arrival/dispatch/completion), fault events (``source="fault"``:
+        fail/retry/shed), and worker health transitions
+        (``source="health"``: quarantine/probation/reinstatement).  The
+        sort is stable, so same-cycle events keep their per-log order.
+        """
+        merged: List[Dict] = []
+        for event in self.dispatch_events:
+            source = "fault" if event.kind in ("fail", "retry", "shed") else "dispatch"
+            entry: Dict = {
+                "cycle": event.cycle, "source": source,
+                "kind": event.kind, "request": event.request_id,
+            }
+            if event.worker is not None:
+                entry["worker"] = event.worker
+            merged.append(entry)
+        for event in (self.availability or {}).get("worker_events", []):
+            merged.append({
+                "cycle": event["cycle"], "source": "health",
+                "kind": event["event"], "worker": event["worker"],
+            })
+        merged.sort(key=lambda entry: entry["cycle"])
+        return merged
 
     def to_json(self, indent: int = 2) -> str:
         return json.dumps(self.as_dict(), indent=indent)
@@ -207,6 +245,15 @@ class ServingReport:
                     "  worker health   : "
                     + ", ".join(f"{k}={v}" for k, v in sorted(counts.items()))
                 )
+        if self.timeline:
+            peak_queue = max((s.get("queue_depth", 0) for s in self.timeline), default=0)
+            peak_flight = max((s.get("in_flight", 0) for s in self.timeline), default=0)
+            interval = self.timeline[0]["end_cycle"] - self.timeline[0]["start_cycle"]
+            lines.append(
+                f"  timeline        : {len(self.timeline)} windows x "
+                f"{interval:,} cycles; peak queue={peak_queue}, "
+                f"peak in-flight={peak_flight}"
+            )
         if self.per_worker:
             util = ", ".join(
                 f"w{worker}={stats.get('utilization', 0.0):.0%}"

@@ -1,0 +1,218 @@
+"""Request spans: hierarchical observability in the simulated-cycle timebase.
+
+A serving run that misbehaves — a p99 spike, a shed storm, a streak of
+replay-cache misses — cannot be explained by end-of-run aggregates.  This
+module records *why* as a span tree per request, in the same simulated
+cycle domain the dispatcher runs in::
+
+    request 7                      [arrival .......... completion]
+      attempt 1  (failed, kill)    [ready]
+      attempt 2  (retry, failover) [ready ............ completion]
+        queue_wait                 [ready ... start]
+        dispatch  (worker 1)       [start ........... completion]
+          launch gemm (replay=hit) [start .. start+cycles]
+
+Spans are pure host-side bookkeeping: nothing in the simulated machine
+observes them, so an instrumented run is bit-identical (outputs, cycle
+counts, stats) to an un-instrumented one.  The disabled path is a
+:class:`NullRecorder` whose methods are no-ops — the dispatcher guards
+its span blocks on ``recorder.enabled``, mirroring the
+:class:`~repro.sim.trace.Tracer` disabled idiom, so observability off
+costs one attribute check per request.
+
+Span categories (:data:`CATEGORIES`):
+
+* ``request`` — arrival to terminal outcome (ok/timed_out/failed/shed);
+* ``attempt`` — one dispatch try; failed attempts are zero-duration at
+  their dispatch instant (injected faults fire before execution) and
+  carry ``fault_class``/``injected``; retry attempts carry
+  ``cause="retry"`` and ``failover=True`` when routed away from the
+  worker that just failed;
+* ``queue_wait`` — admission-ready to service start;
+* ``dispatch`` — service on the chosen worker (``worker`` attribute);
+* ``launch`` — one kernel launch inside the service window, tagged with
+  its replay-cache outcome (``replay`` = ``hit``/``miss``/``bypassed``/
+  ``off``).
+
+Instant events (worker quarantine/probation/reinstatement/rebuild) ride
+alongside on :attr:`SpanRecorder.instants`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+#: Span categories in parent-before-child order.
+CATEGORIES = ("request", "attempt", "queue_wait", "dispatch", "launch")
+
+
+@dataclass
+class Span:
+    """One node of a request's span tree (cycles are simulated cycles)."""
+
+    span_id: int
+    parent_id: Optional[int]
+    name: str
+    category: str
+    start_cycle: int
+    end_cycle: Optional[int] = None
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration_cycles(self) -> int:
+        """Span duration; 0 while open (and for instant-like spans)."""
+        if self.end_cycle is None:
+            return 0
+        return self.end_cycle - self.start_cycle
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-clean rendering (attrs carry only scalars by contract)."""
+        return {
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "category": self.category,
+            "start_cycle": self.start_cycle,
+            "end_cycle": self.end_cycle,
+            "attrs": dict(self.attrs),
+        }
+
+
+@dataclass(frozen=True)
+class InstantEvent:
+    """A point-in-time observability event (e.g. a worker quarantine)."""
+
+    cycle: int
+    name: str
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+
+class NullRecorder:
+    """The disabled recorder: every operation is a no-op.
+
+    Shared default for all observability hooks, so instrumented code can
+    call ``recorder.instant(...)`` unconditionally where it is cold, and
+    guard on :attr:`enabled` only in per-request hot paths.
+    """
+
+    enabled = False
+
+    def begin(
+        self,
+        name: str,
+        category: str,
+        cycle: int,
+        parent: Optional[int] = None,
+        **attrs: Any,
+    ) -> int:
+        return 0
+
+    def end(self, span_id: int, cycle: int, **attrs: Any) -> None:
+        pass
+
+    def annotate(self, span_id: int, **attrs: Any) -> None:
+        pass
+
+    def instant(self, name: str, cycle: int, **attrs: Any) -> None:
+        pass
+
+
+#: module-level singleton: the one NullRecorder everything defaults to
+NULL_RECORDER = NullRecorder()
+
+
+class SpanRecorder(NullRecorder):
+    """Collects spans and instant events for one serving run."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.spans: List[Span] = []
+        self.instants: List[InstantEvent] = []
+        self._open = 0
+
+    def begin(
+        self,
+        name: str,
+        category: str,
+        cycle: int,
+        parent: Optional[int] = None,
+        **attrs: Any,
+    ) -> int:
+        """Open a span; returns its id (stable: index into :attr:`spans`)."""
+        if category not in CATEGORIES:
+            raise ValueError(
+                f"unknown span category {category!r}; expected one of {CATEGORIES}"
+            )
+        span = Span(
+            span_id=len(self.spans),
+            parent_id=parent,
+            name=name,
+            category=category,
+            start_cycle=int(cycle),
+            attrs={k: v for k, v in attrs.items() if v is not None},
+        )
+        self.spans.append(span)
+        self._open += 1
+        return span.span_id
+
+    def end(self, span_id: int, cycle: int, **attrs: Any) -> None:
+        span = self.spans[span_id]
+        if span.end_cycle is not None:
+            raise ValueError(f"span {span_id} ({span.name!r}) ended twice")
+        if cycle < span.start_cycle:
+            raise ValueError(
+                f"span {span_id} ({span.name!r}) ends at cycle {cycle} before "
+                f"its start {span.start_cycle}"
+            )
+        span.end_cycle = int(cycle)
+        for key, value in attrs.items():
+            if value is not None:
+                span.attrs[key] = value
+        self._open -= 1
+
+    def annotate(self, span_id: int, **attrs: Any) -> None:
+        span = self.spans[span_id]
+        for key, value in attrs.items():
+            if value is not None:
+                span.attrs[key] = value
+
+    def instant(self, name: str, cycle: int, **attrs: Any) -> None:
+        self.instants.append(
+            InstantEvent(int(cycle), name, {k: v for k, v in attrs.items()
+                                            if v is not None})
+        )
+
+    # -- queries (tests and the text renderer) -----------------------------
+
+    @property
+    def open_spans(self) -> int:
+        """Spans begun but not yet ended (0 after a clean run)."""
+        return self._open
+
+    def children(self, span_id: Optional[int]) -> List[Span]:
+        """Direct children of ``span_id`` in creation order."""
+        return [s for s in self.spans if s.parent_id == span_id]
+
+    def roots(self) -> List[Span]:
+        return self.children(None)
+
+    def tree(self, span_id: int) -> List[Span]:
+        """The subtree rooted at ``span_id`` in depth-first order."""
+        root = self.spans[span_id]
+        out = [root]
+        for child in self.children(span_id):
+            out.extend(self.tree(child.span_id))
+        return out
+
+    def find(
+        self, category: Optional[str] = None, **attrs: Any
+    ) -> List[Span]:
+        """Spans matching a category and/or exact attribute values."""
+        selected = self.spans
+        if category is not None:
+            selected = [s for s in selected if s.category == category]
+        for key, value in attrs.items():
+            selected = [s for s in selected if s.attrs.get(key) == value]
+        return selected

@@ -705,6 +705,15 @@ class ReplayCache:
         self.stats: Dict[str, int] = {
             "hits": 0, "misses": 0, "recorded": 0, "bypassed": 0, "invalidated": 0,
         }
+        #: observability hook: when a list, every launch appends
+        #: ``(kernel_id, outcome)`` with outcome hit/miss/bypassed.  None
+        #: (the default) keeps the hot path at one truthiness check.
+        self.launch_log: Optional[List[Tuple[int, str]]] = None
+
+    def note_launch(self, kernel_id: int, outcome: str) -> None:
+        """Record one launch's replay outcome when a log is attached."""
+        if self.launch_log is not None:
+            self.launch_log.append((kernel_id, outcome))
 
     def __len__(self) -> int:
         return len(self._entries)

@@ -180,12 +180,15 @@ class KernelScheduler:
         if recording is not None:
             if cache.can_replay(recording, self, vpu_index):
                 cache.stats["hits"] += 1
+                cache.note_launch(kernel.kernel_id, "hit")
                 yield from self._execute_recorded(recording, kernel, vpu_index, phases)
             else:
                 cache.stats["bypassed"] += 1
+                cache.note_launch(kernel.kernel_id, "bypassed")
                 yield from self._execute_single(kernel, spec.body, vpu_index, phases)
             return
         cache.stats["misses"] += 1
+        cache.note_launch(kernel.kernel_id, "miss")
         recording = Recording(vpu_index, self.allocator._free[vpu_index])
         before = dict(phases.cycles)
         yield from self._execute_single(

@@ -43,6 +43,8 @@ import numpy as np
 
 from repro.core.config import ArcaneConfig
 from repro.eval.serving import ServingReport, build_serving_report
+from repro.obs.metrics import build_timeline
+from repro.obs.spans import NULL_RECORDER, NullRecorder, SpanRecorder
 from repro.serve.faults import (
     FaultInjector,
     FaultPlan,
@@ -386,6 +388,8 @@ class ServingEngine:
         fault_seed: int = 0,
         retry: Optional[RetryPolicy] = None,
         queue_capacity: Optional[int] = None,
+        observe: bool = False,
+        metrics_interval: Optional[int] = None,
     ) -> ServingReport:
         """Serve requests as arrival-driven traffic in simulated time.
 
@@ -407,6 +411,16 @@ class ServingEngine:
         that fail repeatedly are quarantined then reinstated after
         probation.  Results are deterministic for a fixed ``(traffic,
         seed, fault_seed)``.
+
+        ``observe=True`` turns on the observability layer
+        (:mod:`repro.obs`): the report gains per-request span trees
+        (``report.spans``, exportable to Perfetto via
+        :func:`repro.obs.export.write_chrome_trace`), a rolling-metrics
+        ``timeline`` (window width ``metrics_interval`` cycles, auto
+        when ``None``), the raw dispatch event log behind
+        :meth:`~repro.eval.serving.ServingReport.events`, and per-launch
+        replay tags on each result.  All of it is host-side bookkeeping:
+        outputs and cycle counts are bit-identical with ``observe=False``.
         """
         if self.processes != 1:
             raise RuntimeError(
@@ -422,10 +436,15 @@ class ServingEngine:
         plan = FaultPlan.coerce(faults)
         injector = FaultInjector(plan, fault_seed) if plan else None
         supervisor = WorkerSupervisor(self.pool_size)
+        recorder: NullRecorder = NULL_RECORDER
+        if observe:
+            recorder = SpanRecorder()
+            supervisor.recorder = recorder
         before = [w.health_snapshot() for w in self.workers]
         dispatcher = OnlineDispatcher(
             self.workers, injector=injector, retry=retry,
             supervisor=supervisor, queue_capacity=queue_capacity,
+            recorder=recorder,
         )
         start = time.perf_counter()
         results = dispatcher.run(requests)
@@ -442,6 +461,13 @@ class ServingEngine:
             faults=plan.describe() if plan else None, health=health,
         )
         report.results = results
+        report.dispatch_events = list(dispatcher.events)
+        if observe:
+            report.spans = recorder
+            report.timeline = build_timeline(
+                results, dispatcher.events, self.pool_size,
+                interval_cycles=metrics_interval,
+            )
         return report
 
     def _serve_parallel(

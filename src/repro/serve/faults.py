@@ -38,6 +38,8 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.obs.spans import NULL_RECORDER
+
 #: Fault kinds understood by :meth:`FaultPlan.parse`.
 FAULT_KINDS = ("kill", "transient", "slow", "crash_worker")
 
@@ -359,9 +361,13 @@ class WorkerSupervisor:
         self.health = [WorkerHealth() for _ in range(n_workers)]
         #: chronological health events (JSON-clean dicts)
         self.events: List[Dict] = []
+        #: observability hook: health transitions mirror to this recorder
+        #: as instant events (the engine swaps in a live SpanRecorder)
+        self.recorder = NULL_RECORDER
 
     def _log(self, cycle: int, worker: int, event: str) -> None:
         self.events.append({"cycle": int(cycle), "worker": worker, "event": event})
+        self.recorder.instant(event, cycle, worker=worker)
 
     def tick(self, cycle: int) -> None:
         """Advance quarantine countdowns by one dispatch decision."""

@@ -41,6 +41,7 @@ import heapq
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.obs.spans import NULL_RECORDER, NullRecorder
 from repro.serve.faults import (
     FaultInjector,
     RetryPolicy,
@@ -96,6 +97,7 @@ class OnlineDispatcher:
         retry: Optional[RetryPolicy] = None,
         supervisor: Optional[WorkerSupervisor] = None,
         queue_capacity: Optional[int] = None,
+        recorder: NullRecorder = NULL_RECORDER,
     ) -> None:
         if not workers:
             raise ValueError("online dispatch needs at least one worker")
@@ -106,6 +108,9 @@ class OnlineDispatcher:
         self.retry = retry or RetryPolicy()
         self.supervisor = supervisor
         self.queue_capacity = queue_capacity
+        #: observability recorder; the default no-op costs one attribute
+        #: check per request (mirrors the Tracer's disabled path)
+        self.recorder = recorder
         #: cycle at which each worker drains all dispatched work
         self.free_at = [0] * len(self.workers)
         #: chronological event log (arrival/dispatch/completion/fail/retry/shed)
@@ -154,6 +159,8 @@ class OnlineDispatcher:
         attempt_errors: Dict[int, List[str]] = {}
         last_failed: Dict[int, int] = {}
         dispatched_starts: List[int] = []
+        rec = self.recorder
+        request_spans: Dict[int, int] = {}  # position -> open request span
 
         while pending:
             ready, seq, attempt, position = heapq.heappop(pending)
@@ -166,6 +173,11 @@ class OnlineDispatcher:
                 self.events.append(OnlineEvent(cycle, COMPLETION, crid, worker))
             if attempt == 1:
                 self.events.append(OnlineEvent(ready, ARRIVAL, rid))
+                if rec.enabled:
+                    request_spans[position] = rec.begin(
+                        f"request {rid}", "request", ready,
+                        request=rid, kind=request.kind,
+                    )
             if self.supervisor is not None:
                 self.supervisor.tick(ready)
             # bounded admission: how many admitted requests are still
@@ -174,6 +186,9 @@ class OnlineDispatcher:
                 depth = sum(1 for s in dispatched_starts if s > ready)
                 if depth >= self.queue_capacity:
                     self.events.append(OnlineEvent(ready, SHED, rid))
+                    if rec.enabled:
+                        rec.end(request_spans[position], ready,
+                                status="shed", cause="queue_full")
                     results[position] = RequestResult.failure(
                         request, "shed",
                         f"admission queue full ({depth} waiting, capacity "
@@ -189,6 +204,9 @@ class OnlineDispatcher:
             # whose queue delay already blew its deadline
             if request.deadline_cycle is not None and start > request.deadline_cycle:
                 self.events.append(OnlineEvent(ready, SHED, rid))
+                if rec.enabled:
+                    rec.end(request_spans[position], ready,
+                            status="shed", cause="deadline")
                 results[position] = RequestResult.failure(
                     request, "shed",
                     f"projected start cycle {start} past deadline "
@@ -197,13 +215,29 @@ class OnlineDispatcher:
                     fault_class="deadline",
                 )
                 continue
-            if attempt > 1 and worker != last_failed.get(position):
+            failover = attempt > 1 and worker != last_failed.get(position)
+            if failover:
                 self.tally["failovers"] += 1
+            attempt_span = 0
+            if rec.enabled:
+                attempt_span = rec.begin(
+                    f"attempt {attempt}", "attempt", ready,
+                    parent=request_spans[position],
+                    request=rid, attempt=attempt, worker=worker,
+                    cause="retry" if attempt > 1 else None,
+                    failover=failover or None,
+                )
             try:
                 result = self.workers[worker].run(
-                    request, attempt=attempt, injector=self.injector
+                    request, attempt=attempt, injector=self.injector,
+                    observe=rec.enabled,
                 )
             except ServingError as error:
+                if rec.enabled:
+                    # a fault fires at its dispatch instant: zero duration
+                    rec.end(attempt_span, ready, status="failed",
+                            fault_class=error.fault_class,
+                            injected=error.injected or None)
                 self._record_failure(
                     request, worker, ready, attempt, error,
                     attempt_errors.setdefault(position, []),
@@ -216,6 +250,9 @@ class OnlineDispatcher:
                     heapq.heappush(pending, (retry_at, next_seq, attempt + 1, position))
                     next_seq += 1
                 else:
+                    if rec.enabled:
+                        rec.end(request_spans[position], ready,
+                                status="failed", fault_class=error.fault_class)
                     results[position] = RequestResult.failure(
                         request, "failed",
                         "; ".join(attempt_errors.get(position, [])),
@@ -239,6 +276,33 @@ class OnlineDispatcher:
                 and completion > request.deadline_cycle
             ):
                 result.status = "timed_out"
+            if rec.enabled:
+                wait_span = rec.begin("queue_wait", "queue_wait", ready,
+                                      parent=attempt_span, request=rid)
+                rec.end(wait_span, start)
+                service_span = rec.begin(
+                    f"serve {rid}", "dispatch", start,
+                    parent=attempt_span, request=rid, worker=worker,
+                )
+                # launches lie back-to-back from the service start (the
+                # worker executes them serially); stamp the absolute
+                # window on each record for the rolling metrics
+                cursor = start
+                for launch in result.launches:
+                    launch_end = cursor + launch["cycles"]
+                    launch["start_cycle"] = cursor
+                    launch["end_cycle"] = launch_end
+                    launch_span = rec.begin(
+                        launch["name"], "launch", cursor,
+                        parent=service_span, request=rid, worker=worker,
+                        kernel_id=launch["kernel_id"], replay=launch["replay"],
+                    )
+                    rec.end(launch_span, launch_end)
+                    cursor = launch_end
+                rec.end(service_span, completion)
+                rec.end(attempt_span, completion, status=result.status)
+                rec.end(request_spans[position], completion,
+                        status=result.status, worker=worker)
             self.free_at[worker] = completion
             dispatched_starts.append(start)
             self.events.append(OnlineEvent(ready, DISPATCH, rid, worker))
@@ -275,6 +339,7 @@ class OnlineDispatcher:
             if quarantined and not isinstance(error, WorkerCrashError):
                 # crash already rebuilt the worker inside run()
                 self.workers[worker].rebuild()
+                self.recorder.instant("rebuilt", cycle, worker=worker)
 
     @property
     def makespan_cycles(self) -> int:

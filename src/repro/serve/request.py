@@ -220,6 +220,12 @@ class RequestResult:
     error: Optional[str] = None
     attempts: int = 1
     fault_class: Optional[str] = None
+    #: per-kernel-launch observability records (observe=True only): dicts
+    #: with ``kernel_id``/``name``/``cycles``/``replay`` — the replay tag
+    #: is hit/miss/bypassed, or "off" when the fast path is disabled.
+    #: The online dispatcher stamps absolute ``start_cycle``/``end_cycle``
+    #: once the request's place on the timeline is known.
+    launches: List[Dict[str, Any]] = field(default_factory=list, repr=False)
 
     def __post_init__(self) -> None:
         if self.status not in STATUSES:

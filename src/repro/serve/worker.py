@@ -77,6 +77,7 @@ class SystemWorker:
         request: InferenceRequest,
         attempt: int = 1,
         injector: Optional[FaultInjector] = None,
+        observe: bool = False,
     ) -> RequestResult:
         """Execute one attempt on the long-lived system and reset it.
 
@@ -84,6 +85,11 @@ class SystemWorker:
         failure (injected or organic); the system is always left
         serviceable — via ``reset_heap()`` when possible, a full rebuild
         when not (a worker crash always rebuilds).
+
+        ``observe=True`` additionally fills ``result.launches`` with one
+        record per kernel launch (name, cycles, replay-cache outcome) —
+        pure host-side reads of scheduler/replay state, so the simulated
+        machine and its cycle counts are untouched.
         """
         start = time.perf_counter()
         self.last_recovery = None
@@ -102,6 +108,10 @@ class SystemWorker:
                 # it is still clean — no recovery needed
                 self.failures += 1
                 raise
+        cache = self.system.llc.runtime.replay_cache if observe else None
+        launch_log: Optional[List[Tuple[int, str]]] = None
+        if cache is not None:
+            launch_log = cache.launch_log = []
         try:
             output, reports = self._dispatch(request)
             for report in reports:
@@ -120,6 +130,23 @@ class SystemWorker:
             self.failures += 1
             self._recover()
             raise
+        finally:
+            if cache is not None:
+                cache.launch_log = None
+        launches: List[Dict[str, Any]] = []
+        if observe:
+            # collect per-launch records before reset_heap() clears the
+            # scheduler's completed/breakdowns state
+            scheduler = self.system.llc.runtime.scheduler
+            outcomes = dict(launch_log or ())
+            for kernel in scheduler.completed:
+                phases = scheduler.breakdowns.get(kernel.kernel_id)
+                launches.append({
+                    "kernel_id": kernel.kernel_id,
+                    "name": kernel.name,
+                    "cycles": phases.total if phases is not None else 0,
+                    "replay": outcomes.get(kernel.kernel_id, "off"),
+                })
         self.system.reset_heap()
         wall = time.perf_counter() - start
         sim_cycles = sum(r.total_cycles for r in reports)
@@ -142,6 +169,7 @@ class SystemWorker:
             wall_seconds=wall,
             reports=reports,
             attempts=attempt,
+            launches=launches,
         )
 
     def rebuild(self) -> None:

@@ -32,9 +32,19 @@ class Counter:
 
 
 class Histogram:
-    """A sample accumulator tracking count / sum / min / max / mean."""
+    """A sample accumulator tracking count / sum / min / max / mean.
 
-    __slots__ = ("name", "count", "total", "minimum", "maximum")
+    Samples additionally land in log2 buckets (bucket 0 holds samples
+    <= 0, bucket ``i`` holds ``2**(i-1) <= sample < 2**i``), so the
+    histogram can estimate any percentile without storing samples:
+    :meth:`percentile` locates the bucket containing the requested rank
+    and interpolates linearly inside its value range, clamped to the
+    observed min/max.  The estimate is exact at p=0/p=100 and within one
+    power of two elsewhere — enough for p50/p99 latency reporting at
+    O(64) memory.
+    """
+
+    __slots__ = ("name", "count", "total", "minimum", "maximum", "buckets")
 
     def __init__(self, name: str) -> None:
         self.name = name
@@ -42,6 +52,8 @@ class Histogram:
         self.total = 0
         self.minimum: Optional[int] = None
         self.maximum: Optional[int] = None
+        #: log2 bucket counts; index = max(bit_length, 0) of the sample
+        self.buckets: List[int] = []
 
     def record(self, sample: int) -> None:
         self.count += 1
@@ -50,16 +62,62 @@ class Histogram:
             self.minimum = sample
         if self.maximum is None or sample > self.maximum:
             self.maximum = sample
+        index = int(sample).bit_length() if sample > 0 else 0
+        if index >= len(self.buckets):
+            self.buckets.extend([0] * (index + 1 - len(self.buckets)))
+        self.buckets[index] += 1
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
+
+    @staticmethod
+    def bucket_bounds(index: int) -> tuple:
+        """Value range ``[low, high]`` (inclusive) covered by a bucket."""
+        if index == 0:
+            return (0, 0)
+        return (1 << (index - 1), (1 << index) - 1)
+
+    def percentile(self, p: float) -> float:
+        """Estimate the p-th percentile (p in [0, 100]) from the buckets.
+
+        Walks the cumulative bucket counts to the bucket holding the
+        fractional rank ``p/100 * (count - 1)``, then interpolates
+        linearly across that bucket's value range, clamped to the
+        observed ``minimum``/``maximum``.  p=0 and p=100 return the
+        exact observed extremes; every estimate is monotone in ``p``
+        and stays within ``[minimum, maximum]``.
+        """
+        if not 0.0 <= p <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {p}")
+        if self.count == 0:
+            return 0.0
+        if p == 0.0:
+            return float(self.minimum)
+        if p == 100.0:
+            return float(self.maximum)
+        rank = p / 100.0 * (self.count - 1)
+        cumulative = 0
+        for index, bucket_count in enumerate(self.buckets):
+            if bucket_count == 0:
+                continue
+            if rank < cumulative + bucket_count:
+                low, high = self.bucket_bounds(index)
+                low = max(low, self.minimum)
+                high = min(high, self.maximum)
+                if high == low or bucket_count == 1:
+                    return float(low)
+                fraction = (rank - cumulative) / (bucket_count - 1)
+                return low + fraction * (high - low)
+            cumulative += bucket_count
+        return float(self.maximum)
 
     def reset(self) -> None:
         self.count = 0
         self.total = 0
         self.minimum = None
         self.maximum = None
+        self.buckets = []
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"Histogram({self.name!r}, n={self.count}, mean={self.mean:.2f})"

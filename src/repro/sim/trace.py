@@ -26,17 +26,26 @@ class TraceEvent:
 
 
 class Tracer:
-    """Append-only event log.  Disabled tracers drop events with near-zero cost."""
+    """Append-only event log.  Disabled tracers drop events with near-zero cost.
+
+    A bounded tracer (``capacity=N``) stops *storing* past capacity but
+    keeps *counting*: :attr:`dropped` says how many events were lost, so
+    a truncated trace is never mistaken for a complete one (``dump()``
+    appends the drop tally).
+    """
 
     def __init__(self, enabled: bool = True, capacity: Optional[int] = None) -> None:
         self.enabled = enabled
         self.capacity = capacity
         self.events: List[TraceEvent] = []
+        #: events discarded because the trace was at capacity
+        self.dropped = 0
 
     def log(self, cycle: int, source: str, kind: str, **details: Any) -> None:
         if not self.enabled:
             return
         if self.capacity is not None and len(self.events) >= self.capacity:
+            self.dropped += 1
             return
         self.events.append(TraceEvent(cycle, source, kind, details))
 
@@ -64,8 +73,14 @@ class Tracer:
         return None
 
     def dump(self) -> str:
-        """Human-readable rendering of the whole trace."""
-        return "\n".join(str(event) for event in self.events)
+        """Human-readable rendering of the whole trace (notes drops)."""
+        lines = [str(event) for event in self.events]
+        if self.dropped:
+            lines.append(
+                f"... {self.dropped} event(s) dropped at capacity {self.capacity}"
+            )
+        return "\n".join(lines)
 
     def clear(self) -> None:
         self.events.clear()
+        self.dropped = 0
