@@ -34,6 +34,7 @@ Usage::
     PYTHONPATH=src python benchmarks/bench_serving.py --trace poisson:50
     PYTHONPATH=src python benchmarks/bench_serving.py --trace bursty:8:200000
     PYTHONPATH=src python benchmarks/bench_serving.py --smoke --faults kill:0.1
+    PYTHONPATH=src python benchmarks/bench_serving.py --smoke --scale
 
 ``--trace`` takes any :meth:`repro.serve.traffic.TrafficSpec.parse` spec
 (``poisson:<rate>``, ``uniform:<low>:<high>``, ``bursty:<burst>:<gap>``,
@@ -44,6 +45,15 @@ fault draws by ``--fault-seed``, so every section is reproducible.
 would MemoryError within a handful of requests without heap recycling)
 in a few seconds.  The JSON lands at
 ``benchmarks/results/BENCH_serving.json`` by default.
+
+``--scale`` adds a **scale** section: ``--scale-requests`` (default
+10000) template-cycling requests over a ``--scale-pool`` (default 32)
+worker pool with the shared fleet replay cache, replayed as sustained
+poisson traffic (``--scale-rate`` req/Mcycle) and as deep bursts.  Each
+scale run records sustained req/Mcycle, p99 queue-delay/latency cycles
+and the per-worker fleet-cache hit counts; CI runs a bounded variant
+(``--scale-requests 300 --scale-pool 8``) and gates the committed
+full-scale record with ``check_serving_regression.py``.
 """
 
 from __future__ import annotations
@@ -109,6 +119,115 @@ def make_workload(n_requests: int, size: int, seed: int) -> list:
     return requests
 
 
+#: Distinct payload templates cycled by the scale workload.  A serving
+#: pool's steady state is recurring model shapes, so the kernel replay
+#: cache — and the shared fleet cache across workers — carry the load.
+SCALE_TEMPLATES = 12
+
+
+def make_scale_workload(n_requests: int, seed: int) -> list:
+    """Template-cycling workload for ``--scale`` runs.
+
+    ``SCALE_TEMPLATES`` distinct payloads (conv / gemm / fc, varying
+    shapes) are built once and cycled across ``n_requests`` requests:
+    every worker sees every template, so with ``share_replay`` each
+    kernel is simulated cold exactly once fleet-wide and replayed
+    everywhere else.
+    """
+    rng = np.random.default_rng(seed)
+    templates = []
+    for t in range(SCALE_TEMPLATES):
+        slot = t % 3
+        if slot == 0:
+            size = 8 + 2 * (t % 4)
+            x = rng.integers(-8, 8, (3 * size, size)).astype(np.int8)
+            f = rng.integers(-2, 3, (9, 3)).astype(np.int8)
+            templates.append(("conv", (x, f)))
+        elif slot == 1:
+            m, k, n = 6 + 2 * (t % 4), 8, 6
+            a = rng.integers(-6, 6, (m, k)).astype(np.int16)
+            b = rng.integers(-6, 6, (k, n)).astype(np.int16)
+            templates.append(("gemm", (a, b)))
+        else:
+            size = 8 + 4 * (t % 3)
+            xv = rng.integers(-8, 8, (1, 2 * size)).astype(np.int16)
+            w = rng.integers(-8, 8, (2 * size, size)).astype(np.int16)
+            bias = rng.integers(-8, 8, (1, size)).astype(np.int16)
+            templates.append(("fc", (xv, w, bias)))
+    requests = []
+    for rid in range(n_requests):
+        kind, data = templates[rid % len(templates)]
+        if kind == "conv":
+            requests.append(conv_layer_request(rid, *data))
+        elif kind == "gemm":
+            requests.append(gemm_request(rid, *data))
+        else:
+            xv, w, bias = data
+            requests.append(
+                kernel_request(rid, FUNC5_FC, [xv, w, bias], (1, w.shape[1]))
+            )
+    return requests
+
+
+def run_scale(args, config) -> dict:
+    """The ``--scale`` section: sustained load over a large shared-cache pool.
+
+    Replays the template-cycling workload as poisson and bursty traffic
+    through one engine with the shared fleet replay cache, and distills
+    each run to the metrics the regression gate tracks: sustained
+    req/Mcycle and the p99 queue-delay / latency cycles.  Verification
+    and observability are off — this section measures the dispatch loop
+    and the fleet cache, not the golden models.
+    """
+    requests = make_scale_workload(args.scale_requests, args.seed)
+    engine = ServingEngine(
+        pool_size=args.scale_pool, config=config, policy=args.policy,
+        share_replay=True,
+    )
+    sections = {}
+    for name, trace in (
+        ("poisson", f"poisson:{args.scale_rate}"),
+        ("bursty", f"bursty:{max(8, args.scale_pool * 2)}:400000"),
+    ):
+        start = time.perf_counter()
+        report = engine.serve_online(
+            requests, traffic=trace, seed=args.traffic_seed,
+        )
+        elapsed = time.perf_counter() - start
+        payload = report.as_dict()
+        fleet_hits = sum(
+            stats.get("fleet_hits", 0)
+            for stats in (payload.get("replay") or {}).get("per_worker", {}).values()
+        )
+        sections[name] = {
+            "trace": trace,
+            "requests_per_megacycle": payload["requests_per_megacycle"],
+            "makespan_cycles": payload["makespan_cycles"],
+            "cycles_per_request": payload["cycles_per_request"],
+            "queue_delay_p99_cycles": payload["queue_delay_cycles"]["p99"],
+            "queue_delay_p50_cycles": payload["queue_delay_cycles"]["p50"],
+            "latency_p99_cycles": payload["latency_cycles"]["p99"],
+            "service_p50_cycles": payload["service_cycles"]["p50"],
+            "success_rate": report.success_rate,
+            "fleet_hits": fleet_hits,
+            "replay": payload.get("replay"),
+            "wall_seconds": round(elapsed, 3),
+        }
+        print(f"== scale/{name} ({trace}, pool {args.scale_pool}, "
+              f"{args.scale_requests} requests) ==")
+        print(report.summary())
+        print()
+    return {
+        "pool_size": args.scale_pool,
+        "requests": args.scale_requests,
+        "templates": SCALE_TEMPLATES,
+        "share_replay": True,
+        "seed": args.seed,
+        "traffic_seed": args.traffic_seed,
+        "sections": sections,
+    }
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__.split("\n\n")[0])
     parser.add_argument("--requests", type=int, default=200)
@@ -134,6 +253,16 @@ def main() -> None:
                         help="skip golden-model output checks")
     parser.add_argument("--smoke", action="store_true",
                         help="CI configuration: 100 small requests, pool of 2")
+    parser.add_argument("--scale", action="store_true",
+                        help="add a scale section: sustained traffic over a "
+                             "large pool with the shared fleet replay cache")
+    parser.add_argument("--scale-requests", type=int, default=10000,
+                        help="requests per scale traffic run")
+    parser.add_argument("--scale-pool", type=int, default=32,
+                        help="worker pool size for the scale section")
+    parser.add_argument("--scale-rate", type=int, default=2000,
+                        help="poisson arrival rate (req/Mcycle) for the "
+                             "scale section's sustained-load run")
     parser.add_argument("--output", type=pathlib.Path, default=DEFAULT_OUTPUT)
     args = parser.parse_args()
 
@@ -150,11 +279,9 @@ def main() -> None:
     )
     offline = engine.serve(requests, verify=not args.no_verify)
 
-    # online serving runs the pool in one simulated-time domain, so it
-    # always uses a serial engine (results are seeded-deterministic)
-    online_engine = engine if engine.processes == 1 else ServingEngine(
-        pool_size=args.pool, config=config, policy=args.policy,
-    )
+    # the dispatch core runs online serving in one simulated-time domain
+    # for any ``processes`` setting, so the same engine serves both modes
+    online_engine = engine
     online = online_engine.serve_online(
         requests, traffic=args.trace, seed=args.traffic_seed,
         verify=not args.no_verify, observe=True,
@@ -200,6 +327,8 @@ def main() -> None:
     }
     if faulty is not None:
         record["online_faults"] = faulty.as_dict()
+    if args.scale:
+        record["scale"] = run_scale(args, config)
     args.output.parent.mkdir(parents=True, exist_ok=True)
     args.output.write_text(json.dumps(record, indent=2) + "\n")
 

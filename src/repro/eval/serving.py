@@ -82,6 +82,14 @@ class ServingReport:
     breakdown: PhaseBreakdown = field(default_factory=PhaseBreakdown)
     verified: Optional[bool] = None
     mode: str = "offline"
+    #: the process count the caller asked for (``processes`` is the
+    #: effective count after the pool-size clamp); None = same as effective
+    requested_processes: Optional[int] = None
+    #: admission policy the dispatch core ran (fifo/priority/edf/sjf)
+    admission: Optional[str] = None
+    #: replay-cache activity for the run (per-worker stat deltas,
+    #: including cross-worker ``fleet_hits``); attached by the engine
+    replay: Optional[Dict] = None
     #: canonical traffic spec string (online mode only)
     traffic: Optional[str] = None
     #: canonical fault spec string (None = no injection)
@@ -135,7 +143,13 @@ class ServingReport:
             "n_requests": self.n_requests,
             "pool_size": self.pool_size,
             "processes": self.processes,
+            "requested_processes": (
+                self.processes
+                if self.requested_processes is None
+                else self.requested_processes
+            ),
             "policy": self.policy,
+            "admission": self.admission,
             "wall_seconds": round(self.wall_seconds, 6),
             "requests_per_second": round(self.requests_per_second, 3),
             "total_sim_cycles": self.total_sim_cycles,
@@ -164,6 +178,8 @@ class ServingReport:
             record["service_cycles"] = {
                 k: round(v, 1) for k, v in (self.service_cycles or {}).items()
             }
+        if self.replay is not None:
+            record["replay"] = self.replay
         if self.timeline is not None:
             record["timeline"] = self.timeline
         return record
@@ -280,6 +296,8 @@ def build_serving_report(
     traffic: Optional[str] = None,
     faults: Optional[str] = None,
     health: Optional[Dict] = None,
+    requested_processes: Optional[int] = None,
+    admission: Optional[str] = None,
 ) -> ServingReport:
     """Fold per-request results into one :class:`ServingReport`.
 
@@ -381,4 +399,6 @@ def build_serving_report(
         queue_delay_cycles=queue_delays,
         service_cycles=service_stats,
         availability=availability,
+        requested_processes=requested_processes,
+        admission=admission,
     )

@@ -119,14 +119,10 @@ class Recording:
         "vpu_index",
         "outstanding",
         "phase_check",
-        "compiled",
     )
 
     def __init__(self, vpu_index: int, free_regs: List[int]) -> None:
         self.steps: List[tuple] = []
-        #: lazily built on first replay: the step stream with every run of
-        #: compute steps pre-bound to closures (see :func:`_compile_steps`)
-        self.compiled: Optional[list] = None
         self.replayable = True
         self.reason = ""
         #: exact VRF free-list at recording start; replay requires equality
@@ -530,6 +526,7 @@ def replay_kernel(
     kernel: QueuedKernel,
     context: KernelContext,
     scheduler,
+    compiled: Optional[list] = None,
 ) -> Generator:
     """Simulation process: replay a recorded kernel in one suspension.
 
@@ -612,10 +609,11 @@ def replay_kernel(
             vrf.write(reg, values, offset)
         return total
 
-    compiled = recording.compiled
     if compiled is None:
+        # compiled segments bind a specific system's VRF; the per-key
+        # store on ReplayCache keeps them out of the (shareable,
+        # picklable) recording — see :meth:`ReplayCache.compiled_for`
         compiled = _compile_steps(recording, kernel, scheduler, vpu_index)
-        recording.compiled = compiled
 
     for step in compiled:
         kind = step[0]
@@ -693,7 +691,18 @@ def replay_kernel(
 
 
 class ReplayCache:
-    """Bounded cache of kernel recordings, keyed on the full launch key."""
+    """Bounded cache of kernel recordings, keyed on the full launch key.
+
+    With a ``fleet`` store attached (:class:`repro.serve.fleet.
+    FleetReplayCache`), a local miss falls back to recordings published
+    by *other* workers' caches, and locally recorded replayable
+    recordings are published for the rest of the pool — one worker's
+    first launch warms the fleet.  Recordings are position-independent
+    and replays re-execute against live state, so a fleet hit is
+    bit-exact with recording locally; the fleet assumes identically
+    configured workers (same config and compiled-library install, hence
+    the same library generation and launch-time VRF free lists).
+    """
 
     def __init__(self, library, capacity: int = 256) -> None:
         if capacity < 1:
@@ -702,8 +711,14 @@ class ReplayCache:
         self.capacity = capacity
         self._entries: "OrderedDict[tuple, Recording]" = OrderedDict()
         self._generation = library.generation
+        #: optional cross-worker recording store (set by SystemWorker)
+        self.fleet = None
+        #: per-key compiled segment streams (closures binding *this*
+        #: system's VRF — never shared or pickled with the recording)
+        self._compiled: Dict[tuple, list] = {}
         self.stats: Dict[str, int] = {
-            "hits": 0, "misses": 0, "recorded": 0, "bypassed": 0, "invalidated": 0,
+            "hits": 0, "misses": 0, "recorded": 0, "bypassed": 0,
+            "invalidated": 0, "fleet_hits": 0,
         }
         #: observability hook: when a list, every launch appends
         #: ``(kernel_id, outcome)`` with outcome hit/miss/bypassed.  None
@@ -780,17 +795,43 @@ class ReplayCache:
             # operand payload records) must not evict the hot recordings
             # the cache exists for.
             self._entries.move_to_end(key)
+            return recording
+        if self.fleet is not None:
+            recording = self.fleet.get(key)
+            if recording is not None:
+                # adopt into the local LRU (future launches hit without
+                # the fleet); adopted recordings are never re-published
+                self._entries[key] = recording
+                self._trim()
+                self.stats["fleet_hits"] += 1
         return recording
 
     def store(self, key: tuple, recording: Recording) -> None:
         self._sync_generation()
         self._entries[key] = recording
+        self._trim()
+        if self.fleet is not None and recording.replayable:
+            self.fleet.publish(key, recording)
+
+    def _trim(self) -> None:
         while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
+            evicted, _ = self._entries.popitem(last=False)
+            self._compiled.pop(evicted, None)
+
+    def compiled_for(
+        self, key: tuple, recording: Recording, kernel, scheduler, vpu_index: int
+    ) -> list:
+        """This system's compiled segments for ``key`` (built on first use)."""
+        segments = self._compiled.get(key)
+        if segments is None:
+            segments = _compile_steps(recording, kernel, scheduler, vpu_index)
+            self._compiled[key] = segments
+        return segments
 
     def clear(self) -> None:
         self.stats["invalidated"] += len(self._entries)
         self._entries.clear()
+        self._compiled.clear()
 
     # -- replay preconditions ------------------------------------------------
 

@@ -181,7 +181,9 @@ class KernelScheduler:
             if cache.can_replay(recording, self, vpu_index):
                 cache.stats["hits"] += 1
                 cache.note_launch(kernel.kernel_id, "hit")
-                yield from self._execute_recorded(recording, kernel, vpu_index, phases)
+                yield from self._execute_recorded(
+                    recording, kernel, vpu_index, phases, key
+                )
             else:
                 cache.stats["bypassed"] += 1
                 cache.note_launch(kernel.kernel_id, "bypassed")
@@ -203,14 +205,16 @@ class KernelScheduler:
 
     def _execute_recorded(
         self, recording: Recording, kernel: QueuedKernel, vpu_index: int,
-        phases: PhaseBreakdown,
+        phases: PhaseBreakdown, key: tuple,
     ) -> Generator:
+        cache = self.replay_cache
+        compiled = cache.compiled_for(key, recording, kernel, self, vpu_index)
         self.dispatcher.claim(vpu_index, kernel.kernel_id)
         context = KernelContext(
             vpu_index, kernel.etype, self.allocator, self.dispatcher, phases
         )
         try:
-            yield from replay_kernel(recording, kernel, context, self)
+            yield from replay_kernel(recording, kernel, context, self, compiled)
         finally:
             context.release_all()
             self.dispatcher.release(vpu_index)

@@ -30,6 +30,17 @@ from repro.eval.serving import (
     latency_stats,
     percentile,
 )
+from repro.serve.dispatch import (
+    ADMISSION_POLICIES,
+    CLOCKS,
+    CYCLE_CLOCK,
+    SEQUENCE_CLOCK,
+    AdmissionPolicy,
+    DispatchCore,
+    ProcessPool,
+    SerialPool,
+    estimate_service_cycles,
+)
 from repro.serve.engine import POLICIES, ServingEngine
 from repro.serve.faults import (
     FAULT_KINDS,
@@ -44,6 +55,7 @@ from repro.serve.faults import (
     WorkerCrashError,
     WorkerSupervisor,
 )
+from repro.serve.fleet import FleetReplayCache
 from repro.serve.golden import expected_output, kernel_golden
 from repro.serve.online import OnlineDispatcher, OnlineEvent
 from repro.serve.request import (
@@ -67,23 +79,32 @@ from repro.serve.traffic import (
 from repro.serve.worker import SystemWorker
 
 __all__ = [
+    "ADMISSION_POLICIES",
+    "CLOCKS",
+    "CYCLE_CLOCK",
     "FAULT_KINDS",
     "KINDS",
     "MODES",
     "POLICIES",
+    "SEQUENCE_CLOCK",
     "STATUSES",
     "TRAFFIC_KINDS",
+    "AdmissionPolicy",
+    "DispatchCore",
     "FaultClause",
     "FaultInjector",
     "FaultPlan",
+    "FleetReplayCache",
     "GraphNode",
     "InferenceRequest",
     "KernelKilledError",
     "OnlineDispatcher",
     "OnlineEvent",
+    "ProcessPool",
     "RequestRejected",
     "RequestResult",
     "RetryPolicy",
+    "SerialPool",
     "ServingEngine",
     "ServingError",
     "ServingReport",
@@ -95,6 +116,7 @@ __all__ = [
     "arrival_cycles",
     "build_serving_report",
     "conv_layer_request",
+    "estimate_service_cycles",
     "expected_output",
     "gemm_request",
     "graph_request",

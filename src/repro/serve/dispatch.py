@@ -1,0 +1,894 @@
+"""The unified dispatch core: one scheduling loop for every serving mode.
+
+Before this module, ``serve/`` had three divergent execution paths —
+offline serial (faults + retry + quarantine), offline parallel shards
+(no faults, no retry), and online (serial pool only, plain FIFO).  The
+:class:`DispatchCore` replaces all three with **one event loop** that
+owns admission, worker selection, retry/failover, quarantine, deadlines
+and span/metrics hooks, parameterized by three orthogonal pieces of
+data (the Exo/SYS_ATL scheduling-as-data idiom: one fixed algorithm,
+policies as values):
+
+* a **clock** — :data:`CYCLE_CLOCK` runs the loop in simulated cycles
+  (arrival-driven online serving: backlog-aware dispatch, simulated
+  backoff, deadlines, the request timeline); :data:`SEQUENCE_CLOCK`
+  runs it in dispatch-sequence order (offline batches: the engine's
+  precomputed assignment is the preferred worker, retries are
+  immediate, no timeline);
+* an **admission policy** (:class:`AdmissionPolicy`) — ``fifo`` keeps
+  strict arrival order; ``priority`` serves lower priority classes
+  first; ``edf`` (earliest deadline first) and ``sjf`` (shortest job
+  first, by the compiled-kernel trip-count estimate of
+  :func:`estimate_service_cycles`) re-order the backlog whenever
+  requests are queued.  The pending heap is keyed ``(ready, *rank,
+  seq)``, so FIFO (empty rank) reproduces the legacy loop bit-for-bit;
+* a **pool backend** — :class:`SerialPool` executes on in-process
+  :class:`~repro.serve.worker.SystemWorker` instances;
+  :class:`ProcessPool` partitions the pool over OS processes (worker
+  ``w`` lives in shard ``w % processes``) behind the same six-call
+  protocol.
+
+Fault decisions live in the **core**, not the worker: the core calls
+:meth:`FaultInjector.before_attempt` itself and mirrors the decision to
+the owning backend, so serial and multi-process runs draw identical
+faults in identical order.  Combined with two existing invariants —
+per-request results are bit-exact with single-shot cold runs
+(``reset_heap()``) and injected faults fire *before* execution — this
+makes serial vs multi-process reports bit-identical (outputs, statuses,
+simulated cycles, event logs, availability), which is what lifted the
+old ``processes=1`` restrictions on faults and online serving.
+
+The :class:`ProcessPool` also carries the **shared fleet replay cache**
+(:mod:`repro.serve.fleet`): recordings a shard publishes ride back on
+its replies and are forwarded to the other shards with the next command,
+so one worker's first launch warms the whole pool across process
+boundaries.
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.obs.spans import NULL_RECORDER, NullRecorder
+from repro.serve.faults import (
+    FaultInjector,
+    RetryPolicy,
+    ServingError,
+    WorkerCrashError,
+    WorkerSupervisor,
+)
+from repro.serve.request import InferenceRequest, RequestResult
+from repro.serve.worker import SystemWorker
+
+#: Clocks a :class:`DispatchCore` can run on.
+CYCLE_CLOCK = "cycles"
+SEQUENCE_CLOCK = "sequence"
+CLOCKS = (CYCLE_CLOCK, SEQUENCE_CLOCK)
+
+#: Event kinds recorded on the dispatch timeline.
+ARRIVAL = "arrival"
+DISPATCH = "dispatch"
+COMPLETION = "completion"
+FAIL = "fail"
+RETRY = "retry"
+SHED = "shed"
+
+
+@dataclass(frozen=True)
+class OnlineEvent:
+    """One entry in the dispatch event log.
+
+    ``cycle`` is a simulated cycle under :data:`CYCLE_CLOCK` and the
+    dispatch sequence number under :data:`SEQUENCE_CLOCK` (matching the
+    :class:`~repro.serve.faults.WorkerSupervisor` convention).
+    """
+
+    cycle: int
+    kind: str
+    request_id: int
+    worker: Optional[int] = None
+
+
+# -- admission policies -------------------------------------------------------
+
+#: Admission policies understood by :meth:`AdmissionPolicy.coerce`.
+ADMISSION_POLICIES = ("fifo", "priority", "edf", "sjf")
+
+
+def estimate_service_cycles(request: InferenceRequest) -> int:
+    """Deterministic service-cost estimate for shortest-job-first ranking.
+
+    Where the kernel semantics are known the estimate mirrors the
+    compiled kernel's loop trip counts (a gemm macc-accumulates
+    ``m * n * k`` elements; a conv layer visits every output pixel once
+    per filter tap); for opaque single-kernel and graph requests it
+    falls back to operand + output volume.  The unit is arbitrary —
+    only the *ordering* matters, and it is a pure function of the
+    request, so every run ranks identically.
+    """
+    payload = request.payload
+
+    def volume(array) -> int:
+        return int(np.asarray(array).size)
+
+    if request.kind == "gemm":
+        m, k = payload["a"].shape
+        n = payload["b"].shape[1]
+        return m * n * (k + 2)
+    if request.kind == "conv_layer":
+        return volume(payload["image"]) * volume(payload["filters"])
+    if request.kind == "kernel":
+        out_rows, out_cols = payload["out_shape"]
+        return sum(volume(m) for m in payload["inputs"]) + out_rows * out_cols
+    if request.kind == "graph":
+        return sum(volume(m) for m in payload["inputs"].values()) + sum(
+            node.out_shape[0] * node.out_shape[1] for node in payload["nodes"]
+        )
+    return 1
+
+
+@dataclass(frozen=True)
+class AdmissionPolicy:
+    """How queued requests are ordered when the pool is backlogged.
+
+    The policy contributes a *rank tuple* to the pending-heap key
+    ``(ready, *rank, seq)``.  FIFO's rank is empty, which keeps the
+    exact legacy ordering ``(ready, seq)``; the other policies rank
+    same-cycle requests by priority class, deadline, or estimated
+    service cost.  Non-FIFO policies are **deferring**: a request that
+    would have to wait for a busy worker re-enters the heap at the
+    cycle the earliest candidate frees, where the rank re-orders it
+    against everything else queued by then — so the policy decides who
+    gets the freed worker, not merely who is examined first.
+    """
+
+    kind: str = "fifo"
+
+    def __post_init__(self) -> None:
+        if self.kind not in ADMISSION_POLICIES:
+            raise ValueError(
+                f"unknown admission policy {self.kind!r}; expected one of "
+                f"{ADMISSION_POLICIES}"
+            )
+
+    @classmethod
+    def coerce(cls, spec) -> "AdmissionPolicy":
+        """None | kind-string | AdmissionPolicy -> AdmissionPolicy."""
+        if spec is None:
+            return cls()
+        if isinstance(spec, cls):
+            return spec
+        return cls(str(spec))
+
+    @property
+    def immediate(self) -> bool:
+        """True when dispatch never defers (FIFO dispatches at ready)."""
+        return self.kind == "fifo"
+
+    def rank(self, request: InferenceRequest) -> Tuple[int, ...]:
+        """The policy's heap-rank tuple for one request (lower = first)."""
+        if self.kind == "fifo":
+            return ()
+        if self.kind == "priority":
+            return (int(request.priority),)
+        if self.kind == "edf":
+            if request.deadline_cycle is None:
+                return (1, 0)  # no deadline: after every deadlined request
+            return (0, int(request.deadline_cycle))
+        return (estimate_service_cycles(request),)  # sjf
+
+
+# -- pool backends ------------------------------------------------------------
+
+
+class SerialPool:
+    """In-process backend over a list of :class:`SystemWorker`."""
+
+    def __init__(self, workers: Sequence[SystemWorker]) -> None:
+        if not workers:
+            raise ValueError("pool backend needs at least one worker")
+        self.workers = list(workers)
+
+    @property
+    def n_workers(self) -> int:
+        return len(self.workers)
+
+    def execute(
+        self,
+        worker: int,
+        request: InferenceRequest,
+        attempt: int = 1,
+        observe: bool = False,
+        slow_factor: float = 1.0,
+    ) -> RequestResult:
+        return self.workers[worker].run(
+            request, attempt=attempt, observe=observe, slow_factor=slow_factor
+        )
+
+    def apply_injected(self, worker: int, error: ServingError) -> None:
+        self.workers[worker].apply_injected(error)
+
+    def rebuild(self, worker: int) -> None:
+        self.workers[worker].rebuild()
+
+    def last_recovery(self, worker: int) -> Optional[Dict[str, Optional[str]]]:
+        return self.workers[worker].last_recovery
+
+    def busy_cycles(self, worker: int) -> int:
+        return self.workers[worker].busy_cycles
+
+    def health_snapshots(self) -> List[Dict[str, int]]:
+        return [w.health_snapshot() for w in self.workers]
+
+    def replay_stats(self) -> Dict[int, Optional[Dict[str, int]]]:
+        stats: Dict[int, Optional[Dict[str, int]]] = {}
+        for w in self.workers:
+            cache = w.system.llc.runtime.replay_cache
+            stats[w.index] = dict(cache.stats) if cache is not None else None
+        return stats
+
+    def run_batch(
+        self, assignments: Sequence[Tuple[int, InferenceRequest]]
+    ) -> Tuple[float, List[RequestResult]]:
+        """Static batch execution (no retries), timing the serving loop."""
+        start = time.perf_counter()
+        results = [
+            _run_static(self.workers[worker], worker, request)
+            for worker, request in assignments
+        ]
+        return time.perf_counter() - start, results
+
+    def close(self) -> None:
+        pass
+
+
+def _run_static(
+    worker: SystemWorker, index: int, request: InferenceRequest
+) -> RequestResult:
+    """One attempt with the legacy static-shard failure shape."""
+    try:
+        return worker.run(request)
+    except ServingError as error:
+        return RequestResult.failure(
+            request, "failed",
+            f"attempt 1 on worker {index}: {error}",
+            worker=index, fault_class=error.fault_class,
+        )
+
+
+def _pool_shard_main(
+    conn, worker_indices, config, with_compiled, share_replay
+) -> None:
+    """Shard-process entry point: own a subset of workers, serve commands.
+
+    Every reply carries the shard's newly published fleet recordings;
+    every command may carry recordings published by *other* shards
+    (adopted before the command runs), which is the multiprocessing
+    publish/subscribe path of the shared fleet replay cache.
+    """
+    from repro.serve.fleet import FleetReplayCache
+
+    fleet = FleetReplayCache() if share_replay else None
+    workers = {
+        index: SystemWorker(index, config, with_compiled, fleet=fleet)
+        for index in worker_indices
+    }
+    while True:
+        try:
+            command, kwargs, updates = conn.recv()
+        except (EOFError, OSError):
+            break
+        if fleet is not None and updates:
+            fleet.adopt(updates)
+        if command == "close":
+            break
+        status: str = "ok"
+        value: Any = None
+        recovery: Optional[Dict[str, Optional[str]]] = None
+        try:
+            if command == "run":
+                worker = workers[kwargs["worker"]]
+                try:
+                    value = worker.run(
+                        kwargs["request"], attempt=kwargs["attempt"],
+                        observe=kwargs["observe"],
+                        slow_factor=kwargs["slow_factor"],
+                    )
+                except ServingError as error:
+                    status, value = "err", error
+                recovery = worker.last_recovery
+            elif command == "inject":
+                worker = workers[kwargs["worker"]]
+                worker.apply_injected(kwargs["error"])
+                recovery = worker.last_recovery
+            elif command == "rebuild":
+                workers[kwargs["worker"]].rebuild()
+            elif command == "snapshots":
+                value = {w: worker.health_snapshot() for w, worker in workers.items()}
+            elif command == "replay":
+                value = {}
+                for w, worker in workers.items():
+                    cache = worker.system.llc.runtime.replay_cache
+                    value[w] = dict(cache.stats) if cache is not None else None
+            elif command == "run_batch":
+                start = time.perf_counter()
+                batch = [
+                    _run_static(workers[w], w, request)
+                    for w, request in kwargs["assignments"]
+                ]
+                value = (time.perf_counter() - start, batch)
+            else:
+                status, value = "fatal", f"unknown pool command {command!r}"
+        except Exception as error:  # pragma: no cover - defensive
+            status, value = "fatal", f"{type(error).__name__}: {error}"
+        published = fleet.drain_outbox() if fleet is not None else []
+        try:
+            conn.send((status, value, recovery, published))
+        except (BrokenPipeError, OSError):  # pragma: no cover - parent died
+            break
+    conn.close()
+
+
+class ProcessPool:
+    """Multi-process backend: worker ``w`` lives in shard ``w % processes``.
+
+    Each shard is a long-lived child process owning its workers outright
+    (same partitioning as the legacy ``_serve_parallel``), driven over a
+    pipe by the same protocol :class:`SerialPool` implements in-process.
+    Execution is remote but every *decision* stays in the parent's
+    dispatch core, so multi-process runs are bit-identical to serial
+    ones.  The parent mirrors per-worker busy cycles and the last
+    recovery diagnostic from replies, and relays fleet-cache recordings
+    between shards (see :func:`_pool_shard_main`).
+    """
+
+    def __init__(
+        self,
+        pool_size: int,
+        processes: int,
+        config=None,
+        with_compiled: bool = True,
+        share_replay: bool = False,
+    ) -> None:
+        import multiprocessing as mp
+
+        if not 1 <= processes <= pool_size:
+            raise ValueError("need 1 <= processes <= pool_size")
+        self.pool_size = pool_size
+        self.processes = processes
+        self.share_replay = share_replay
+        self.shard_of = {w: w % processes for w in range(pool_size)}
+        self._busy = [0] * pool_size
+        self._recovery: List[Optional[Dict[str, Optional[str]]]] = [None] * pool_size
+        #: recordings published by other shards, awaiting the next command
+        self._updates: List[list] = [[] for _ in range(processes)]
+        self._conns = []
+        self._procs = []
+        ctx = mp.get_context()
+        for p in range(processes):
+            parent_conn, child_conn = ctx.Pipe()
+            indices = [w for w in range(pool_size) if w % processes == p]
+            proc = ctx.Process(
+                target=_pool_shard_main,
+                args=(child_conn, indices, config, with_compiled, share_replay),
+                daemon=True,
+            )
+            proc.start()
+            child_conn.close()
+            self._conns.append(parent_conn)
+            self._procs.append(proc)
+
+    @property
+    def n_workers(self) -> int:
+        return self.pool_size
+
+    def _distribute(self, shard: int, published: list) -> None:
+        if not published:
+            return
+        for other in range(self.processes):
+            if other != shard:
+                self._updates[other].extend(published)
+
+    def _send(self, shard: int, command: str, **kwargs) -> None:
+        updates = self._updates[shard]
+        self._updates[shard] = []
+        self._conns[shard].send((command, kwargs, updates))
+
+    def _recv(self, shard: int):
+        status, value, recovery, published = self._conns[shard].recv()
+        self._distribute(shard, published)
+        if status == "fatal":
+            raise RuntimeError(f"pool shard {shard} failed: {value}")
+        return status, value, recovery
+
+    def _request(self, shard: int, command: str, **kwargs):
+        self._send(shard, command, **kwargs)
+        return self._recv(shard)
+
+    def execute(
+        self,
+        worker: int,
+        request: InferenceRequest,
+        attempt: int = 1,
+        observe: bool = False,
+        slow_factor: float = 1.0,
+    ) -> RequestResult:
+        shard = self.shard_of[worker]
+        status, value, recovery = self._request(
+            shard, "run", worker=worker, request=request, attempt=attempt,
+            observe=observe, slow_factor=slow_factor,
+        )
+        self._recovery[worker] = recovery
+        if status == "err":
+            raise value
+        self._busy[worker] += value.sim_cycles
+        return value
+
+    def apply_injected(self, worker: int, error: ServingError) -> None:
+        shard = self.shard_of[worker]
+        _, _, recovery = self._request(shard, "inject", worker=worker, error=error)
+        self._recovery[worker] = recovery
+
+    def rebuild(self, worker: int) -> None:
+        self._request(self.shard_of[worker], "rebuild", worker=worker)
+
+    def last_recovery(self, worker: int) -> Optional[Dict[str, Optional[str]]]:
+        return self._recovery[worker]
+
+    def busy_cycles(self, worker: int) -> int:
+        return self._busy[worker]
+
+    def _gather(self, command: str) -> Dict[int, Any]:
+        merged: Dict[int, Any] = {}
+        for shard in range(self.processes):
+            _, value, _ = self._request(shard, command)
+            merged.update(value)
+        return merged
+
+    def health_snapshots(self) -> List[Dict[str, int]]:
+        by_worker = self._gather("snapshots")
+        return [by_worker[w] for w in range(self.pool_size)]
+
+    def replay_stats(self) -> Dict[int, Optional[Dict[str, int]]]:
+        return dict(sorted(self._gather("replay").items()))
+
+    def run_batch(
+        self, assignments: Sequence[Tuple[int, InferenceRequest]]
+    ) -> Tuple[float, List[RequestResult]]:
+        """Fan one static batch out to all shards concurrently.
+
+        Reproduces the legacy parallel path: per-shard request order is
+        submission order, results scatter back by position, the wall
+        time is the slowest shard's serving loop, and a short shard is
+        a hard error (a dropped result would misalign every later
+        verify/report row).
+        """
+        parts: Dict[int, List[Tuple[int, InferenceRequest]]] = {
+            p: [] for p in range(self.processes)
+        }
+        order: Dict[int, List[int]] = {p: [] for p in range(self.processes)}
+        for position, (worker, request) in enumerate(assignments):
+            shard = self.shard_of[worker]
+            parts[shard].append((worker, request))
+            order[shard].append(position)
+        for p in range(self.processes):
+            self._send(p, "run_batch", assignments=parts[p])
+        results: List[Optional[RequestResult]] = [None] * len(assignments)
+        wall = 0.0
+        for p in range(self.processes):
+            _, value, _ = self._recv(p)
+            seconds, batch = value
+            wall = max(wall, seconds)
+            if len(batch) != len(order[p]):
+                raise RuntimeError(
+                    f"shard {p} returned {len(batch)} results for "
+                    f"{len(order[p])} requests"
+                )
+            for position, result in zip(order[p], batch):
+                results[position] = result
+                if result.status == "ok":
+                    self._busy[result.worker] += result.sim_cycles
+        missing = [i for i, r in enumerate(results) if r is None]
+        if missing:
+            raise RuntimeError(
+                f"parallel serving lost results for request positions {missing}"
+            )
+        return wall, results  # type: ignore[return-value]
+
+    def close(self) -> None:
+        for conn in self._conns:
+            try:
+                conn.send(("close", {}, []))
+                conn.close()
+            except (BrokenPipeError, OSError):
+                pass
+        for proc in self._procs:
+            proc.join(timeout=10)
+            if proc.is_alive():  # pragma: no cover - defensive
+                proc.terminate()
+        self._conns = []
+        self._procs = []
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing dependent
+        try:
+            if self._procs:
+                self.close()
+        except Exception:
+            pass
+
+
+# -- the core -----------------------------------------------------------------
+
+
+class DispatchCore:
+    """One event loop for offline, online and parallel serving.
+
+    The loop pops ``(ready, *rank, seq, attempt, position)`` entries off
+    a pending heap.  Under :data:`CYCLE_CLOCK` ``ready`` is the
+    request's arrival (or retry-backoff) cycle and dispatch goes to the
+    candidate with the smallest cycle backlog; under
+    :data:`SEQUENCE_CLOCK` ``ready`` is the dispatch sequence number,
+    the engine's precomputed assignment is the first-attempt worker and
+    retries rebalance by accumulated busy cycles.  Faults, retry,
+    failover, quarantine, bounded admission, deadlines and span
+    recording behave identically on both clocks (deadlines and the
+    simulated timeline exist only in cycles).
+
+    The core draws every fault itself and mirrors worker-side effects
+    through the backend, so the same decisions reach the same workers
+    regardless of where those workers live.
+    """
+
+    def __init__(
+        self,
+        backend,
+        clock: str = CYCLE_CLOCK,
+        admission=None,
+        injector: Optional[FaultInjector] = None,
+        retry: Optional[RetryPolicy] = None,
+        supervisor: Optional[WorkerSupervisor] = None,
+        queue_capacity: Optional[int] = None,
+        recorder: NullRecorder = NULL_RECORDER,
+    ) -> None:
+        if clock not in CLOCKS:
+            raise ValueError(f"unknown clock {clock!r}; expected one of {CLOCKS}")
+        if queue_capacity is not None and queue_capacity < 1:
+            raise ValueError("queue_capacity must be >= 1 (or None for unbounded)")
+        if backend.n_workers < 1:
+            raise ValueError("dispatch needs at least one worker")
+        self.backend = backend
+        self.clock = clock
+        self.admission = AdmissionPolicy.coerce(admission)
+        self.injector = injector
+        self.retry = retry or RetryPolicy()
+        self.supervisor = supervisor
+        self.queue_capacity = queue_capacity
+        #: observability recorder; the default no-op costs one attribute
+        #: check per request (mirrors the Tracer's disabled path)
+        self.recorder = recorder
+        #: cycle at which each worker drains all dispatched work
+        self.free_at = [0] * backend.n_workers
+        #: chronological event log (arrival/dispatch/completion/fail/retry/shed)
+        self.events: List[OnlineEvent] = []
+        #: availability tally for the serving report
+        self.tally: Dict = {
+            "retries": 0,
+            "failovers": 0,
+            "failed_attempts_by_class": {},
+        }
+
+    def backlog(self, worker: int, now: int) -> int:
+        """Cycles of pending work on ``worker`` as seen at cycle ``now``."""
+        return max(0, self.free_at[worker] - now)
+
+    def _candidates(self, now: int, avoid: Optional[int]) -> List[int]:
+        """Dispatchable workers at ``now``, preferring not-``avoid``."""
+        if self.supervisor is not None:
+            ready = self.supervisor.available(now)
+        else:
+            ready = list(range(self.backend.n_workers))
+        if avoid is not None and self.retry.failover:
+            others = [w for w in ready if w != avoid]
+            if others:
+                return others
+        return ready
+
+    def _select_worker(
+        self,
+        ready: int,
+        attempt: int,
+        candidates: List[int],
+        preferred: Optional[int],
+        avoid: Optional[int],
+    ) -> int:
+        if self.clock == CYCLE_CLOCK:
+            return min(candidates, key=lambda w: (self.backlog(w, ready), w))
+        # sequence clock: honour the precomputed assignment on the first
+        # attempt, rebalance retries by accumulated busy cycles
+        if attempt == 1 and preferred is not None and preferred in candidates:
+            return preferred
+        pool = candidates
+        if avoid is not None and self.retry.failover:
+            others = [w for w in candidates if w != avoid]
+            if others:
+                pool = others
+        return min(pool, key=lambda w: (self.backend.busy_cycles(w), w))
+
+    def _attempt(
+        self, worker: int, request: InferenceRequest, attempt: int, observe: bool
+    ) -> Tuple[Optional[RequestResult], Optional[ServingError]]:
+        """One attempt: draw the fault in the core, execute on the backend.
+
+        The injector decides the attempt's fate *here* — before any
+        execution, in deterministic dispatch order — and the decision's
+        worker-side effects (failure counters, crash rebuilds) are
+        mirrored to the owning backend, wherever the worker lives.
+        """
+        slow_factor = 1.0
+        if self.injector is not None:
+            try:
+                slow_factor = self.injector.before_attempt(request, attempt, worker)
+            except ServingError as error:
+                self.backend.apply_injected(worker, error)
+                return None, error
+        try:
+            result = self.backend.execute(
+                worker, request, attempt=attempt, observe=observe,
+                slow_factor=slow_factor,
+            )
+        except ServingError as error:
+            return None, error
+        return result, None
+
+    def run(
+        self,
+        requests: Sequence[InferenceRequest],
+        preferred: Optional[Sequence[int]] = None,
+    ) -> List[RequestResult]:
+        """Serve every request; results in input order.
+
+        ``preferred`` (sequence clock only) is the engine's precomputed
+        request→worker assignment, honoured on first attempts.
+        """
+        requests = list(requests)
+        cycles = self.clock == CYCLE_CLOCK
+        if cycles:
+            admission = sorted(
+                ((request.arrival_cycle, position)
+                 for position, request in enumerate(requests)),
+                key=lambda entry: entry[:2],
+            )
+        else:
+            # offline: ready == seq == submission position, so the heap
+            # replays the batch in assignment order with immediate retries
+            admission = [(position, position) for position in range(len(requests))]
+        rank_of = [self.admission.rank(request) for request in requests]
+        # the pending heap orders (ready, *rank, seq); retries re-enter
+        # with a fresh seq so ties within a rank stay deterministic
+        pending: List[tuple] = [
+            (ready, *rank_of[position], seq, 1, position)
+            for seq, (ready, position) in enumerate(admission)
+        ]
+        heapq.heapify(pending)
+        next_seq = len(pending)
+        completions: List[Tuple[int, int, int, int]] = []  # (cycle, pos, rid, w)
+        results: List[Optional[RequestResult]] = [None] * len(requests)
+        attempt_errors: Dict[int, List[str]] = {}
+        last_failed: Dict[int, int] = {}
+        dispatched_starts: List[int] = []
+        arrived: set = set()
+        rec = self.recorder
+        request_spans: Dict[int, int] = {}  # position -> open request span
+
+        while pending:
+            entry = heapq.heappop(pending)
+            ready, position, attempt = entry[0], entry[-1], entry[-2]
+            seq = entry[-3]
+            request = requests[position]
+            rid = request.request_id
+            # retire completions that happen before this instant, so the
+            # event log interleaves chronologically
+            while completions and completions[0][0] <= ready:
+                cycle, _, crid, worker = heapq.heappop(completions)
+                self.events.append(OnlineEvent(cycle, COMPLETION, crid, worker))
+            if attempt == 1 and position not in arrived:
+                arrived.add(position)
+                self.events.append(OnlineEvent(ready, ARRIVAL, rid))
+                if rec.enabled:
+                    request_spans[position] = rec.begin(
+                        f"request {rid}", "request", ready,
+                        request=rid, kind=request.kind,
+                    )
+            if self.supervisor is not None:
+                self.supervisor.tick(ready)
+            # bounded admission: how many admitted requests are still
+            # waiting (dispatched but not yet started) at this instant?
+            if self.queue_capacity is not None:
+                depth = sum(1 for s in dispatched_starts if s > ready)
+                if depth >= self.queue_capacity:
+                    self.events.append(OnlineEvent(ready, SHED, rid))
+                    if rec.enabled:
+                        rec.end(request_spans[position], ready,
+                                status="shed", cause="queue_full")
+                    results[position] = RequestResult.failure(
+                        request, "shed",
+                        f"admission queue full ({depth} waiting, capacity "
+                        f"{self.queue_capacity}) at cycle {ready}",
+                        attempts=attempt,
+                        arrival_cycle=request.arrival_cycle if cycles else None,
+                        fault_class="queue_full",
+                    )
+                    continue
+            avoid = last_failed.get(position)
+            candidates = self._candidates(ready, avoid)
+            worker = self._select_worker(
+                ready, attempt, candidates,
+                preferred[position] if preferred is not None else None,
+                avoid,
+            )
+            start = max(ready, self.free_at[worker]) if cycles else ready
+            # deadline-aware load shedding: don't burn cycles on a request
+            # whose queue delay already blew its deadline
+            if (
+                cycles
+                and request.deadline_cycle is not None
+                and start > request.deadline_cycle
+            ):
+                self.events.append(OnlineEvent(ready, SHED, rid))
+                if rec.enabled:
+                    rec.end(request_spans[position], ready,
+                            status="shed", cause="deadline")
+                results[position] = RequestResult.failure(
+                    request, "shed",
+                    f"projected start cycle {start} past deadline "
+                    f"{request.deadline_cycle} (queue delay would blow it)",
+                    attempts=attempt, arrival_cycle=request.arrival_cycle,
+                    fault_class="deadline",
+                )
+                continue
+            if cycles and not self.admission.immediate and start > ready:
+                # deferring policy: wait until the earliest candidate
+                # frees; by then the rank re-orders everything queued
+                heapq.heappush(
+                    pending, (start, *rank_of[position], seq, attempt, position)
+                )
+                continue
+            failover = attempt > 1 and worker != last_failed.get(position)
+            if failover:
+                self.tally["failovers"] += 1
+            attempt_span = 0
+            if rec.enabled:
+                attempt_span = rec.begin(
+                    f"attempt {attempt}", "attempt", ready,
+                    parent=request_spans[position],
+                    request=rid, attempt=attempt, worker=worker,
+                    cause="retry" if attempt > 1 else None,
+                    failover=failover or None,
+                )
+            result, error = self._attempt(worker, request, attempt, rec.enabled)
+            if error is not None:
+                if rec.enabled:
+                    # a fault fires at its dispatch instant: zero duration
+                    rec.end(attempt_span, ready, status="failed",
+                            fault_class=error.fault_class,
+                            injected=error.injected or None)
+                self._record_failure(
+                    request, worker, ready, attempt, error,
+                    attempt_errors.setdefault(position, []),
+                )
+                last_failed[position] = worker
+                if error.retryable and attempt < self.retry.max_attempts:
+                    retry_at = ready + self.retry.backoff(attempt) if cycles else ready
+                    self.events.append(OnlineEvent(ready, RETRY, rid, worker))
+                    self.tally["retries"] += 1
+                    heapq.heappush(
+                        pending,
+                        (retry_at, *rank_of[position], next_seq, attempt + 1,
+                         position),
+                    )
+                    next_seq += 1
+                else:
+                    if rec.enabled:
+                        rec.end(request_spans[position], ready,
+                                status="failed", fault_class=error.fault_class)
+                    results[position] = RequestResult.failure(
+                        request, "failed",
+                        "; ".join(attempt_errors.get(position, [])),
+                        worker=worker, attempts=attempt,
+                        arrival_cycle=request.arrival_cycle if cycles else None,
+                        fault_class=error.fault_class,
+                    )
+                continue
+            if self.supervisor is not None:
+                self.supervisor.record_success(worker, ready)
+            result.attempts = attempt
+            if attempt_errors.get(position):
+                # succeeded after retries: keep the failure history around
+                result.error = "; ".join(attempt_errors[position])
+            if cycles:
+                completion = start + result.sim_cycles
+                result.arrival_cycle = request.arrival_cycle
+                result.start_cycle = start
+                result.completion_cycle = completion
+                if (
+                    request.deadline_cycle is not None
+                    and completion > request.deadline_cycle
+                ):
+                    result.status = "timed_out"
+            else:
+                completion = ready
+            if rec.enabled:
+                wait_span = rec.begin("queue_wait", "queue_wait", ready,
+                                      parent=attempt_span, request=rid)
+                rec.end(wait_span, start)
+                service_span = rec.begin(
+                    f"serve {rid}", "dispatch", start,
+                    parent=attempt_span, request=rid, worker=worker,
+                )
+                # launches lie back-to-back from the service start (the
+                # worker executes them serially); stamp the absolute
+                # window on each record for the rolling metrics
+                cursor = start
+                for launch in result.launches:
+                    launch_end = cursor + launch["cycles"]
+                    launch["start_cycle"] = cursor
+                    launch["end_cycle"] = launch_end
+                    launch_span = rec.begin(
+                        launch["name"], "launch", cursor,
+                        parent=service_span, request=rid, worker=worker,
+                        kernel_id=launch["kernel_id"], replay=launch["replay"],
+                    )
+                    rec.end(launch_span, launch_end)
+                    cursor = launch_end
+                rec.end(service_span, completion)
+                rec.end(attempt_span, completion, status=result.status)
+                rec.end(request_spans[position], completion,
+                        status=result.status, worker=worker)
+            if cycles:
+                self.free_at[worker] = completion
+                dispatched_starts.append(start)
+            self.events.append(OnlineEvent(ready, DISPATCH, rid, worker))
+            heapq.heappush(completions, (completion, position, rid, worker))
+            results[position] = result
+        while completions:
+            cycle, _, crid, worker = heapq.heappop(completions)
+            self.events.append(OnlineEvent(cycle, COMPLETION, crid, worker))
+        assert all(r is not None for r in results)
+        return results  # type: ignore[return-value]
+
+    def _record_failure(
+        self,
+        request: InferenceRequest,
+        worker: int,
+        cycle: int,
+        attempt: int,
+        error: ServingError,
+        history: List[str],
+    ) -> None:
+        """Log one failed attempt: event, class tally, recovery diagnostic,
+        supervision (quarantine rebuilds the worker's system)."""
+        self.events.append(OnlineEvent(cycle, FAIL, request.request_id, worker))
+        history.append(f"attempt {attempt} on worker {worker}: {error}")
+        recovery = self.backend.last_recovery(worker)
+        if recovery and recovery.get("error"):
+            history.append(
+                f"worker {worker} rebuilt after reset failure: {recovery['error']}"
+            )
+        by_class = self.tally["failed_attempts_by_class"]
+        by_class[error.fault_class] = by_class.get(error.fault_class, 0) + 1
+        if self.supervisor is not None:
+            quarantined = self.supervisor.record_failure(worker, cycle, error)
+            if quarantined and not isinstance(error, WorkerCrashError):
+                # a crash already rebuilt the worker at injection time
+                self.backend.rebuild(worker)
+                self.recorder.instant("rebuilt", cycle, worker=worker)
+
+    @property
+    def makespan_cycles(self) -> int:
+        """Simulated cycle at which the last dispatched request completes."""
+        return max(self.free_at, default=0)

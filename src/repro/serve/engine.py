@@ -4,39 +4,43 @@ The :class:`ServingEngine` multiplexes independent inference requests
 over a pool of long-lived, reusable
 :class:`~repro.serve.worker.SystemWorker` instances — the throughput
 layer the ROADMAP's "serve heavy traffic" north-star asks for, built on
-the lifecycle guarantees of ``ArcaneSystem.reset_heap()``:
+the lifecycle guarantees of ``ArcaneSystem.reset_heap()``.  Both serving
+modes are thin frontends over the unified
+:class:`~repro.serve.dispatch.DispatchCore`:
 
-* **scheduling** — the *offline* path (:meth:`ServingEngine.serve`)
-  computes request→worker assignment up front, either balancing
-  estimated load by operand volume (``least_loaded``, models a load
-  balancer fronting identical accelerator instances) or strictly
-  round-robin; the *online* path (:meth:`ServingEngine.serve_online`)
-  instead replays seeded request arrivals in simulated time through a
-  FIFO admission queue and dispatches each request at its arrival cycle
-  to the worker with the smallest actual backlog
-  (:mod:`repro.serve.online`);
-* **fault tolerance** — both paths speak the
-  :mod:`repro.serve.faults` taxonomy: a failed request becomes a
-  ``status="failed"`` result instead of aborting the batch, retryable
-  failures are retried under a :class:`~repro.serve.faults.RetryPolicy`
-  (failing over to a different worker), repeatedly-failing workers are
-  quarantined by a :class:`~repro.serve.faults.WorkerSupervisor`, and a
-  seeded fault spec (``faults="kill:0.1"``) rehearses all of it
-  deterministically;
-* **parallelism** — with ``processes > 1`` the pool is partitioned over
-  OS processes (each owns its workers outright), so independent
-  simulations use multiple host cores; results are identical to the
-  serial path because request→worker assignment is computed up front
-  (fault injection/retry need the serial pool: ``processes=1``);
+* **offline** (:meth:`ServingEngine.serve`) computes request→worker
+  assignment up front — balancing estimated load by operand volume
+  (``least_loaded``) or strictly round-robin — and runs the core on the
+  dispatch-sequence clock (immediate retries, no simulated timeline);
+* **online** (:meth:`ServingEngine.serve_online`) replays seeded request
+  arrivals in simulated time on the cycle clock: admission-policy
+  ordering (FIFO / priority / EDF / SJF), least-backlog dispatch,
+  simulated retry backoff, deadlines and load shedding;
+* **fault tolerance** works in every mode and pool layout: the core
+  draws each seeded fault itself (hashing ``(fault_seed, request_id,
+  attempt)``) and mirrors the decision to the worker's owning backend,
+  so retry/failover/quarantine behave — and report — bit-identically
+  whether the pool is in-process or partitioned over OS processes;
+* **parallelism** — with ``processes > 1`` the pool lives in a
+  persistent :class:`~repro.serve.dispatch.ProcessPool` (worker ``w`` in
+  shard ``w % processes``); a no-fault offline batch fans out statically
+  for wall-clock speed, everything else keeps decisions in the parent's
+  core with execution remote;
+* **fleet replay sharing** — ``share_replay=True`` connects every
+  worker's replay cache through a
+  :class:`~repro.serve.fleet.FleetReplayCache` (piggybacked over the
+  pool pipes when multi-process), so one worker's first launch warms the
+  whole pool; results are bit-exact with the cache off;
 * **aggregation** — per-request :class:`RunReport`s fold into a
   :class:`~repro.eval.serving.ServingReport` with throughput, latency
-  percentiles and an availability section (success rate, retries,
-  failovers, sheds, per-worker health events).
+  percentiles, an availability section and per-worker replay-cache
+  deltas.
 """
 
 from __future__ import annotations
 
 import time
+import warnings
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -45,50 +49,27 @@ from repro.core.config import ArcaneConfig
 from repro.eval.serving import ServingReport, build_serving_report
 from repro.obs.metrics import build_timeline
 from repro.obs.spans import NULL_RECORDER, NullRecorder, SpanRecorder
+from repro.serve.dispatch import (
+    CYCLE_CLOCK,
+    SEQUENCE_CLOCK,
+    AdmissionPolicy,
+    DispatchCore,
+    ProcessPool,
+    SerialPool,
+)
 from repro.serve.faults import (
     FaultInjector,
     FaultPlan,
     RetryPolicy,
-    ServingError,
-    WorkerCrashError,
     WorkerSupervisor,
 )
+from repro.serve.fleet import FleetReplayCache
 from repro.serve.golden import expected_output
-from repro.serve.online import OnlineDispatcher
 from repro.serve.request import InferenceRequest, RequestResult
 from repro.serve.traffic import TrafficSpec, stamp_arrivals
 from repro.serve.worker import SystemWorker
 
 POLICIES = ("least_loaded", "round_robin")
-
-
-def _serve_shard(args: tuple) -> Tuple[float, List[RequestResult]]:
-    """Worker-process entry point: serve one shard on its own workers.
-
-    Top-level (picklable) on purpose.  ``assignments`` carries the
-    engine's request→worker mapping, so a multi-process run reproduces
-    the serial schedule exactly.  The returned seconds time the serving
-    loop only — pool construction stays outside, mirroring the serial
-    path where the pool is built in ``__init__`` before the timer.
-    A structured serving failure becomes a ``status="failed"`` result
-    (no retries in shards — retry/failover need the serial pool).
-    """
-    worker_indices, config, with_compiled, assignments = args
-    workers = {
-        index: SystemWorker(index, config, with_compiled) for index in worker_indices
-    }
-    start = time.perf_counter()
-    results = []
-    for worker_index, request in assignments:
-        try:
-            results.append(workers[worker_index].run(request))
-        except ServingError as error:
-            results.append(RequestResult.failure(
-                request, "failed",
-                f"attempt 1 on worker {worker_index}: {error}",
-                worker=worker_index, fault_class=error.fault_class,
-            ))
-    return time.perf_counter() - start, results
 
 
 class ServingEngine:
@@ -101,6 +82,8 @@ class ServingEngine:
         with_compiled: bool = True,
         policy: str = "least_loaded",
         processes: int = 1,
+        admission: Union[str, AdmissionPolicy, None] = "fifo",
+        share_replay: bool = False,
     ) -> None:
         if pool_size < 1:
             raise ValueError("pool needs at least one system")
@@ -112,18 +95,59 @@ class ServingEngine:
         self.config = config
         self.with_compiled = with_compiled
         self.policy = policy
+        self.admission = AdmissionPolicy.coerce(admission)
+        self.share_replay = share_replay
+        #: what the caller asked for; ``processes`` is the effective count
+        self.requested_processes = processes
         self.processes = min(processes, pool_size)
+        if self.processes < processes:
+            warnings.warn(
+                f"processes={processes} exceeds pool_size={pool_size}; "
+                f"running {self.processes} process(es) — one worker cannot "
+                "be split across processes",
+                RuntimeWarning,
+                stacklevel=2,
+            )
         self._workers: Optional[List[SystemWorker]] = None
+        self._backend = None
         if self.processes == 1:
+            fleet = FleetReplayCache() if share_replay else None
             self._workers = [
-                SystemWorker(i, config, with_compiled) for i in range(pool_size)
+                SystemWorker(i, config, with_compiled, fleet=fleet)
+                for i in range(pool_size)
             ]
+            self._backend = SerialPool(self._workers)
 
     @property
     def workers(self) -> List[SystemWorker]:
         if self._workers is None:
             raise RuntimeError("worker pool lives in subprocesses (processes > 1)")
         return self._workers
+
+    def _get_backend(self):
+        """The pool backend, building the process shards on first use.
+
+        The :class:`ProcessPool` is persistent: shard processes (and
+        their replay caches) stay warm across ``serve`` calls, mirroring
+        the serial pool built in ``__init__``.
+        """
+        if self._backend is None:
+            self._backend = ProcessPool(
+                self.pool_size, self.processes, self.config, self.with_compiled,
+                share_replay=self.share_replay,
+            )
+        return self._backend
+
+    def close(self) -> None:
+        """Shut down pool subprocesses (no-op for the serial pool)."""
+        if self._backend is not None:
+            self._backend.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing dependent
+        try:
+            self.close()
+        except Exception:
+            pass
 
     # -- scheduling -----------------------------------------------------------
 
@@ -220,6 +244,23 @@ class ServingEngine:
             )
         return True
 
+    def _replay_delta(
+        self, before: Dict[int, Optional[Dict[str, int]]]
+    ) -> Optional[Dict]:
+        """Per-worker replay-cache stat deltas over one serving run."""
+        after = self._backend.replay_stats() if self._backend is not None else {}
+        per_worker = {}
+        for worker, now in sorted(after.items()):
+            if now is None:
+                continue
+            base = before.get(worker) or {}
+            per_worker[str(worker)] = {
+                key: value - base.get(key, 0) for key, value in now.items()
+            }
+        if not per_worker:
+            return None
+        return {"shared": bool(self.share_replay), "per_worker": per_worker}
+
     def serve(
         self,
         requests: Sequence[InferenceRequest],
@@ -240,40 +281,43 @@ class ServingEngine:
         non-retryable failures become ``status="failed"`` results.  A
         ``faults`` spec (e.g. ``"kill:0.1"``, see
         :meth:`~repro.serve.faults.FaultPlan.parse`) injects seeded
-        faults deterministically; it requires the serial pool
-        (``processes=1``).
+        faults deterministically — in any pool layout: fault decisions
+        are drawn in the dispatch core, so multi-process runs are
+        bit-identical to serial ones.  A no-fault, no-retry batch on
+        ``processes > 1`` takes a static fan-out fast path (same results,
+        concurrent shards).
         """
         requests = list(requests)
         self._check_unique_ids(requests)
         plan = FaultPlan.coerce(faults)
-        if plan is not None and self.processes != 1:
-            raise RuntimeError(
-                "fault injection shares injector/supervisor state across the "
-                "pool; use processes=1"
-            )
         assignments = self._assign(requests)
-        # wall time covers serving on a ready pool in both modes: the serial
-        # pool is built in __init__, and parallel shards time their serving
-        # loop after constructing their workers (max over concurrent shards).
-        if self.processes == 1:
-            injector = FaultInjector(plan, fault_seed) if plan else None
-            policy = retry or RetryPolicy()
-            supervisor = WorkerSupervisor(self.pool_size)
-            tally: Dict = {"retries": 0, "failovers": 0,
-                           "failed_attempts_by_class": {}}
-            before = [w.health_snapshot() for w in self.workers]
-            start = time.perf_counter()
-            results = [
-                self._run_with_recovery(
-                    request, worker, seq, injector, policy, supervisor, tally
-                )
-                for seq, (worker, request) in enumerate(assignments)
-            ]
-            wall = time.perf_counter() - start
-            health = self._collect_health(injector, supervisor, tally, before)
-        else:
-            wall, results = self._serve_parallel(assignments)
+        backend = self._get_backend()
+        replay_before = backend.replay_stats()
+        # wall time covers serving on a ready pool in every mode: the
+        # serial pool is built in __init__, process shards on first use.
+        if self.processes > 1 and plan is None and retry is None:
+            # static fast path: assignment is precomputed and nothing can
+            # reorder it, so shards run their slices concurrently
+            wall, results = backend.run_batch(assignments)
             health = None
+            events = None
+        else:
+            injector = FaultInjector(plan, fault_seed) if plan else None
+            supervisor = WorkerSupervisor(self.pool_size)
+            before = backend.health_snapshots()
+            core = DispatchCore(
+                backend, clock=SEQUENCE_CLOCK, admission=self.admission,
+                injector=injector, retry=retry, supervisor=supervisor,
+            )
+            preferred = [worker for worker, _ in assignments]
+            start = time.perf_counter()
+            results = core.run(requests, preferred=preferred)
+            wall = time.perf_counter() - start
+            health = self._collect_health(injector, supervisor, core.tally, before)
+            events = core.events
+        # offline dispatch order is positional either way; the report
+        # still records the engine's policy so runs are comparable
+        admission = self.admission.kind
 
         verified: Optional[bool] = None
         if verify:
@@ -282,77 +326,13 @@ class ServingEngine:
         report = build_serving_report(
             results, self.pool_size, self.processes, self.policy, wall, verified,
             faults=plan.describe() if plan else None, health=health,
+            requested_processes=self.requested_processes, admission=admission,
         )
         report.results = results  # per-request detail rides along (not in JSON)
+        if events is not None:
+            report.dispatch_events = events
+        report.replay = self._replay_delta(replay_before)
         return report
-
-    def _run_with_recovery(
-        self,
-        request: InferenceRequest,
-        preferred: int,
-        seq: int,
-        injector: Optional[FaultInjector],
-        policy: RetryPolicy,
-        supervisor: WorkerSupervisor,
-        tally: Dict,
-    ) -> RequestResult:
-        """Offline retry loop: bounded attempts, failover, quarantine.
-
-        ``seq`` (the dispatch sequence number) stands in for the clock in
-        supervision events — the offline path has no simulated arrivals.
-        """
-        attempt = 1
-        last_failed: Optional[int] = None
-        history: List[str] = []
-        while True:
-            supervisor.tick(seq)
-            candidates = supervisor.available(seq)
-            if attempt == 1 and preferred in candidates:
-                worker = preferred
-            else:
-                pool = candidates
-                if last_failed is not None and policy.failover:
-                    others = [w for w in candidates if w != last_failed]
-                    if others:
-                        pool = others
-                worker = min(
-                    pool, key=lambda w: (self.workers[w].busy_cycles, w)
-                )
-            if attempt > 1 and worker != last_failed:
-                tally["failovers"] += 1
-            try:
-                result = self.workers[worker].run(
-                    request, attempt=attempt, injector=injector
-                )
-            except ServingError as error:
-                history.append(f"attempt {attempt} on worker {worker}: {error}")
-                recovery = self.workers[worker].last_recovery
-                if recovery and recovery.get("error"):
-                    history.append(
-                        f"worker {worker} rebuilt after reset failure: "
-                        f"{recovery['error']}"
-                    )
-                by_class = tally["failed_attempts_by_class"]
-                by_class[error.fault_class] = by_class.get(error.fault_class, 0) + 1
-                quarantined = supervisor.record_failure(worker, seq, error)
-                if quarantined and not isinstance(error, WorkerCrashError):
-                    # crash already rebuilt the worker inside run()
-                    self.workers[worker].rebuild()
-                last_failed = worker
-                if error.retryable and attempt < policy.max_attempts:
-                    attempt += 1
-                    tally["retries"] += 1
-                    continue
-                return RequestResult.failure(
-                    request, "failed", "; ".join(history),
-                    worker=worker, attempts=attempt,
-                    fault_class=error.fault_class,
-                )
-            supervisor.record_success(worker, seq)
-            result.attempts = attempt
-            if history:
-                result.error = "; ".join(history)
-            return result
 
     def _collect_health(
         self,
@@ -364,11 +344,10 @@ class ServingEngine:
         """Fold injector/supervisor/worker state into the report's health
         record; worker counters are deltas over this serving run."""
         workers = {}
-        for worker, snapshot in zip(self.workers, before):
-            now = worker.health_snapshot()
-            workers[worker.index] = {
-                key: now[key] - snapshot[key] for key in now
-            }
+        for index, (snapshot, now) in enumerate(
+            zip(before, self._backend.health_snapshots())
+        ):
+            workers[index] = {key: now[key] - snapshot[key] for key in now}
         return {
             "retries": tally["retries"],
             "failovers": tally["failovers"],
@@ -397,10 +376,11 @@ class ServingEngine:
         :class:`~repro.serve.traffic.TrafficSpec`), requests are stamped
         with seeded arrival cycles first; without it, each request's own
         ``arrival_cycle`` is replayed as-is.  The pool then runs the
-        :class:`~repro.serve.online.OnlineDispatcher` event loop — FIFO
-        admission, least-backlog dispatch — and the report splits each
-        request's end-to-end latency into ``queue_delay + service`` cycles, with
-        per-worker utilization over the simulated makespan.
+        dispatch core on the cycle clock — admission-policy ordering
+        (the engine's ``admission``: FIFO by default), least-backlog
+        dispatch — and the report splits each request's end-to-end
+        latency into ``queue_delay + service`` cycles, with per-worker
+        utilization over the simulated makespan.
 
         Failure machinery rides the same loop: ``faults`` injects a
         seeded fault plan, retryable failures back off in simulated
@@ -410,7 +390,10 @@ class ServingEngine:
         deadline-aware shedding and ``timed_out`` statuses, and workers
         that fail repeatedly are quarantined then reinstated after
         probation.  Results are deterministic for a fixed ``(traffic,
-        seed, fault_seed)``.
+        seed, fault_seed)`` — and identical for any ``processes``
+        setting: the event loop runs in one simulated-time domain in the
+        parent, only execution is remote, and every per-request result
+        is order- and worker-independent by the reset-to-cold contract.
 
         ``observe=True`` turns on the observability layer
         (:mod:`repro.obs`): the report gains per-request span trees
@@ -422,11 +405,6 @@ class ServingEngine:
         replay tags on each result.  All of it is host-side bookkeeping:
         outputs and cycle counts are bit-identical with ``observe=False``.
         """
-        if self.processes != 1:
-            raise RuntimeError(
-                "online serving runs the pool in one simulated-time domain; "
-                "use processes=1"
-            )
         requests = list(requests)
         self._check_unique_ids(requests)
         spec: Optional[TrafficSpec] = None
@@ -440,92 +418,37 @@ class ServingEngine:
         if observe:
             recorder = SpanRecorder()
             supervisor.recorder = recorder
-        before = [w.health_snapshot() for w in self.workers]
-        dispatcher = OnlineDispatcher(
-            self.workers, injector=injector, retry=retry,
-            supervisor=supervisor, queue_capacity=queue_capacity,
-            recorder=recorder,
+        backend = self._get_backend()
+        before = backend.health_snapshots()
+        replay_before = backend.replay_stats()
+        core = DispatchCore(
+            backend, clock=CYCLE_CLOCK, admission=self.admission,
+            injector=injector, retry=retry, supervisor=supervisor,
+            queue_capacity=queue_capacity, recorder=recorder,
         )
         start = time.perf_counter()
-        results = dispatcher.run(requests)
+        results = core.run(requests)
         wall = time.perf_counter() - start
 
         verified: Optional[bool] = None
         if verify:
             verified = self._verify_outputs(requests, results)
 
-        health = self._collect_health(injector, supervisor, dispatcher.tally, before)
+        health = self._collect_health(injector, supervisor, core.tally, before)
         report = build_serving_report(
             results, self.pool_size, self.processes, self.policy, wall, verified,
             mode="online", traffic=spec.describe() if spec else "replay",
             faults=plan.describe() if plan else None, health=health,
+            requested_processes=self.requested_processes,
+            admission=self.admission.kind,
         )
         report.results = results
-        report.dispatch_events = list(dispatcher.events)
+        report.dispatch_events = list(core.events)
+        report.replay = self._replay_delta(replay_before)
         if observe:
             report.spans = recorder
             report.timeline = build_timeline(
-                results, dispatcher.events, self.pool_size,
+                results, core.events, self.pool_size,
                 interval_cycles=metrics_interval,
             )
         return report
-
-    def _serve_parallel(
-        self, assignments: List[Tuple[int, InferenceRequest]]
-    ) -> Tuple[float, List[RequestResult]]:
-        import multiprocessing as mp
-
-        # Partition workers over processes; each shard keeps request order.
-        shard_of_worker = {w: w % self.processes for w in range(self.pool_size)}
-        shards: Dict[int, List[Tuple[int, InferenceRequest]]] = {
-            p: [] for p in range(self.processes)
-        }
-        order: Dict[int, List[int]] = {p: [] for p in range(self.processes)}
-        for position, (worker, request) in enumerate(assignments):
-            shard = shard_of_worker[worker]
-            shards[shard].append((worker, request))
-            order[shard].append(position)
-        jobs = [
-            (
-                [w for w, s in shard_of_worker.items() if s == p],
-                self.config,
-                self.with_compiled,
-                shards[p],
-            )
-            for p in range(self.processes)
-        ]
-        with mp.Pool(self.processes) as pool:
-            shard_results = pool.map(_serve_shard, jobs)
-        results = self._reassemble(
-            len(assignments), order, [batch for _, batch in shard_results]
-        )
-        wall = max((seconds for seconds, _ in shard_results), default=0.0)
-        return wall, results
-
-    @staticmethod
-    def _reassemble(
-        n_requests: int,
-        order: Dict[int, List[int]],
-        batches: Sequence[Sequence[RequestResult]],
-    ) -> List[RequestResult]:
-        """Scatter shard batches back to submission order; every position
-        must be filled.  A missing result (a shard returning short) must
-        raise rather than be silently dropped — downstream ``serve()``
-        zips results against requests positionally, so a dropped entry
-        would misalign every later verify/report row."""
-        results: List[Optional[RequestResult]] = [None] * n_requests
-        for shard, batch in enumerate(batches):
-            positions = order[shard]
-            if len(batch) != len(positions):
-                raise RuntimeError(
-                    f"shard {shard} returned {len(batch)} results for "
-                    f"{len(positions)} requests"
-                )
-            for position, result in zip(positions, batch):
-                results[position] = result
-        missing = [i for i, r in enumerate(results) if r is None]
-        if missing:
-            raise RuntimeError(
-                f"parallel serving lost results for request positions {missing}"
-            )
-        return results  # type: ignore[return-value]

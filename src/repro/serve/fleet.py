@@ -1,0 +1,84 @@
+"""The shared fleet replay cache: one worker's recording warms the pool.
+
+A :class:`~repro.runtime.replay.ReplayCache` is per-system, so in a
+serving pool every worker pays the record-once cost for every distinct
+launch key itself.  Recordings are deliberately position-independent
+(operands referenced by position, rows by index) and replays re-execute
+against the live machine, which makes a recording valid on *any*
+identically configured system — the :class:`FleetReplayCache` exploits
+exactly that: a bounded cross-worker store the per-system caches publish
+newly recorded streams into and fall back to on a local miss.
+
+Transport is pull-free in-process (serial pools hand every worker the
+same object) and piggybacked over the pool pipes for ``processes > 1``:
+each shard drains its fleet's *outbox* into every command reply, and the
+:class:`~repro.serve.dispatch.ProcessPool` forwards those recordings to
+the other shards with their next command — a publish/subscribe path with
+no extra round trips.  Adopted recordings never re-enter an outbox, so
+nothing ping-pongs.
+
+Sharing recordings cannot change results: replay is bit-exact with the
+slow path by the replay module's contract, and ``can_replay`` still
+vetoes any launch whose environment (VRF free list, LLC state, VPU
+selection) differs from the recording's — a fleet hit that doesn't fit
+simply takes the slow path.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterable, List, Optional, Tuple
+
+from repro.runtime.replay import Recording
+
+
+class FleetReplayCache:
+    """Bounded LRU store of recordings shared across a worker pool."""
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity < 1:
+            raise ValueError("fleet cache capacity must be positive")
+        self.capacity = capacity
+        self._entries: "OrderedDict[tuple, Recording]" = OrderedDict()
+        #: recordings published locally and not yet shipped to other
+        #: shards (multi-process transport drains this into replies)
+        self._outbox: List[Tuple[tuple, Recording]] = []
+        self.stats = {"published": 0, "adopted": 0, "served": 0}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: tuple) -> Optional[Recording]:
+        recording = self._entries.get(key)
+        if recording is not None:
+            self._entries.move_to_end(key)
+            self.stats["served"] += 1
+        return recording
+
+    def publish(self, key: tuple, recording: Recording) -> None:
+        """Share one locally recorded stream with the rest of the pool."""
+        if key in self._entries:
+            return
+        self._entries[key] = recording
+        self._outbox.append((key, recording))
+        self.stats["published"] += 1
+        self._trim()
+
+    def adopt(self, items: Iterable[Tuple[tuple, Recording]]) -> None:
+        """Take in recordings published elsewhere (no outbox: these are
+        already fleet-wide, re-shipping them would ping-pong forever)."""
+        for key, recording in items:
+            if key in self._entries:
+                continue
+            self._entries[key] = recording
+            self.stats["adopted"] += 1
+        self._trim()
+
+    def drain_outbox(self) -> List[Tuple[tuple, Recording]]:
+        """Hand over everything published since the last drain."""
+        out, self._outbox = self._outbox, []
+        return out
+
+    def _trim(self) -> None:
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)

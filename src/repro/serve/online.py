@@ -1,84 +1,69 @@
-"""Online serving: an arrival-driven event loop in simulated cycles.
+"""Online serving: the arrival-driven face of the unified dispatch core.
 
-The offline :class:`~repro.serve.engine.ServingEngine` path assigns every
-request up front by *estimated* operand volume — a batch calculator.
-This module is the queueing simulator the ROADMAP's "heavy traffic"
-north-star needs: requests *arrive* over simulated time (stamped by
-:mod:`repro.serve.traffic`), wait in a FIFO admission queue, and are
-dispatched at their arrival cycle to the worker with the smallest
-**actual** cycle backlog — the load balancer sees real queue depths, not
-operand-volume guesses.
+Historically this module owned its own event loop; that loop now lives
+in :mod:`repro.serve.dispatch` as the :class:`DispatchCore` running on
+the cycle clock, shared with offline and multi-process serving.  What
+remains here is the backward-compatible surface: the event-kind
+constants, :class:`OnlineEvent`, and :class:`OnlineDispatcher` — a thin
+shim that wires a list of in-process workers into a
+:class:`~repro.serve.dispatch.SerialPool` + core with FIFO admission,
+preserving the exact semantics (and bit-identical event/span streams)
+of the original dispatcher.
 
 Everything lives in one simulated-cycle domain: a request's service time
 is the cycles its ARCANE system actually simulates (bit-exact with a
-single-shot run, thanks to ``reset_heap()``), and its completion cycle is
-``start + service`` on the worker's timeline.  Per request::
+single-shot run, thanks to ``reset_heap()``), and its completion cycle
+is ``start + service`` on the worker's timeline.  Per request::
 
     queue_delay = start_cycle - arrival_cycle      (>= 0)
     latency     = completion_cycle - arrival_cycle (== queue_delay + service)
 
-The dispatcher also owns the **failure half** of online serving
-(:mod:`repro.serve.faults`): a failed attempt is detected at its
-dispatch instant, backed off in simulated cycles, and *re-enters the
-admission queue* as a later attempt (failing over to a different worker
-when possible); a bounded admission queue sheds arrivals when too many
-admitted requests are still waiting; deadline-aware admission sheds a
-request whose projected start would already miss its ``deadline_cycle``
-and marks late completions ``timed_out``; and a
-:class:`~repro.serve.faults.WorkerSupervisor` quarantines workers that
-fail repeatedly (the dispatcher skips them until probation).
-
-The loop is deterministic: a fixed traffic seed fixes the arrival stamps,
-FIFO admission breaks simultaneous arrivals by submission order, backlog
-ties go to the lowest worker index, and fault draws hash ``(fault seed,
-request, attempt)`` — so online reports (availability included) are
-exactly reproducible for a fixed ``(traffic seed, fault seed)``.
+The loop is deterministic: a fixed traffic seed fixes the arrival
+stamps, FIFO admission breaks simultaneous arrivals by submission order,
+backlog ties go to the lowest worker index, and fault draws hash
+``(fault seed, request, attempt)`` — so online reports (availability
+included) are exactly reproducible for a fixed ``(traffic seed, fault
+seed)``.
 """
 
 from __future__ import annotations
 
-import heapq
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
 from repro.obs.spans import NULL_RECORDER, NullRecorder
+from repro.serve.dispatch import (
+    ARRIVAL,
+    COMPLETION,
+    CYCLE_CLOCK,
+    DISPATCH,
+    FAIL,
+    RETRY,
+    SHED,
+    DispatchCore,
+    OnlineEvent,
+    SerialPool,
+)
 from repro.serve.faults import (
     FaultInjector,
     RetryPolicy,
-    ServingError,
-    WorkerCrashError,
     WorkerSupervisor,
 )
 from repro.serve.request import InferenceRequest, RequestResult
 from repro.serve.worker import SystemWorker
 
-#: Event kinds recorded on the dispatcher's timeline.
-ARRIVAL = "arrival"
-DISPATCH = "dispatch"
-COMPLETION = "completion"
-FAIL = "fail"
-RETRY = "retry"
-SHED = "shed"
-
-
-@dataclass(frozen=True)
-class OnlineEvent:
-    """One entry in the simulated-time event log."""
-
-    cycle: int
-    kind: str
-    request_id: int
-    worker: Optional[int] = None
+__all__ = [
+    "ARRIVAL", "DISPATCH", "COMPLETION", "FAIL", "RETRY", "SHED",
+    "OnlineEvent", "OnlineDispatcher",
+]
 
 
 class OnlineDispatcher:
-    """FIFO admission + least-backlog dispatch over a worker pool.
+    """FIFO admission + least-backlog dispatch over an in-process pool.
 
-    The dispatcher owns the simulated clock.  Requests are admitted in
-    ``(arrival_cycle, submission order)`` order — a FIFO queue in front
-    of the pool — and each is routed *at its arrival cycle* to the
-    available worker whose backlog (cycles of already-dispatched work
-    still pending at that instant) is smallest.  Service happens by
+    A compatibility frontend over :class:`DispatchCore` on the cycle
+    clock: requests are admitted in ``(arrival_cycle, submission
+    order)`` order and each is routed at its arrival cycle to the
+    available worker with the smallest backlog; service happens by
     actually running the request on the chosen worker, so timing is the
     simulator's, not an estimate.
 
@@ -101,247 +86,34 @@ class OnlineDispatcher:
     ) -> None:
         if not workers:
             raise ValueError("online dispatch needs at least one worker")
-        if queue_capacity is not None and queue_capacity < 1:
-            raise ValueError("queue_capacity must be >= 1 (or None for unbounded)")
         self.workers = list(workers)
-        self.injector = injector
-        self.retry = retry or RetryPolicy()
-        self.supervisor = supervisor
-        self.queue_capacity = queue_capacity
-        #: observability recorder; the default no-op costs one attribute
-        #: check per request (mirrors the Tracer's disabled path)
-        self.recorder = recorder
-        #: cycle at which each worker drains all dispatched work
-        self.free_at = [0] * len(self.workers)
-        #: chronological event log (arrival/dispatch/completion/fail/retry/shed)
-        self.events: List[OnlineEvent] = []
-        #: availability tally for the serving report
-        self.tally: Dict = {
-            "retries": 0,
-            "failovers": 0,
-            "failed_attempts_by_class": {},
-        }
+        self._core = DispatchCore(
+            SerialPool(self.workers), clock=CYCLE_CLOCK, admission="fifo",
+            injector=injector, retry=retry, supervisor=supervisor,
+            queue_capacity=queue_capacity, recorder=recorder,
+        )
+
+    @property
+    def free_at(self) -> List[int]:
+        return self._core.free_at
+
+    @property
+    def events(self) -> List[OnlineEvent]:
+        return self._core.events
+
+    @property
+    def tally(self):
+        return self._core.tally
 
     def backlog(self, worker: int, now: int) -> int:
         """Cycles of pending work on ``worker`` as seen at cycle ``now``."""
-        return max(0, self.free_at[worker] - now)
-
-    def _candidates(self, now: int, avoid: Optional[int]) -> List[int]:
-        """Dispatchable workers at ``now``, preferring not-``avoid``."""
-        if self.supervisor is not None:
-            ready = self.supervisor.available(now)
-        else:
-            ready = list(range(len(self.workers)))
-        if avoid is not None and self.retry.failover:
-            others = [w for w in ready if w != avoid]
-            if others:
-                return others
-        return ready
+        return self._core.backlog(worker, now)
 
     def run(self, requests: Sequence[InferenceRequest]) -> List[RequestResult]:
         """Serve every request in simulated time; results in input order."""
-        requests = list(requests)
-        admission = sorted(
-            ((request.arrival_cycle, position)
-             for position, request in enumerate(requests)),
-            key=lambda entry: entry[:2],
-        )
-        # the pending heap orders (ready_cycle, admission seq); retries
-        # re-enter with a fresh seq so FIFO ties stay deterministic
-        pending: List[Tuple[int, int, int, int]] = [
-            (arrival, seq, 1, position)
-            for seq, (arrival, position) in enumerate(admission)
-        ]
-        heapq.heapify(pending)
-        next_seq = len(pending)
-        completions: List[Tuple[int, int, int, int]] = []  # heap: (cycle, pos, rid, w)
-        results: List[Optional[RequestResult]] = [None] * len(requests)
-        attempt_errors: Dict[int, List[str]] = {}
-        last_failed: Dict[int, int] = {}
-        dispatched_starts: List[int] = []
-        rec = self.recorder
-        request_spans: Dict[int, int] = {}  # position -> open request span
-
-        while pending:
-            ready, seq, attempt, position = heapq.heappop(pending)
-            request = requests[position]
-            rid = request.request_id
-            # retire completions that happen before this instant, so the
-            # event log interleaves chronologically
-            while completions and completions[0][0] <= ready:
-                cycle, _, crid, worker = heapq.heappop(completions)
-                self.events.append(OnlineEvent(cycle, COMPLETION, crid, worker))
-            if attempt == 1:
-                self.events.append(OnlineEvent(ready, ARRIVAL, rid))
-                if rec.enabled:
-                    request_spans[position] = rec.begin(
-                        f"request {rid}", "request", ready,
-                        request=rid, kind=request.kind,
-                    )
-            if self.supervisor is not None:
-                self.supervisor.tick(ready)
-            # bounded admission: how many admitted requests are still
-            # waiting (dispatched but not yet started) at this instant?
-            if self.queue_capacity is not None:
-                depth = sum(1 for s in dispatched_starts if s > ready)
-                if depth >= self.queue_capacity:
-                    self.events.append(OnlineEvent(ready, SHED, rid))
-                    if rec.enabled:
-                        rec.end(request_spans[position], ready,
-                                status="shed", cause="queue_full")
-                    results[position] = RequestResult.failure(
-                        request, "shed",
-                        f"admission queue full ({depth} waiting, capacity "
-                        f"{self.queue_capacity}) at cycle {ready}",
-                        attempts=attempt, arrival_cycle=request.arrival_cycle,
-                        fault_class="queue_full",
-                    )
-                    continue
-            candidates = self._candidates(ready, last_failed.get(position))
-            worker = min(candidates, key=lambda w: (self.backlog(w, ready), w))
-            start = max(ready, self.free_at[worker])
-            # deadline-aware load shedding: don't burn cycles on a request
-            # whose queue delay already blew its deadline
-            if request.deadline_cycle is not None and start > request.deadline_cycle:
-                self.events.append(OnlineEvent(ready, SHED, rid))
-                if rec.enabled:
-                    rec.end(request_spans[position], ready,
-                            status="shed", cause="deadline")
-                results[position] = RequestResult.failure(
-                    request, "shed",
-                    f"projected start cycle {start} past deadline "
-                    f"{request.deadline_cycle} (queue delay would blow it)",
-                    attempts=attempt, arrival_cycle=request.arrival_cycle,
-                    fault_class="deadline",
-                )
-                continue
-            failover = attempt > 1 and worker != last_failed.get(position)
-            if failover:
-                self.tally["failovers"] += 1
-            attempt_span = 0
-            if rec.enabled:
-                attempt_span = rec.begin(
-                    f"attempt {attempt}", "attempt", ready,
-                    parent=request_spans[position],
-                    request=rid, attempt=attempt, worker=worker,
-                    cause="retry" if attempt > 1 else None,
-                    failover=failover or None,
-                )
-            try:
-                result = self.workers[worker].run(
-                    request, attempt=attempt, injector=self.injector,
-                    observe=rec.enabled,
-                )
-            except ServingError as error:
-                if rec.enabled:
-                    # a fault fires at its dispatch instant: zero duration
-                    rec.end(attempt_span, ready, status="failed",
-                            fault_class=error.fault_class,
-                            injected=error.injected or None)
-                self._record_failure(
-                    request, worker, ready, attempt, error,
-                    attempt_errors.setdefault(position, []),
-                )
-                last_failed[position] = worker
-                if error.retryable and attempt < self.retry.max_attempts:
-                    retry_at = ready + self.retry.backoff(attempt)
-                    self.events.append(OnlineEvent(ready, RETRY, rid, worker))
-                    self.tally["retries"] += 1
-                    heapq.heappush(pending, (retry_at, next_seq, attempt + 1, position))
-                    next_seq += 1
-                else:
-                    if rec.enabled:
-                        rec.end(request_spans[position], ready,
-                                status="failed", fault_class=error.fault_class)
-                    results[position] = RequestResult.failure(
-                        request, "failed",
-                        "; ".join(attempt_errors.get(position, [])),
-                        worker=worker, attempts=attempt,
-                        arrival_cycle=request.arrival_cycle,
-                        fault_class=error.fault_class,
-                    )
-                continue
-            if self.supervisor is not None:
-                self.supervisor.record_success(worker, ready)
-            completion = start + result.sim_cycles
-            result.arrival_cycle = request.arrival_cycle
-            result.start_cycle = start
-            result.completion_cycle = completion
-            result.attempts = attempt
-            if attempt_errors.get(position):
-                # succeeded after retries: keep the failure history around
-                result.error = "; ".join(attempt_errors[position])
-            if (
-                request.deadline_cycle is not None
-                and completion > request.deadline_cycle
-            ):
-                result.status = "timed_out"
-            if rec.enabled:
-                wait_span = rec.begin("queue_wait", "queue_wait", ready,
-                                      parent=attempt_span, request=rid)
-                rec.end(wait_span, start)
-                service_span = rec.begin(
-                    f"serve {rid}", "dispatch", start,
-                    parent=attempt_span, request=rid, worker=worker,
-                )
-                # launches lie back-to-back from the service start (the
-                # worker executes them serially); stamp the absolute
-                # window on each record for the rolling metrics
-                cursor = start
-                for launch in result.launches:
-                    launch_end = cursor + launch["cycles"]
-                    launch["start_cycle"] = cursor
-                    launch["end_cycle"] = launch_end
-                    launch_span = rec.begin(
-                        launch["name"], "launch", cursor,
-                        parent=service_span, request=rid, worker=worker,
-                        kernel_id=launch["kernel_id"], replay=launch["replay"],
-                    )
-                    rec.end(launch_span, launch_end)
-                    cursor = launch_end
-                rec.end(service_span, completion)
-                rec.end(attempt_span, completion, status=result.status)
-                rec.end(request_spans[position], completion,
-                        status=result.status, worker=worker)
-            self.free_at[worker] = completion
-            dispatched_starts.append(start)
-            self.events.append(OnlineEvent(ready, DISPATCH, rid, worker))
-            heapq.heappush(completions, (completion, position, rid, worker))
-            results[position] = result
-        while completions:
-            cycle, _, crid, worker = heapq.heappop(completions)
-            self.events.append(OnlineEvent(cycle, COMPLETION, crid, worker))
-        assert all(r is not None for r in results)
-        return results  # type: ignore[return-value]
-
-    def _record_failure(
-        self,
-        request: InferenceRequest,
-        worker: int,
-        cycle: int,
-        attempt: int,
-        error: ServingError,
-        history: List[str],
-    ) -> None:
-        """Log one failed attempt: event, class tally, recovery diagnostic,
-        supervision (quarantine rebuilds the worker's system)."""
-        self.events.append(OnlineEvent(cycle, FAIL, request.request_id, worker))
-        history.append(f"attempt {attempt} on worker {worker}: {error}")
-        recovery = self.workers[worker].last_recovery
-        if recovery and recovery.get("error"):
-            history.append(
-                f"worker {worker} rebuilt after reset failure: {recovery['error']}"
-            )
-        by_class = self.tally["failed_attempts_by_class"]
-        by_class[error.fault_class] = by_class.get(error.fault_class, 0) + 1
-        if self.supervisor is not None:
-            quarantined = self.supervisor.record_failure(worker, cycle, error)
-            if quarantined and not isinstance(error, WorkerCrashError):
-                # crash already rebuilt the worker inside run()
-                self.workers[worker].rebuild()
-                self.recorder.instant("rebuilt", cycle, worker=worker)
+        return self._core.run(requests)
 
     @property
     def makespan_cycles(self) -> int:
         """Simulated cycle at which the last dispatched request completes."""
-        return max(self.free_at, default=0)
+        return self._core.makespan_cycles

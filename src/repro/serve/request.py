@@ -88,6 +88,10 @@ class InferenceRequest:
     miss the deadline, and marks it ``timed_out`` if it completes late;
     the offline path ignores deadlines.  Stamp relative budgets after
     arrivals with :func:`repro.serve.traffic.stamp_deadlines`.
+
+    ``priority`` is the request's admission class for the dispatch
+    core's ``priority`` policy — lower values are served first (0 is the
+    default/highest class).  FIFO, EDF and SJF admission ignore it.
     """
 
     request_id: int
@@ -95,6 +99,7 @@ class InferenceRequest:
     payload: Dict[str, Any]
     arrival_cycle: int = 0
     deadline_cycle: Optional[int] = None
+    priority: int = 0
 
     def __post_init__(self) -> None:
         if self.kind not in KINDS:

@@ -49,13 +49,19 @@ class SystemWorker:
         index: int = 0,
         config: Optional[ArcaneConfig] = None,
         with_compiled: bool = True,
+        fleet=None,
     ) -> None:
         self.index = index
         self.config = config or ArcaneConfig()
         self.with_compiled = with_compiled
+        #: shared fleet replay cache (:class:`repro.serve.fleet.FleetReplayCache`)
+        #: the worker's replay cache publishes to / adopts from; ``None``
+        #: keeps replay strictly per-system
+        self.fleet = fleet
         self.system = ArcaneSystem(self.config)
         if with_compiled:
             install_compiled(self.system.llc.runtime.library)
+        self._attach_fleet()
         #: accumulated simulated cycles served (pool-balance telemetry;
         #: scheduling itself assigns up front from operand volume)
         self.busy_cycles = 0
@@ -78,6 +84,7 @@ class SystemWorker:
         attempt: int = 1,
         injector: Optional[FaultInjector] = None,
         observe: bool = False,
+        slow_factor: float = 1.0,
     ) -> RequestResult:
         """Execute one attempt on the long-lived system and reset it.
 
@@ -90,10 +97,13 @@ class SystemWorker:
         record per kernel launch (name, cycles, replay-cache outcome) —
         pure host-side reads of scheduler/replay state, so the simulated
         machine and its cycle counts are untouched.
+
+        ``slow_factor`` lets a caller that already drew the fault decision
+        (the dispatch core injects in the core, not at the worker) apply an
+        injected latency spike; a local ``injector`` overrides it.
         """
         start = time.perf_counter()
         self.last_recovery = None
-        slow_factor = 1.0
         if injector is not None:
             try:
                 slow_factor = injector.before_attempt(request, attempt, self.index)
@@ -172,12 +182,37 @@ class SystemWorker:
             launches=launches,
         )
 
+    def apply_injected(self, error: ServingError) -> None:
+        """Mirror an injected fault's worker-side effects.
+
+        The dispatch core draws fault decisions centrally (so serial and
+        multi-process runs make identical decisions in identical order)
+        and calls this on the owning backend — reproducing exactly what
+        :meth:`run` does when its own ``injector`` raises: the attempt
+        never executes, the system stays clean, a crash loses all state.
+        """
+        self.last_recovery = None
+        self.failures += 1
+        if isinstance(error, WorkerCrashError):
+            # the simulated hardware died: all state is lost
+            self.rebuild()
+            self.last_recovery = {"via": "rebuild", "error": None}
+
     def rebuild(self) -> None:
         """Replace the simulation universe with a fresh one (counted)."""
         self.system = ArcaneSystem(self.config)
         if self.with_compiled:
             install_compiled(self.system.llc.runtime.library)
+        self._attach_fleet()
         self.rebuilds += 1
+
+    def _attach_fleet(self) -> None:
+        """Point the system's replay cache at the shared fleet store."""
+        if self.fleet is None:
+            return
+        cache = self.system.llc.runtime.replay_cache
+        if cache is not None:
+            cache.fleet = self.fleet
 
     def _recover(self) -> None:
         """Restore a serviceable system after a failed request.

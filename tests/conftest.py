@@ -17,6 +17,14 @@ from repro.sim.stats import StatsRegistry
 from repro.sim.trace import Tracer
 
 
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "dispatch: unified dispatch-core equivalence tests "
+        "(serial vs multi-process, shared fleet replay cache)",
+    )
+
+
 #: A small configuration that keeps unit-test simulations fast while
 #: retaining every architectural feature (4 VPUs, small cache/memory).
 SMALL_CONFIG = ArcaneConfig(

@@ -1,0 +1,240 @@
+"""Unified dispatch-core equivalence tests (``pytest -m dispatch``).
+
+The acceptance bar for the dispatch refactor: a multi-process run must be
+bit-identical to the serial run for the same ``(traffic, seed, faults,
+fault_seed)``, and a run with the shared fleet replay cache must produce
+exactly the cold-cache outputs while giving workers replay hits on
+kernels they never launched first.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.core.config import ArcaneConfig
+from repro.serve import (
+    AdmissionPolicy,
+    RetryPolicy,
+    ServingEngine,
+    estimate_service_cycles,
+    gemm_request,
+)
+
+pytestmark = pytest.mark.dispatch
+
+CFG = ArcaneConfig(n_vpus=2, lanes=4, line_bytes=256, vpu_kib=8, main_memory_kib=512)
+
+
+def gemm_batch(rng, count, shape=(6, 8, 5)):
+    m, k, n = shape
+    return [
+        gemm_request(
+            rid,
+            rng.integers(-5, 5, (m, k)).astype(np.int16),
+            rng.integers(-5, 5, (k, n)).astype(np.int16),
+        )
+        for rid in range(count)
+    ]
+
+
+def repeated_gemm_batch(count, shape=(6, 8, 5)):
+    """Identical payloads under distinct ids: every request replays one kernel."""
+    rng = np.random.default_rng(11)
+    m, k, n = shape
+    a = rng.integers(-5, 5, (m, k)).astype(np.int16)
+    b = rng.integers(-5, 5, (k, n)).astype(np.int16)
+    return [gemm_request(rid, a, b) for rid in range(count)]
+
+
+def strip_wall(payload):
+    for volatile in ("wall_seconds", "requests_per_second"):
+        payload.pop(volatile, None)
+    return payload
+
+
+def serve_pair(requests, *, pool_size, online, **kwargs):
+    """Run the same workload serial and multi-process; return both reports."""
+    serial_engine = ServingEngine(pool_size=pool_size, config=CFG)
+    parallel_engine = ServingEngine(pool_size=pool_size, config=CFG, processes=2)
+    try:
+        if online:
+            serial = serial_engine.serve_online(requests, **kwargs)
+            parallel = parallel_engine.serve_online(requests, **kwargs)
+        else:
+            serial = serial_engine.serve(requests, **kwargs)
+            parallel = parallel_engine.serve(requests, **kwargs)
+    finally:
+        serial_engine.close()
+        parallel_engine.close()
+    return serial, parallel
+
+
+def assert_reports_identical(serial, parallel):
+    for a, b in zip(serial.results, parallel.results):
+        assert a.status == b.status
+        assert a.worker == b.worker
+        assert a.attempts == b.attempts
+        assert a.sim_cycles == b.sim_cycles
+        assert a.error == b.error
+        if a.output is None:
+            assert b.output is None
+        else:
+            assert np.array_equal(a.output, b.output)
+    a_dict = strip_wall(serial.as_dict())
+    b_dict = strip_wall(parallel.as_dict())
+    for payload in (a_dict, b_dict):
+        payload.pop("processes", None)
+        payload.pop("requested_processes", None)
+        payload.pop("replay", None)  # per-shard cache locality may differ
+    assert a_dict == b_dict
+
+
+class TestSerialMultiprocessEquivalence:
+    def test_online_with_faults_and_retries(self, rng):
+        serial, parallel = serve_pair(
+            gemm_batch(rng, 8),
+            pool_size=3,
+            online=True,
+            traffic="poisson:25",
+            seed=7,
+            faults="kill:0.2,transient:0.1,slow:0.1:2x",
+            fault_seed=5,
+            retry=RetryPolicy(max_attempts=3, backoff_cycles=64),
+        )
+        assert parallel.processes == 2
+        assert_reports_identical(serial, parallel)
+
+    def test_online_with_worker_crash(self, rng):
+        serial, parallel = serve_pair(
+            gemm_batch(rng, 6),
+            pool_size=2,
+            online=True,
+            traffic="poisson:20",
+            seed=3,
+            faults="crash_worker:0@1",
+            fault_seed=0,
+        )
+        assert_reports_identical(serial, parallel)
+        assert serial.per_worker[0]["rebuilds"] == parallel.per_worker[0]["rebuilds"]
+
+    def test_offline_with_faults(self, rng):
+        serial, parallel = serve_pair(
+            gemm_batch(rng, 8),
+            pool_size=3,
+            online=False,
+            faults="kill:0.3",
+            fault_seed=1,
+            retry=RetryPolicy(max_attempts=2),
+        )
+        assert_reports_identical(serial, parallel)
+
+    def test_offline_static_fast_path(self, rng):
+        serial, parallel = serve_pair(
+            gemm_batch(rng, 6), pool_size=3, online=False, verify=True,
+        )
+        assert_reports_identical(serial, parallel)
+
+
+class TestFleetReplayCache:
+    def test_serial_fleet_hits_are_bit_exact(self):
+        requests = repeated_gemm_batch(4)
+        cold_engine = ServingEngine(pool_size=2, config=CFG)
+        shared_engine = ServingEngine(pool_size=2, config=CFG, share_replay=True)
+        cold = cold_engine.serve_online(requests)
+        shared = shared_engine.serve_online(requests)
+        for a, b in zip(cold.results, shared.results):
+            assert np.array_equal(a.output, b.output)
+            assert a.sim_cycles == b.sim_cycles
+            assert (a.worker, a.start_cycle, a.completion_cycle) \
+                == (b.worker, b.start_cycle, b.completion_cycle)
+        assert cold.makespan_cycles == shared.makespan_cycles
+        # worker 1 never launched the kernel first, yet replays it from
+        # the fleet store seeded by worker 0
+        assert shared.replay is not None and shared.replay["shared"]
+        assert shared.replay["per_worker"]["1"]["fleet_hits"] >= 1
+        assert cold.replay is None or not cold.replay["shared"]
+
+    def test_multiprocess_fleet_propagation(self):
+        requests = repeated_gemm_batch(4)
+        cold = ServingEngine(pool_size=2, config=CFG).serve_online(requests)
+        engine = ServingEngine(
+            pool_size=2, config=CFG, processes=2, share_replay=True
+        )
+        try:
+            shared = engine.serve_online(requests)
+        finally:
+            engine.close()
+        for a, b in zip(cold.results, shared.results):
+            assert np.array_equal(a.output, b.output)
+            assert a.sim_cycles == b.sim_cycles
+        assert cold.makespan_cycles == shared.makespan_cycles
+        # the recording crossed a process boundary: shard 1's worker
+        # replays a kernel only shard 0's worker ever launched
+        assert shared.replay["shared"]
+        assert shared.replay["per_worker"]["1"]["fleet_hits"] >= 1
+
+
+class TestAdmissionPolicies:
+    def serve_order(self, requests, admission):
+        engine = ServingEngine(pool_size=1, config=CFG, admission=admission)
+        report = engine.serve_online(requests)
+        started = sorted(report.results, key=lambda r: r.start_cycle)
+        return [r.request_id for r in started]
+
+    def test_priority_orders_simultaneous_arrivals(self, rng):
+        requests = gemm_batch(rng, 3)
+        for request, priority in zip(requests, (2, 0, 1)):
+            request.priority = priority
+        assert self.serve_order(requests, "priority") == [1, 2, 0]
+
+    def test_edf_orders_by_deadline(self, rng):
+        requests = gemm_batch(rng, 3)
+        for request, deadline in zip(requests, (30_000_000, 10_000_000, 20_000_000)):
+            request.deadline_cycle = deadline
+        assert self.serve_order(requests, "edf") == [1, 2, 0]
+
+    def test_sjf_orders_by_estimated_cost(self, rng):
+        small = gemm_batch(rng, 1, shape=(4, 4, 4))[0]
+        big = gemm_batch(rng, 1, shape=(12, 12, 12))[0]
+        big.request_id, small.request_id = 0, 1
+        assert self.serve_order([big, small], "sjf") == [1, 0]
+        assert estimate_service_cycles(big) > estimate_service_cycles(small)
+
+    def test_fifo_is_the_default(self):
+        engine = ServingEngine(pool_size=1, config=CFG)
+        assert engine.admission == AdmissionPolicy.coerce("fifo")
+        assert engine.admission.immediate
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="admission"):
+            ServingEngine(pool_size=1, config=CFG, admission="lifo")
+
+    def test_admission_recorded_in_report(self, rng):
+        engine = ServingEngine(pool_size=1, config=CFG, admission="edf")
+        report = engine.serve_online(gemm_batch(rng, 2))
+        assert report.admission == "edf"
+        assert report.as_dict()["admission"] == "edf"
+
+
+class TestProcessClamp:
+    def test_clamp_warns_and_records_requested_count(self, rng):
+        with pytest.warns(RuntimeWarning, match="exceeds pool_size"):
+            engine = ServingEngine(pool_size=2, config=CFG, processes=8)
+        try:
+            assert engine.processes == 2
+            assert engine.requested_processes == 8
+            report = engine.serve(gemm_batch(rng, 2))
+        finally:
+            engine.close()
+        assert report.processes == 2
+        assert report.requested_processes == 8
+        payload = report.as_dict()
+        assert payload["processes"] == 2
+        assert payload["requested_processes"] == 8
+
+    def test_no_warning_when_processes_fit(self, rng):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            engine = ServingEngine(pool_size=2, config=CFG, processes=2)
+        engine.close()

@@ -183,10 +183,23 @@ class TestOfflineFaults:
         assert report.availability["retries"] == 0
         assert report.availability["worker_events"] == []
 
-    def test_faults_require_serial_pool(self, rng):
+    def test_faults_work_on_multiprocess_pool(self, rng):
+        """Fault decisions live in the dispatch core, so injection no
+        longer needs the serial pool: same seed, same report."""
+        requests = gemm_batch(rng, 4)
+        kwargs = dict(faults="kill:0.5", fault_seed=3)
+        serial = ServingEngine(pool_size=2, config=CFG).serve(requests, **kwargs)
         engine = ServingEngine(pool_size=2, config=CFG, processes=2)
-        with pytest.raises(RuntimeError, match="processes=1"):
-            engine.serve(gemm_batch(rng, 2), faults="kill:0.5")
+        try:
+            parallel = engine.serve(requests, **kwargs)
+        finally:
+            engine.close()
+        assert parallel.processes == 2
+        assert [r.status for r in serial.results] \
+            == [r.status for r in parallel.results]
+        assert [r.sim_cycles for r in serial.results] \
+            == [r.sim_cycles for r in parallel.results]
+        assert serial.availability == parallel.availability
 
     def test_offline_report_is_deterministic(self, rng):
         requests = gemm_batch(rng, 16)

@@ -2,6 +2,7 @@
 
 import dataclasses
 import json
+from types import SimpleNamespace
 
 import numpy as np
 import pytest
@@ -484,10 +485,23 @@ class TestOnlineServing:
         assert decoded["faults"] is None
         assert decoded["availability"]["success_rate"] == 1.0
 
-    def test_online_rejects_multiprocess_engine(self, rng):
+    def test_online_multiprocess_matches_serial(self, rng):
+        """The dispatch core lifted the old processes=1 restriction: a
+        multi-process online run is bit-identical to the serial one."""
+        requests = mixed_requests(rng, 4)
+        serial = ServingEngine(pool_size=2, config=CFG).serve_online(
+            requests, traffic="poisson:25", seed=7)
         engine = ServingEngine(pool_size=2, config=CFG, processes=2)
-        with pytest.raises(RuntimeError, match="processes=1"):
-            engine.serve_online(mixed_requests(rng, 2), traffic="poisson:25")
+        try:
+            parallel = engine.serve_online(requests, traffic="poisson:25", seed=7)
+        finally:
+            engine.close()
+        assert parallel.processes == 2
+        for a, b in zip(serial.results, parallel.results):
+            assert np.array_equal(a.output, b.output)
+            assert (a.sim_cycles, a.worker, a.start_cycle, a.completion_cycle) \
+                == (b.sim_cycles, b.worker, b.start_cycle, b.completion_cycle)
+        assert serial.makespan_cycles == parallel.makespan_cycles
 
     def test_online_matches_offline_outputs(self, rng):
         """Queueing changes timing, never numerics: same outputs either way."""
@@ -517,21 +531,43 @@ class TestOnlineServing:
 
 
 class TestParallelReassembly:
-    def test_short_shard_raises(self):
-        sentinel = object()
-        with pytest.raises(RuntimeError, match="shard 0 returned 1 results"):
-            ServingEngine._reassemble(2, {0: [0, 1]}, [[sentinel]])
+    """ProcessPool.run_batch scatters shard batches back to submission
+    order; a short shard must raise, never silently drop a result."""
 
-    def test_missing_position_raises(self):
-        sentinel = object()
-        with pytest.raises(RuntimeError, match=r"lost results .* \[1\]"):
-            ServingEngine._reassemble(2, {0: [0]}, [[sentinel]])
+    @staticmethod
+    def _stub_pool(batches):
+        from repro.serve.dispatch import ProcessPool
 
-    def test_full_reassembly_restores_submission_order(self):
-        first, second, third = "r0", "r1", "r2"
-        results = ServingEngine._reassemble(
-            3, {0: [2, 0], 1: [1]}, [[third, first], [second]])
-        assert results == [first, second, third]
+        pool = ProcessPool.__new__(ProcessPool)
+        pool.pool_size = 2
+        pool.processes = 2
+        pool.shard_of = {0: 0, 1: 1}
+        pool._busy = [0, 0]
+        pool._updates = [[], []]
+        pool._send = lambda shard, command, **kwargs: None
+        pool._recv = lambda shard: ("ok", batches[shard], None)
+        return pool
+
+    @staticmethod
+    def _result(name):
+        return SimpleNamespace(status="failed", worker=-1, name=name)
+
+    def test_short_shard_raises(self, rng):
+        requests = mixed_requests(rng, 2)
+        pool = self._stub_pool({0: (0.0, []), 1: (0.0, [self._result("r1")])})
+        with pytest.raises(RuntimeError, match="shard 0 returned 0 results"):
+            pool.run_batch([(0, requests[0]), (1, requests[1])])
+
+    def test_run_batch_restores_submission_order(self, rng):
+        requests = mixed_requests(rng, 3)
+        r0, r1, r2 = (self._result(f"r{i}") for i in range(3))
+        # worker 0 (shard 0) serves positions 0 and 2; worker 1 position 1
+        pool = self._stub_pool({0: (0.5, [r0, r2]), 1: (0.25, [r1])})
+        wall, results = pool.run_batch(
+            [(0, requests[0]), (1, requests[1]), (0, requests[2])]
+        )
+        assert results == [r0, r1, r2]
+        assert wall == 0.5  # the slowest shard's serving loop
 
 
 def test_partial_timeline_rejected_by_online_report(rng):
