@@ -10,6 +10,14 @@ Authoring pipeline (see ``examples/compiled_kernel.py``)::
     spec     = compile_kernel(schedule, func5=9)
     system.llc.runtime.library.register(spec)
 
+Schedules are **data**: the same chain is a serializable
+:class:`~repro.compiler.schedule.Recipe` (``Schedule(p).apply(recipe)``),
+every library builder splits into a pure algorithm plus a named default
+recipe (:func:`~repro.compiler.library.recompile` combines any pair),
+and :mod:`repro.compiler.tune` searches the legal-recipe space for the
+cheapest schedule per (kernel, geometry, config), memoized in a
+JSON-persistable :class:`~repro.compiler.tune.ScheduleCache`.
+
 The compiled :class:`~repro.runtime.kernel_lib.KernelSpec` is a drop-in
 peer of the handwritten Table I kernels: same preamble contract, same
 :class:`~repro.runtime.context.KernelContext` micro-program API, same
@@ -31,17 +39,26 @@ from repro.compiler.ir import (
     ShapeError,
     Sym,
     bind_shapes,
+    infer_out_shape,
+    reference_output,
 )
 from repro.compiler.lower import LoweringError, compile_kernel
-from repro.compiler.schedule import Schedule, ScheduleError
+from repro.compiler.schedule import Recipe, Schedule, ScheduleError
 from repro.compiler.library import (
+    ALGORITHMS,
+    DEFAULT_FUNC5,
+    DEFAULT_RECIPES,
     FUNC5_CGEMM,
     FUNC5_DWCONV2D,
     FUNC5_EWISE_ADD,
     FUNC5_EWISE_MUL,
     FUNC5_FC,
     FUNC5_ROWSUM,
+    NAME_BY_FUNC5,
+    USER_SLOTS,
+    algorithm,
     compiled_specs,
+    default_recipe,
     install_compiled,
     make_dwconv2d_spec,
     make_ewise_add_spec,
@@ -50,6 +67,15 @@ from repro.compiler.library import (
     make_gemm_spec,
     make_rowsum_spec,
     offload_compiled,
+    recompile,
+)
+from repro.compiler.tune import (
+    ScheduleCache,
+    TunedSchedule,
+    TuneResult,
+    Tuner,
+    config_fingerprint,
+    geometry_key,
 )
 
 __all__ = [
@@ -64,21 +90,38 @@ __all__ = [
     "Loop",
     "LoweringError",
     "Operand",
+    "Recipe",
     "Schedule",
+    "ScheduleCache",
     "ScheduleError",
     "ShapeError",
     "Sym",
+    "TuneResult",
+    "TunedSchedule",
+    "Tuner",
+    "algorithm",
     "bind_shapes",
     "compile_kernel",
     "compiled_specs",
+    "config_fingerprint",
+    "default_recipe",
+    "geometry_key",
+    "infer_out_shape",
     "install_compiled",
     "offload_compiled",
+    "recompile",
+    "reference_output",
+    "ALGORITHMS",
+    "DEFAULT_FUNC5",
+    "DEFAULT_RECIPES",
     "FUNC5_CGEMM",
     "FUNC5_DWCONV2D",
     "FUNC5_FC",
     "FUNC5_EWISE_ADD",
     "FUNC5_EWISE_MUL",
     "FUNC5_ROWSUM",
+    "NAME_BY_FUNC5",
+    "USER_SLOTS",
     "make_gemm_spec",
     "make_dwconv2d_spec",
     "make_fc_spec",

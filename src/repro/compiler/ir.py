@@ -267,6 +267,9 @@ class StripLoop(Stmt):
     ``S`` (bound to ``size_sym``) is chosen *at kernel launch* from the
     free vector-register budget via the shared
     :func:`repro.runtime.kernels.common.k_strip_size` policy.
+    ``max_size`` additionally caps that launch-time choice — the tuning
+    knob recipes use to trade resident-strip reuse against lock-window
+    length.
     """
 
     outer_var: str
@@ -274,6 +277,7 @@ class StripLoop(Stmt):
     size_sym: str
     total: Expr
     body: List[Stmt]
+    max_size: Optional[int] = None
 
 
 @dataclass(eq=False)
@@ -424,6 +428,23 @@ class KernelProgram:
     def find_loops(self, var: str) -> List[Loop]:
         return [s for s in walk(self.body) if isinstance(s, Loop) and s.var == var]
 
+    def loop_vars(self) -> List[str]:
+        """Every loop variable of the program, outermost first.
+
+        Strip-mined loops contribute their outer/inner pair.  Used by
+        scheduling diagnostics so "no loop over 'x'" errors can name
+        what *is* schedulable without a read of the IR dump.
+        """
+        names: List[str] = []
+        for stmt in walk(self.body):
+            if isinstance(stmt, Loop) and stmt.var not in names:
+                names.append(stmt.var)
+            elif isinstance(stmt, StripLoop):
+                for var in (stmt.outer_var, stmt.inner_var):
+                    if var not in names:
+                        names.append(var)
+        return names
+
     # -- validation ----------------------------------------------------------
 
     def validate(self) -> None:
@@ -538,20 +559,14 @@ def _try_solve(expr: Expr, actual: int, env: Dict[str, int]) -> bool:
     return False
 
 
-def bind_shapes(
+def _solve_source_dims(
     program: KernelProgram,
-    actual: Dict[str, Tuple[int, int]],
+    shapes: Dict[str, Tuple[int, int]],
     env: Dict[str, int],
-) -> Dict[str, int]:
-    """Infer dimension symbols from actual operand shapes (fixpoint).
-
-    Source shapes *bind* free dimensions (solving bare symbols and
-    ``known * sym`` products); the destination shape is then *checked*
-    against the fully derived expressions.  Raises :class:`ShapeError`
-    with the offending operand when the shapes are inconsistent.
-    """
+) -> None:
+    """Fixpoint-solve dimension symbols from concrete source shapes."""
     pending = [
-        (op.name, which, expr, actual[op.name][index])
+        (op.name, which, expr, shapes[op.name][index])
         for op in program.sources
         for index, (which, expr) in enumerate((("rows", op.rows), ("cols", op.cols)))
     ]
@@ -576,6 +591,21 @@ def bind_shapes(
             f"cannot infer dimensions of operand {name!r} from {which} "
             f"expression {expr!r}"
         )
+
+
+def bind_shapes(
+    program: KernelProgram,
+    actual: Dict[str, Tuple[int, int]],
+    env: Dict[str, int],
+) -> Dict[str, int]:
+    """Infer dimension symbols from actual operand shapes (fixpoint).
+
+    Source shapes *bind* free dimensions (solving bare symbols and
+    ``known * sym`` products); the destination shape is then *checked*
+    against the fully derived expressions.  Raises :class:`ShapeError`
+    with the offending operand when the shapes are inconsistent.
+    """
+    _solve_source_dims(program, actual, env)
     dest = program.dest
     rows, cols = actual[dest.name]
     for which, expr, value in (("rows", dest.rows, rows), ("cols", dest.cols, cols)):
@@ -592,3 +622,124 @@ def bind_shapes(
                 f"{program.name!r} expects {which} = {expr!r} = {expected}"
             )
     return env
+
+
+def infer_out_shape(
+    program: KernelProgram,
+    source_shapes: Sequence[Tuple[int, int]],
+    env: Optional[Dict[str, int]] = None,
+) -> Tuple[int, int]:
+    """Destination shape implied by concrete source shapes, in source order.
+
+    Runs the :func:`bind_shapes` fixpoint over the sources only, then
+    evaluates the destination's row/col expressions.
+    """
+    sources = program.sources
+    if len(source_shapes) != len(sources):
+        raise ShapeError(
+            f"kernel {program.name!r} takes {len(sources)} source operands, "
+            f"got {len(source_shapes)} shapes"
+        )
+    env = dict(env or {})
+    shapes = {op.name: tuple(shape) for op, shape in zip(sources, source_shapes)}
+    _solve_source_dims(program, shapes, env)
+    dest = program.dest
+    dims = []
+    for which, expr in (("rows", dest.rows), ("cols", dest.cols)):
+        free = syms(expr) - env.keys()
+        if free:
+            raise ShapeError(
+                f"destination {dest.name!r} {which} expression {expr!r} has "
+                f"uninferrable symbols {sorted(free)}"
+            )
+        dims.append(eval_expr(expr, env))
+    return (dims[0], dims[1])
+
+
+# ---------------------------------------------------------------------------
+# reference interpretation (the schedule-independent oracle)
+# ---------------------------------------------------------------------------
+
+
+def reference_output(
+    program: KernelProgram,
+    operands: Dict[str, "np.ndarray"],
+    params: Optional[Dict[str, int]] = None,
+) -> "np.ndarray":
+    """Interpret an *unscheduled* program element by element in numpy.
+
+    This is the semantic ground truth every legal recipe must preserve:
+    plain ``Loop``/``Assign``/``Accum`` execution over int64 accumulators
+    with one final wrap to the destination dtype (mod-2^n arithmetic is a
+    ring homomorphism, so wrapping once at the end equals wrapping every
+    intermediate like the datapath does).  Scheduled programs (vector
+    statements, strip loops) are rejected — schedule first, compare
+    against the reference taken *before* scheduling.
+    """
+    import numpy as np
+
+    env: Dict[str, int] = dict(params or {})
+    actual = {
+        name: (array.shape[0], array.shape[1]) for name, array in operands.items()
+    }
+    bind_shapes(program, actual, env)
+    arrays = {
+        name: np.asarray(array, dtype=np.int64) for name, array in operands.items()
+    }
+    dest_op = program.dest
+    dest = np.zeros(
+        (eval_expr(dest_op.rows, env), eval_expr(dest_op.cols, env)), dtype=np.int64
+    )
+    arrays[dest_op.name] = dest
+
+    def eval_elem(expr: Expr) -> int:
+        if isinstance(expr, Const):
+            return expr.value
+        if isinstance(expr, Sym):
+            return env[expr.name]
+        if isinstance(expr, Access):
+            row = eval_elem(expr.row)
+            col = eval_elem(expr.col)
+            return int(arrays[expr.operand][row, col])
+        if isinstance(expr, BinOp):
+            lhs = eval_elem(expr.lhs)
+            rhs = eval_elem(expr.rhs)
+            if expr.op == "+":
+                return lhs + rhs
+            if expr.op == "-":
+                return lhs - rhs
+            if expr.op == "*":
+                return lhs * rhs
+            if expr.op == "//":
+                return lhs // rhs
+        raise IrError(f"cannot interpret expression {expr!r}")
+
+    def run_block(stmts: Sequence[Stmt]) -> None:
+        for stmt in stmts:
+            if isinstance(stmt, Loop):
+                extent = eval_expr(stmt.extent, env)
+                for value in range(extent):
+                    env[stmt.var] = value
+                    run_block(stmt.body)
+                env.pop(stmt.var, None)
+            elif isinstance(stmt, (Assign, Accum)):
+                row = eval_elem(stmt.dest.row)
+                col = eval_elem(stmt.dest.col)
+                value = eval_elem(stmt.value)
+                if isinstance(stmt, Accum):
+                    value += int(dest[row, col])
+                # wrap to signed 64-bit (mod-2^64 keeps every narrower
+                # mod-2^n result exact; numpy rejects out-of-range ints)
+                value &= (1 << 64) - 1
+                if value >= 1 << 63:
+                    value -= 1 << 64
+                dest[row, col] = value
+            else:
+                raise IrError(
+                    f"reference interpretation needs an unscheduled program; "
+                    f"found {type(stmt).__name__}"
+                )
+
+    run_block(program.body)
+    dtype = next(iter(operands.values())).dtype
+    return dest.astype(dtype)

@@ -1,10 +1,20 @@
 """Compiled kernels: new workloads authored in the IR, not by hand.
 
-Each builder writes the algorithm as a plain loop nest over matrix
-elements, schedules it (shard / strip-mine / vectorize) and lowers it to
-a :class:`~repro.runtime.kernel_lib.KernelSpec`.  The specs install into
-the runtime kernel library above the five handwritten Table I slots,
-proving the paper's software-ISA-extensibility claim at compiler scale:
+Every library kernel is two separable pieces — the Exo idiom the
+autotuner (:mod:`repro.compiler.tune`) depends on:
+
+* a pure **algorithm**: a builder in :data:`ALGORITHMS` returning a
+  fresh, unscheduled :class:`~repro.compiler.ir.KernelProgram` (the
+  semantic ground truth, interpretable by
+  :func:`~repro.compiler.ir.reference_output`);
+* a named **default recipe** in :data:`DEFAULT_RECIPES`: the hand-picked
+  :class:`~repro.compiler.schedule.Recipe` the stock library ships with.
+
+:func:`recompile` combines any algorithm with any legal recipe into a
+registrable :class:`~repro.runtime.kernel_lib.KernelSpec` — the stock
+slot by default, or any other slot (user slots :data:`USER_SLOTS` =
+5..15 by convention) for alternate-schedule variants living alongside
+the defaults.  The stock library:
 
 ==============  ======  ====================================================
 Mnemonic        func5   Operation
@@ -26,11 +36,11 @@ interchangeable between the two.
 
 from __future__ import annotations
 
-from typing import Sequence, Tuple
+from typing import Callable, Dict, Optional, Sequence, Tuple, Union
 
 from repro.compiler.ir import Accum, Assign, KernelProgram, Loop, Operand, Sym
 from repro.compiler.lower import compile_kernel
-from repro.compiler.schedule import Schedule
+from repro.compiler.schedule import Recipe, Schedule
 from repro.isa.xmnmc import pack_pair
 from repro.runtime.kernel_lib import KernelLibrary, KernelSpec
 
@@ -42,9 +52,17 @@ FUNC5_EWISE_ADD = 19
 FUNC5_EWISE_MUL = 20
 FUNC5_ROWSUM = 21
 
+#: Slots reserved for user-registered kernels and recompiled variants.
+USER_SLOTS = range(5, 16)
 
-def make_gemm_spec(func5: int = FUNC5_CGEMM) -> KernelSpec:
-    """Compiled GeMM — the parity benchmark against handwritten ``xmk0``."""
+
+# ---------------------------------------------------------------------------
+# the algorithms (pure, unscheduled)
+# ---------------------------------------------------------------------------
+
+
+def gemm_program() -> KernelProgram:
+    """D = alpha * (A @ B) + beta * C — the parity algorithm vs ``xmk0``."""
     M, K, N = Sym("M"), Sym("K"), Sym("N")
     alpha, beta = Sym("alpha"), Sym("beta")
     d = Operand("d", (M, N), out=True)
@@ -52,7 +70,7 @@ def make_gemm_spec(func5: int = FUNC5_CGEMM) -> KernelSpec:
     b = Operand("b", (K, N))
     c = Operand("c", (M, N))
     i, j, k = Sym("i"), Sym("j"), Sym("k")
-    program = KernelProgram(
+    return KernelProgram(
         "cgemm",
         [d, a, b, c],
         [
@@ -65,14 +83,10 @@ def make_gemm_spec(func5: int = FUNC5_CGEMM) -> KernelSpec:
         ],
         params=["alpha", "beta"],
     )
-    schedule = Schedule(program).shard("i").strip_mine("k").vectorize("j")
-    return compile_kernel(
-        schedule, func5, "compiled D = alpha * (A @ B) + beta * C"
-    )
 
 
-def make_dwconv2d_spec(func5: int = FUNC5_DWCONV2D) -> KernelSpec:
-    """Compiled depthwise 2D convolution over row-stacked channel planes."""
+def dwconv2d_program() -> KernelProgram:
+    """Depthwise 2D 'valid' convolution over row-stacked channel planes."""
     C, H, W, K = Sym("C"), Sym("H"), Sym("W"), Sym("K")
     out_h = H - K + 1
     out_w = W - K + 1
@@ -80,7 +94,7 @@ def make_dwconv2d_spec(func5: int = FUNC5_DWCONV2D) -> KernelSpec:
     x = Operand("x", (C * H, W))
     f = Operand("f", (C * K, K))
     c, i, dr, dc, j = Sym("c"), Sym("i"), Sym("dr"), Sym("dc"), Sym("j")
-    program = KernelProgram(
+    return KernelProgram(
         "dwconv2d",
         [d, x, f],
         [
@@ -101,21 +115,17 @@ def make_dwconv2d_spec(func5: int = FUNC5_DWCONV2D) -> KernelSpec:
             ], parallel=True),
         ],
     )
-    schedule = Schedule(program).shard("c").vectorize("j")
-    return compile_kernel(
-        schedule, func5, "compiled depthwise 'valid' 2D convolution"
-    )
 
 
-def make_fc_spec(func5: int = FUNC5_FC) -> KernelSpec:
-    """Compiled fully-connected layer: out = x @ W + bias (GEMV + bias)."""
+def fc_program() -> KernelProgram:
+    """Fully-connected layer: out = x @ W + bias (GEMV + bias)."""
     K, N = Sym("K"), Sym("N")
     d = Operand("d", (1, N), out=True)
     x = Operand("x", (1, K))
     w = Operand("w", (K, N))
     bias = Operand("bias", (1, N))
     j, k = Sym("j"), Sym("k")
-    program = KernelProgram(
+    return KernelProgram(
         "fc",
         [d, x, w, bias],
         [
@@ -125,41 +135,39 @@ def make_fc_spec(func5: int = FUNC5_FC) -> KernelSpec:
             ]),
         ],
     )
-    schedule = Schedule(program).strip_mine("k").vectorize("j")
-    return compile_kernel(schedule, func5, "compiled fully-connected (GEMV + bias)")
 
 
-def _make_ewise_spec(name: str, func5: int, op: str) -> KernelSpec:
+def _ewise_program(name: str, op: str) -> KernelProgram:
     M, N = Sym("M"), Sym("N")
     d = Operand("d", (M, N), out=True)
     x = Operand("x", (M, N))
     y = Operand("y", (M, N))
     i, j = Sym("i"), Sym("j")
     value = x[i, j] + y[i, j] if op == "add" else x[i, j] * y[i, j]
-    program = KernelProgram(
+    return KernelProgram(
         name,
         [d, x, y],
         [Loop(i, M, [Loop(j, N, [Assign(d[i, j], value)])], parallel=True)],
     )
-    schedule = Schedule(program).shard("i").vectorize("j")
-    return compile_kernel(schedule, func5, f"compiled element-wise {op}")
 
 
-def make_ewise_add_spec(func5: int = FUNC5_EWISE_ADD) -> KernelSpec:
-    return _make_ewise_spec("ewise_add", func5, "add")
+def ewise_add_program() -> KernelProgram:
+    """Element-wise addition: D = X + Y."""
+    return _ewise_program("ewise_add", "add")
 
 
-def make_ewise_mul_spec(func5: int = FUNC5_EWISE_MUL) -> KernelSpec:
-    return _make_ewise_spec("ewise_mul", func5, "mul")
+def ewise_mul_program() -> KernelProgram:
+    """Element-wise product: D = X * Y (the ``vmul.vv`` ISA extension)."""
+    return _ewise_program("ewise_mul", "mul")
 
 
-def make_rowsum_spec(func5: int = FUNC5_ROWSUM) -> KernelSpec:
-    """Compiled row-sum reduction: D[i, 0] = sum_j X[i, j]."""
+def rowsum_program() -> KernelProgram:
+    """Row-sum reduction: D[i, 0] = sum_j X[i, j]."""
     M, N = Sym("M"), Sym("N")
     d = Operand("d", (M, 1), out=True)
     x = Operand("x", (M, N))
     i, j = Sym("i"), Sym("j")
-    program = KernelProgram(
+    return KernelProgram(
         "rowsum",
         [d, x],
         [
@@ -169,8 +177,120 @@ def make_rowsum_spec(func5: int = FUNC5_ROWSUM) -> KernelSpec:
             ], parallel=True),
         ],
     )
-    schedule = Schedule(program).shard("i").vectorize("j")
-    return compile_kernel(schedule, func5, "compiled row-sum reduction")
+
+
+#: name -> pure algorithm builder (fresh unscheduled program per call).
+ALGORITHMS: Dict[str, Callable[[], KernelProgram]] = {
+    "cgemm": gemm_program,
+    "dwconv2d": dwconv2d_program,
+    "fc": fc_program,
+    "ewise_add": ewise_add_program,
+    "ewise_mul": ewise_mul_program,
+    "rowsum": rowsum_program,
+}
+
+#: name -> the hand-picked schedule the stock library ships with.
+DEFAULT_RECIPES: Dict[str, Recipe] = {
+    "cgemm": Recipe([("shard", "i"), ("strip_mine", "k"), ("vectorize", "j")]),
+    "dwconv2d": Recipe([("shard", "c"), ("vectorize", "j")]),
+    "fc": Recipe([("strip_mine", "k"), ("vectorize", "j")]),
+    "ewise_add": Recipe([("shard", "i"), ("vectorize", "j")]),
+    "ewise_mul": Recipe([("shard", "i"), ("vectorize", "j")]),
+    "rowsum": Recipe([("shard", "i"), ("vectorize", "j")]),
+}
+
+#: name -> stock library slot.
+DEFAULT_FUNC5: Dict[str, int] = {
+    "cgemm": FUNC5_CGEMM,
+    "dwconv2d": FUNC5_DWCONV2D,
+    "fc": FUNC5_FC,
+    "ewise_add": FUNC5_EWISE_ADD,
+    "ewise_mul": FUNC5_EWISE_MUL,
+    "rowsum": FUNC5_ROWSUM,
+}
+
+#: stock slot -> kernel name (e.g. for mapping requests back to algorithms).
+NAME_BY_FUNC5: Dict[int, str] = {func5: name for name, func5 in DEFAULT_FUNC5.items()}
+
+
+def algorithm(name: str) -> KernelProgram:
+    """A fresh unscheduled program for one library kernel, by name."""
+    try:
+        return ALGORITHMS[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown library kernel {name!r}; available: "
+            + ", ".join(sorted(ALGORITHMS))
+        ) from None
+
+
+def default_recipe(name: str) -> Recipe:
+    """The stock schedule for one library kernel, by name."""
+    if name not in DEFAULT_RECIPES:
+        raise ValueError(
+            f"unknown library kernel {name!r}; available: "
+            + ", ".join(sorted(DEFAULT_RECIPES))
+        )
+    return DEFAULT_RECIPES[name]
+
+
+def recompile(
+    name: str,
+    recipe: Union[Recipe, Sequence, str, None] = None,
+    func5: Optional[int] = None,
+    description: str = "",
+) -> KernelSpec:
+    """Compile one library algorithm under a (possibly alternate) recipe.
+
+    ``recipe=None`` uses the kernel's default; ``func5=None`` targets the
+    stock slot (register with ``replace=True`` to swap the variant in —
+    the library's generation bump invalidates stale replay recordings).
+    Pass a slot from :data:`USER_SLOTS` (5..15) to install the variant
+    *alongside* the stock kernel instead.
+    """
+    program = algorithm(name)
+    chosen = default_recipe(name) if recipe is None else Recipe.coerce(recipe)
+    schedule = Schedule(program).apply(chosen)
+    slot = DEFAULT_FUNC5[name] if func5 is None else func5
+    return compile_kernel(
+        schedule, slot,
+        description or f"compiled {name} [{chosen.describe()}]",
+    )
+
+
+# -- stock spec builders (algorithm + default recipe, overridable) -----------
+
+
+def make_gemm_spec(func5: int = FUNC5_CGEMM, recipe=None) -> KernelSpec:
+    """Compiled GeMM — the parity benchmark against handwritten ``xmk0``."""
+    return recompile(
+        "cgemm", recipe, func5, "compiled D = alpha * (A @ B) + beta * C"
+    )
+
+
+def make_dwconv2d_spec(func5: int = FUNC5_DWCONV2D, recipe=None) -> KernelSpec:
+    """Compiled depthwise 2D convolution over row-stacked channel planes."""
+    return recompile(
+        "dwconv2d", recipe, func5, "compiled depthwise 'valid' 2D convolution"
+    )
+
+
+def make_fc_spec(func5: int = FUNC5_FC, recipe=None) -> KernelSpec:
+    """Compiled fully-connected layer: out = x @ W + bias (GEMV + bias)."""
+    return recompile("fc", recipe, func5, "compiled fully-connected (GEMV + bias)")
+
+
+def make_ewise_add_spec(func5: int = FUNC5_EWISE_ADD, recipe=None) -> KernelSpec:
+    return recompile("ewise_add", recipe, func5, "compiled element-wise add")
+
+
+def make_ewise_mul_spec(func5: int = FUNC5_EWISE_MUL, recipe=None) -> KernelSpec:
+    return recompile("ewise_mul", recipe, func5, "compiled element-wise mul")
+
+
+def make_rowsum_spec(func5: int = FUNC5_ROWSUM, recipe=None) -> KernelSpec:
+    """Compiled row-sum reduction: D[i, 0] = sum_j X[i, j]."""
+    return recompile("rowsum", recipe, func5, "compiled row-sum reduction")
 
 
 def compiled_specs() -> Tuple[KernelSpec, ...]:

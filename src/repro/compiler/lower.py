@@ -353,6 +353,9 @@ class _Interp:
         if strip_spec is not None:
             total = eval_expr(plan.strip.total, env)
             size = k_strip_size(total, budget, reserved)
+            if plan.strip.max_size is not None:
+                # recipe-provided cap on the launch-time strip choice
+                size = min(size, plan.strip.max_size)
             env[plan.strip.size_sym] = size
             self.caches[strip_spec.operand] = _RowCache(kc.claim(size), size)
         self.acc_win = kc.claim(1)

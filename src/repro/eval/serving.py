@@ -90,6 +90,9 @@ class ServingReport:
     #: replay-cache activity for the run (per-worker stat deltas,
     #: including cross-worker ``fleet_hits``); attached by the engine
     replay: Optional[Dict] = None
+    #: online autotuning activity (policy, schedule-cache stats, per-key
+    #: tuned-vs-default cycle deltas and swaps); attached by the engine
+    autotune: Optional[Dict] = None
     #: canonical traffic spec string (online mode only)
     traffic: Optional[str] = None
     #: canonical fault spec string (None = no injection)
@@ -180,6 +183,8 @@ class ServingReport:
             }
         if self.replay is not None:
             record["replay"] = self.replay
+        if self.autotune is not None:
+            record["autotune"] = self.autotune
         if self.timeline is not None:
             record["timeline"] = self.timeline
         return record

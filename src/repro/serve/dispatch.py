@@ -100,18 +100,46 @@ class OnlineEvent:
 ADMISSION_POLICIES = ("fifo", "priority", "edf", "sjf")
 
 
-def estimate_service_cycles(request: InferenceRequest) -> int:
+def estimate_service_cycles(
+    request: InferenceRequest,
+    schedule_cache=None,
+    config=None,
+) -> int:
     """Deterministic service-cost estimate for shortest-job-first ranking.
 
-    Where the kernel semantics are known the estimate mirrors the
-    compiled kernel's loop trip counts (a gemm macc-accumulates
-    ``m * n * k`` elements; a conv layer visits every output pixel once
-    per filter tap); for opaque single-kernel and graph requests it
-    falls back to operand + output volume.  The unit is arbitrary —
-    only the *ordering* matters, and it is a pure function of the
-    request, so every run ranks identically.
+    With a :class:`~repro.compiler.tune.ScheduleCache` and the pool's
+    :class:`~repro.core.config.ArcaneConfig`, a library-kernel request
+    whose ``(kernel, geometry, config)`` has been autotuned returns the
+    cache's **measured** simulated cycles — ground truth from the tuner's
+    runs — instead of an estimate.  Otherwise, where the kernel
+    semantics are known the estimate mirrors the compiled kernel's loop
+    trip counts (a gemm macc-accumulates ``m * n * k`` elements; a conv
+    layer visits every output pixel once per filter tap); for opaque
+    single-kernel and graph requests it falls back to operand + output
+    volume.  The unit is arbitrary — only the *ordering* matters, and it
+    is a pure function of the request (and the cache contents), so every
+    run ranks identically.
     """
     payload = request.payload
+
+    if (
+        schedule_cache is not None
+        and config is not None
+        and request.kind == "kernel"
+    ):
+        from repro.compiler.library import NAME_BY_FUNC5
+        from repro.compiler.tune import geometry_key
+
+        name = NAME_BY_FUNC5.get(payload["func5"])
+        if name is not None and payload["inputs"]:
+            geometry = geometry_key(
+                [np.asarray(m).shape for m in payload["inputs"]],
+                np.asarray(payload["inputs"][0]).dtype,
+                payload["params"],
+            )
+            measured = schedule_cache.measured_cycles(name, geometry, config)
+            if measured is not None:
+                return int(measured)
 
     def volume(array) -> int:
         return int(np.asarray(array).size)
@@ -148,6 +176,11 @@ class AdmissionPolicy:
     """
 
     kind: str = "fifo"
+    #: optional :class:`~repro.compiler.tune.ScheduleCache` + pool config:
+    #: when set, ``sjf`` ranks autotuned library-kernel requests by their
+    #: *measured* cycles instead of the trip-count heuristic
+    schedule_cache: Any = None
+    config: Any = None
 
     def __post_init__(self) -> None:
         if self.kind not in ADMISSION_POLICIES:
@@ -180,7 +213,9 @@ class AdmissionPolicy:
             if request.deadline_cycle is None:
                 return (1, 0)  # no deadline: after every deadlined request
             return (0, int(request.deadline_cycle))
-        return (estimate_service_cycles(request),)  # sjf
+        return (  # sjf
+            estimate_service_cycles(request, self.schedule_cache, self.config),
+        )
 
 
 # -- pool backends ------------------------------------------------------------
@@ -215,6 +250,13 @@ class SerialPool:
 
     def rebuild(self, worker: int) -> None:
         self.workers[worker].rebuild()
+
+    def register_recipe(
+        self, name: str, recipe_json: str, func5: Optional[int] = None
+    ) -> None:
+        """Swap a tuned-recipe kernel variant into every worker."""
+        for worker in self.workers:
+            worker.register_recipe(name, recipe_json, func5)
 
     def last_recovery(self, worker: int) -> Optional[Dict[str, Optional[str]]]:
         return self.workers[worker].last_recovery
@@ -308,6 +350,12 @@ def _pool_shard_main(
                 recovery = worker.last_recovery
             elif command == "rebuild":
                 workers[kwargs["worker"]].rebuild()
+            elif command == "register_recipe":
+                # recipes are plain JSON: each shard recompiles locally
+                for worker in workers.values():
+                    worker.register_recipe(
+                        kwargs["name"], kwargs["recipe_json"], kwargs["func5"]
+                    )
             elif command == "snapshots":
                 value = {w: worker.health_snapshot() for w, worker in workers.items()}
             elif command == "replay":
@@ -436,6 +484,16 @@ class ProcessPool:
 
     def rebuild(self, worker: int) -> None:
         self._request(self.shard_of[worker], "rebuild", worker=worker)
+
+    def register_recipe(
+        self, name: str, recipe_json: str, func5: Optional[int] = None
+    ) -> None:
+        """Broadcast a tuned-recipe swap to every shard's workers."""
+        for shard in range(self.processes):
+            self._request(
+                shard, "register_recipe",
+                name=name, recipe_json=recipe_json, func5=func5,
+            )
 
     def last_recovery(self, worker: int) -> Optional[Dict[str, Optional[str]]]:
         return self._recovery[worker]

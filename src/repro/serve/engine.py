@@ -39,12 +39,16 @@ modes are thin frontends over the unified
 
 from __future__ import annotations
 
+import dataclasses
 import time
 import warnings
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.compiler.library import NAME_BY_FUNC5
+from repro.compiler.tune import ScheduleCache, Tuner, geometry_key
 from repro.core.config import ArcaneConfig
 from repro.eval.serving import ServingReport, build_serving_report
 from repro.obs.metrics import build_timeline
@@ -72,6 +76,44 @@ from repro.serve.worker import SystemWorker
 POLICIES = ("least_loaded", "round_robin")
 
 
+@dataclass(frozen=True)
+class AutotunePolicy:
+    """When and how the engine retunes hot ``(kernel, geometry)`` keys.
+
+    A library-kernel request key becomes *hot* once it has been seen
+    ``threshold`` times (cumulative across serve calls); the engine then
+    runs one :class:`~repro.compiler.tune.Tuner` search (``budget``
+    simulator runs, ``beam_width`` survivors per level) and, when the
+    winner beats the stock recipe, swaps the tuned variant into every
+    pool worker via library re-registration — the generation bump
+    invalidates stale replay recordings, so outputs stay bit-exact.
+    """
+
+    threshold: int = 3
+    budget: int = 16
+    beam_width: int = 3
+
+    def __post_init__(self) -> None:
+        if self.threshold < 1:
+            raise ValueError(f"autotune threshold must be >= 1, got {self.threshold}")
+
+    @classmethod
+    def coerce(cls, spec) -> Optional["AutotunePolicy"]:
+        """None/False | True | hit-threshold int | policy -> policy or None."""
+        if spec is None or spec is False:
+            return None
+        if spec is True:
+            return cls()
+        if isinstance(spec, cls):
+            return spec
+        if isinstance(spec, int):
+            return cls(threshold=spec)
+        raise ValueError(
+            f"autotune must be None, a bool, a hit threshold, or an "
+            f"AutotunePolicy; got {spec!r}"
+        )
+
+
 class ServingEngine:
     """Schedules independent requests over a pool of reusable systems."""
 
@@ -84,6 +126,7 @@ class ServingEngine:
         processes: int = 1,
         admission: Union[str, AdmissionPolicy, None] = "fifo",
         share_replay: bool = False,
+        autotune: Union[bool, int, AutotunePolicy, None] = None,
     ) -> None:
         if pool_size < 1:
             raise ValueError("pool needs at least one system")
@@ -108,6 +151,22 @@ class ServingEngine:
                 RuntimeWarning,
                 stacklevel=2,
             )
+        self.autotune = AutotunePolicy.coerce(autotune)
+        self._tuner: Optional[Tuner] = None
+        #: cumulative (kernel, geometry) request counts across serve calls
+        self._hot_counts: Dict[Tuple[str, str], int] = {}
+        #: keys already tuned: (kernel, geometry) -> swap record
+        self._tuned: Dict[Tuple[str, str], Dict] = {}
+        if self.autotune is not None:
+            self._tuner = Tuner(
+                config or ArcaneConfig(), budget=self.autotune.budget,
+                beam_width=self.autotune.beam_width,
+            )
+            # measured tuned cycles feed sjf ranking through the cache
+            self.admission = dataclasses.replace(
+                self.admission, schedule_cache=self._tuner.cache,
+                config=self._tuner.config,
+            )
         self._workers: Optional[List[SystemWorker]] = None
         self._backend = None
         if self.processes == 1:
@@ -123,6 +182,68 @@ class ServingEngine:
         if self._workers is None:
             raise RuntimeError("worker pool lives in subprocesses (processes > 1)")
         return self._workers
+
+    @property
+    def schedule_cache(self) -> Optional[ScheduleCache]:
+        """The autotuner's schedule cache (None when autotuning is off)."""
+        return self._tuner.cache if self._tuner is not None else None
+
+    # -- online autotuning ----------------------------------------------------
+
+    def _autotune_requests(self, requests: Sequence[InferenceRequest]) -> None:
+        """Count library-kernel keys; retune and swap the ones that go hot.
+
+        Runs before dispatch: every compiled library-kernel request bumps
+        its ``(kernel, geometry)`` hit count, and a key crossing the
+        policy threshold gets one tuner search on the request's actual
+        operands.  A winner that beats the stock recipe is re-registered
+        into every pool worker (tuned outputs were checked bit-exact
+        against the default during the search, and the library generation
+        bump drops stale replay recordings).
+        """
+        if self._tuner is None:
+            return
+        for request in requests:
+            if request.kind != "kernel":
+                continue
+            payload = request.payload
+            name = NAME_BY_FUNC5.get(payload["func5"])
+            if name is None or not payload["inputs"]:
+                continue
+            inputs = [np.asarray(m) for m in payload["inputs"]]
+            geometry = geometry_key(
+                [m.shape for m in inputs], inputs[0].dtype, payload["params"]
+            )
+            key = (name, geometry)
+            self._hot_counts[key] = self._hot_counts.get(key, 0) + 1
+            if key in self._tuned or self._hot_counts[key] < self.autotune.threshold:
+                continue
+            result = self._tuner.tune(name, inputs, params=payload["params"])
+            record = result.as_dict()
+            record["swapped"] = result.best_recipe != result.default_recipe
+            if record["swapped"]:
+                self._get_backend().register_recipe(
+                    name, result.best_recipe.to_json()
+                )
+            self._tuned[key] = record
+
+    def _autotune_report(self) -> Optional[Dict]:
+        """Autotuning section for the serving report (None when off)."""
+        if self._tuner is None:
+            return None
+        return {
+            "policy": {
+                "threshold": self.autotune.threshold,
+                "budget": self.autotune.budget,
+                "beam_width": self.autotune.beam_width,
+            },
+            "cache": self._tuner.cache.stats(),
+            "hot_keys": {
+                f"{kernel}|{geometry}": count
+                for (kernel, geometry), count in sorted(self._hot_counts.items())
+            },
+            "tuned": [record for _, record in sorted(self._tuned.items())],
+        }
 
     def _get_backend(self):
         """The pool backend, building the process shards on first use.
@@ -289,6 +410,7 @@ class ServingEngine:
         """
         requests = list(requests)
         self._check_unique_ids(requests)
+        self._autotune_requests(requests)
         plan = FaultPlan.coerce(faults)
         assignments = self._assign(requests)
         backend = self._get_backend()
@@ -332,6 +454,7 @@ class ServingEngine:
         if events is not None:
             report.dispatch_events = events
         report.replay = self._replay_delta(replay_before)
+        report.autotune = self._autotune_report()
         return report
 
     def _collect_health(
@@ -407,6 +530,7 @@ class ServingEngine:
         """
         requests = list(requests)
         self._check_unique_ids(requests)
+        self._autotune_requests(requests)
         spec: Optional[TrafficSpec] = None
         if traffic is not None:
             spec = traffic if isinstance(traffic, TrafficSpec) else TrafficSpec.parse(traffic)
@@ -445,6 +569,7 @@ class ServingEngine:
         report.results = results
         report.dispatch_events = list(core.events)
         report.replay = self._replay_delta(replay_before)
+        report.autotune = self._autotune_report()
         if observe:
             report.spans = recorder
             report.timeline = build_timeline(

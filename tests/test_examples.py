@@ -10,6 +10,7 @@ EXAMPLES = [
     "examples/cnn_inference.py",
     "examples/custom_kernel.py",
     "examples/compiled_kernel.py",
+    "examples/autotune.py",
     "examples/cache_behavior.py",
     "examples/ecpu_firmware.py",
     "examples/serving.py",
