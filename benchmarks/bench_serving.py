@@ -20,6 +20,18 @@ the same traffic replayed under a seeded fault plan
 retries, failovers, sheds, worker health events) land in the JSON
 alongside the clean-run throughput numbers.
 
+With ``--integrity`` the record gains an **integrity** section: the
+offline workload is replayed under the fault plan (which should include
+a data-corruption clause, e.g. ``flip:0.005``) on an engine with the
+chosen detection policy (``abft`` / ``digest`` / ``dmr``) and
+report-mode golden checks, measuring detection recall — overall and
+restricted to the ABFT-covered gemm family — plus how many detected
+corruptions recovered to ``status=ok`` through the escalation ladder.
+The same workload is also run clean under the policy and under ``off``
+to bound the detection overhead (simulated cycles and wall clock).
+``check_serving_regression.py`` gates covered recall at 1.0 and the
+overhead ratios when the section is present.
+
 Online runs are observed (``observe=True``): each online section carries
 a rolling-metrics ``timeline`` (windowed queue depth / in-flight /
 rates / per-worker busy fractions), and the run's request-span tree is
@@ -34,6 +46,8 @@ Usage::
     PYTHONPATH=src python benchmarks/bench_serving.py --trace poisson:50
     PYTHONPATH=src python benchmarks/bench_serving.py --trace bursty:8:200000
     PYTHONPATH=src python benchmarks/bench_serving.py --smoke --faults kill:0.1
+    PYTHONPATH=src python benchmarks/bench_serving.py --smoke \
+        --faults flip:0.005 --integrity abft
     PYTHONPATH=src python benchmarks/bench_serving.py --smoke --scale
 
 ``--trace`` takes any :meth:`repro.serve.traffic.TrafficSpec.parse` spec
@@ -70,6 +84,8 @@ from repro.compiler import FUNC5_CGEMM, FUNC5_EWISE_ADD, FUNC5_FC, FUNC5_ROWSUM
 from repro.core.config import ArcaneConfig
 from repro.obs import write_chrome_trace
 from repro.serve import (
+    CORRUPTION_KINDS,
+    FaultPlan,
     GraphNode,
     ServingEngine,
     conv_layer_request,
@@ -169,6 +185,93 @@ def make_scale_workload(n_requests: int, seed: int) -> list:
     return requests
 
 
+def plan_corrupts(spec) -> bool:
+    """True when the fault plan contains a data-corruption clause."""
+    plan = FaultPlan.coerce(spec)
+    return plan is not None and any(
+        clause.kind in CORRUPTION_KINDS for clause in plan.clauses
+    )
+
+
+def run_integrity(args, config, requests) -> dict:
+    """The ``--integrity`` section: detection recall + overhead vs ``off``.
+
+    Three offline runs of the same workload:
+
+    1. clean, policy ``off``  — the overhead baseline;
+    2. clean, chosen policy   — its cost with nothing to detect
+       (``dmr`` re-executes every kernel, ``abft``/``digest`` only add
+       host-side checks);
+    3. corrupted (the fault plan), chosen policy, ``verify="report"`` —
+       report-mode golden checks mark what slipped past detection as
+       ``status="corrupted"`` instead of aborting, so the report's
+       integrity section can state recall honestly.
+
+    Recall is reported overall and restricted to the ABFT-covered gemm
+    family (gemm / cgemm / fc) — the subset the regression gate pins at
+    1.0 for the ``abft`` policy.
+
+    When ``--faults`` has no data-corruption clause (CI's main plan is
+    ``kill:0.1``, kept stable so the availability sections stay
+    comparable against the committed baseline) the drill falls back to
+    ``flip:0.02`` — a rate at which the smoke workload deterministically
+    draws flips, so the regression gate can insist the drill actually
+    detected something rather than passing on an empty sample.
+    """
+    plan = args.faults if plan_corrupts(args.faults) else "flip:0.02"
+    base = ServingEngine(
+        pool_size=args.pool, config=config, policy=args.policy,
+        processes=args.processes, integrity="off",
+    )
+    guarded = ServingEngine(
+        pool_size=args.pool, config=config, policy=args.policy,
+        processes=args.processes, integrity=args.integrity,
+    )
+
+    start = time.perf_counter()
+    off_clean = base.serve(requests, verify=not args.no_verify)
+    off_wall = time.perf_counter() - start
+
+    start = time.perf_counter()
+    on_clean = guarded.serve(requests, verify=not args.no_verify)
+    on_wall = time.perf_counter() - start
+
+    start = time.perf_counter()
+    drill = guarded.serve(
+        requests, verify="report", faults=plan, fault_seed=args.fault_seed,
+    )
+    drill_wall = time.perf_counter() - start
+
+    assert np.array_equal(off_clean.results[0].output, on_clean.results[0].output)
+    section = dict(drill.integrity or {})
+    section.update({
+        "policy": args.integrity,
+        "faults": plan,
+        "fault_seed": args.fault_seed,
+        "n_requests": len(requests),
+        "success_rate": drill.success_rate,
+        "statuses": drill.availability["statuses"],
+        "overhead": {
+            # clean-run cost of the detection policy, nothing to detect
+            "clean_cycles_ratio": round(
+                on_clean.total_sim_cycles / off_clean.total_sim_cycles, 4
+            ) if off_clean.total_sim_cycles else None,
+            "clean_wall_ratio": round(on_wall / off_wall, 3) if off_wall else None,
+            "clean_wall_seconds_off": round(off_wall, 3),
+            "clean_wall_seconds_on": round(on_wall, 3),
+            "drill_wall_seconds": round(drill_wall, 3),
+        },
+    })
+
+    print(f"== integrity drill ({plan}, policy={args.integrity}) ==")
+    print(drill.summary())
+    overhead = section["overhead"]
+    print(f"  clean overhead  : {overhead['clean_cycles_ratio']}x sim cycles, "
+          f"{overhead['clean_wall_ratio']}x wall vs policy=off")
+    print()
+    return section
+
+
 def run_scale(args, config) -> dict:
     """The ``--scale`` section: sustained load over a large shared-cache pool.
 
@@ -248,6 +351,12 @@ def main() -> None:
                              "e.g. kill:0.1 or kill:0.05,slow:0.02:4x")
     parser.add_argument("--fault-seed", type=int, default=2025,
                         help="seed for the fault injector draws")
+    parser.add_argument("--integrity", default="off",
+                        choices=("off", "digest", "abft", "dmr"),
+                        help="add an integrity section: replay the offline "
+                             "workload under the (corrupting) fault plan with "
+                             "this detection policy and record recall + "
+                             "overhead vs off")
     parser.add_argument("--lanes", type=int, default=4)
     parser.add_argument("--no-verify", action="store_true",
                         help="skip golden-model output checks")
@@ -290,11 +399,17 @@ def main() -> None:
     faulty = None
     if args.faults:
         # same traffic under a seeded fault plan: the availability section
-        # (success rate, retries, failovers, worker health) joins the record
+        # (success rate, retries, failovers, worker health) joins the record.
+        # A corrupting plan downgrades strict verification to report mode —
+        # this engine has no detection policy, so an undetected flip must
+        # mark the request corrupted, not abort the benchmark.
+        fault_verify = False if args.no_verify else (
+            "report" if plan_corrupts(args.faults) else "strict"
+        )
         faulty = online_engine.serve_online(
             requests, traffic=args.trace, seed=args.traffic_seed,
             faults=args.faults, fault_seed=args.fault_seed,
-            verify=not args.no_verify, observe=True,
+            verify=fault_verify, observe=True,
         )
 
     # Perfetto-loadable trace of the most interesting observed run (the
@@ -327,6 +442,8 @@ def main() -> None:
     }
     if faulty is not None:
         record["online_faults"] = faulty.as_dict()
+    if args.integrity != "off":
+        record["integrity"] = run_integrity(args, config, requests)
     if args.scale:
         record["scale"] = run_scale(args, config)
     args.output.parent.mkdir(parents=True, exist_ok=True)

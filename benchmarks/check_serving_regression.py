@@ -19,6 +19,15 @@ report ``pool_size >= 32`` and ``requests >= 10000`` (the scale
 acceptance bar), so the full-scale record cannot silently rot into a
 bounded one.
 
+When the fresh record carries an ``integrity`` section (the bench ran
+with ``--integrity``), it is gated on its own terms, no baseline
+needed: the drill must actually have drawn and manifested corruption
+(a recall over an empty sample proves nothing), the ``abft`` policy
+must report detection recall 1.0 over the ABFT-covered gemm-family
+kernels, and the clean-run overhead of the policy must stay bounded
+(ABFT adds host-side checks only, so its simulated-cycle ratio is
+pinned at ~1.0).
+
 Usage::
 
     PYTHONPATH=src python benchmarks/check_serving_regression.py \
@@ -51,6 +60,12 @@ ABS_FLOOR_CYCLES = 2000.0
 
 MIN_SCALE_POOL = 32
 MIN_SCALE_REQUESTS = 10000
+
+#: Integrity-drill bounds.  ABFT checksums run host-side, so the clean
+#: run must cost no extra simulated cycles; the wall-clock bound is
+#: generous because CI smoke runs are sub-second and noisy.
+ABFT_MAX_CLEAN_CYCLES_RATIO = 1.01
+MAX_CLEAN_WALL_RATIO = 3.0
 
 
 def dig(record: dict, path: tuple) -> float | None:
@@ -108,6 +123,54 @@ def compare(name: str, base: dict, curr: dict, metrics, threshold: float):
         yield regressed
 
 
+def check_integrity(section: dict) -> int:
+    """Gate the fresh record's integrity drill; returns failure count.
+
+    Self-contained (no baseline comparison): the drill's fault plan and
+    seeds live in the section itself, so its claims — recall over
+    manifested corruption, detection overhead — are checked absolutely.
+    """
+    failures = 0
+    policy = section.get("policy")
+    injected = sum((section.get("injected") or {}).values())
+    caught = section.get("detected", 0) + section.get("corrected", 0)
+    undetected = section.get("undetected", 0)
+    covered = section.get("covered") or {}
+    print(f"integrity (policy={policy}, faults={section.get('faults')}):")
+
+    if injected <= 0 or caught + undetected <= 0:
+        print(f"  sample: injected={injected} caught={caught} "
+              f"undetected={undetected} [FAIL] — no manifested corruption, "
+              f"recall is vacuous; raise the drill's corruption rate")
+        failures += 1
+    else:
+        print(f"  sample: injected={injected} caught={caught} "
+              f"undetected={undetected} [ok]")
+
+    if policy == "abft":
+        recall = covered.get("recall")
+        if recall is None or recall < 1.0:
+            print(f"  covered.recall: {recall} [FAIL] — ABFT must catch every "
+                  f"manifested corruption on gemm-family kernels")
+            failures += 1
+        else:
+            print(f"  covered.recall: {recall:.2f} over "
+                  f"{covered.get('requests')} covered request(s) [ok]")
+        for path, bound in (
+            (("overhead", "clean_cycles_ratio"), ABFT_MAX_CLEAN_CYCLES_RATIO),
+            (("overhead", "clean_wall_ratio"), MAX_CLEAN_WALL_RATIO),
+        ):
+            label = ".".join(path)
+            value = dig(section, path)
+            if value is None:
+                print(f"  {label}: missing, skipped")
+                continue
+            status = "FAIL" if value > bound else "ok"
+            print(f"  {label}: {value:g} (bound {bound:g}) [{status}]")
+            failures += value > bound
+    return failures
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.split("\n\n")[0])
     parser.add_argument("--baseline", type=pathlib.Path, required=True,
@@ -145,6 +208,12 @@ def main() -> int:
         failures += sum(
             compare(name, base, curr, SECTION_METRICS, args.threshold)
         )
+
+    integrity = current.get("integrity")
+    if integrity is None:
+        print("integrity: absent in current record, skipped")
+    else:
+        failures += check_integrity(integrity)
 
     curr_scale = current.get("scale") or {}
     for name, base in (base_scale.get("sections") or {}).items():

@@ -32,7 +32,9 @@ class LineRole(enum.Enum):
 class CacheLine:
     """One fully-associative cache line / vector register."""
 
-    __slots__ = ("index", "data", "tag", "valid", "dirty", "role", "lru_counter")
+    __slots__ = (
+        "index", "data", "tag", "valid", "dirty", "role", "lru_counter", "stuck",
+    )
 
     def __init__(self, index: int, data: np.ndarray) -> None:
         self.index = index
@@ -42,6 +44,10 @@ class CacheLine:
         self.dirty = False
         self.role = LineRole.NONE
         self.lru_counter = 0
+        # Injected stuck-at fault (repro.integrity.inject): a frozen uint8
+        # snapshot the line keeps serving on reads regardless of later
+        # writes, modelling failed storage.  None = healthy line.
+        self.stuck: Optional[np.ndarray] = None
 
     @property
     def size(self) -> int:
@@ -75,6 +81,8 @@ class CacheLine:
         self.dirty = False
 
     def read_bytes(self, offset: int, length: int) -> bytes:
+        if self.stuck is not None:
+            return self.stuck[offset : offset + length].tobytes()
         return self.data[offset : offset + length].tobytes()
 
     def write_bytes(self, offset: int, payload: bytes) -> None:

@@ -18,6 +18,7 @@ from repro.cache.address_table import AddressTable
 from repro.cache.cache_table import CacheTable
 from repro.cache.controller import LlcController
 from repro.core.config import ArcaneConfig
+from repro.integrity.inject import CorruptionSurface
 from repro.mem.bus import BusModel
 from repro.mem.memory import MainMemory
 from repro.runtime.crt import CacheRuntime
@@ -88,6 +89,9 @@ class ArcaneLlc:
         self.runtime.allocator.lock_overhead_cycles = config.lock_overhead_cycles
         self.runtime.install_default_kernels()
         self.bridge = Bridge(sim, self.runtime.decode, self.stats, self.tracer)
+        # Fault-injection applicator for data-corruption clauses; inert
+        # (all hooks None) until a serving fault plan arms it.
+        self.corruption = CorruptionSurface(self)
 
     def start(self) -> None:
         """Launch the C-RT scheduler loop."""

@@ -225,6 +225,11 @@ class ArcaneSystem:
         self._free_blocks: List[Tuple[int, int]] = []
         self.last_report: Optional[RunReport] = None
 
+    @property
+    def corruption(self):
+        """The LLC's data-corruption injection surface (inert until armed)."""
+        return self.llc.corruption
+
     # -- memory management ----------------------------------------------------
     #
     # Matrices live in a line-aligned heap with a free list: freed blocks

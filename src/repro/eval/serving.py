@@ -18,11 +18,15 @@ things per mode:
   *sustained* throughput under the offered load.
 
 Latency percentiles cover **completed** requests (``ok`` +
-``timed_out``); failed and shed requests are excluded (they have no
+``timed_out`` + ``corrupted`` — the last ran to completion with a
+suspect output); failed and shed requests are excluded (they have no
 service timeline) but show up in the **availability** section: success
 rate, per-status counts, retry/failover totals, per-class failed-attempt
 counts, injected-fault tallies and the chronological worker health
-events (quarantine/probation/reinstatement).
+events (quarantine/probation/reinstatement).  When an integrity policy
+or data-corruption injection ran, the engine attaches an **integrity**
+section (injected flip counts, detected/corrected/undetected, detection
+recall, escalation tallies).
 
 ``per_worker`` carries each worker's served count, busy cycles,
 utilization (busy / makespan — idle gaps between arrivals count against
@@ -93,6 +97,10 @@ class ServingReport:
     #: online autotuning activity (policy, schedule-cache stats, per-key
     #: tuned-vs-default cycle deltas and swaps); attached by the engine
     autotune: Optional[Dict] = None
+    #: data-integrity accounting (policy, injected corruption counts,
+    #: detected/corrected/undetected, recall, escalations); attached by
+    #: the engine when a policy or corruption injection was active
+    integrity: Optional[Dict] = None
     #: canonical traffic spec string (online mode only)
     traffic: Optional[str] = None
     #: canonical fault spec string (None = no injection)
@@ -185,6 +193,8 @@ class ServingReport:
             record["replay"] = self.replay
         if self.autotune is not None:
             record["autotune"] = self.autotune
+        if self.integrity is not None:
+            record["integrity"] = self.integrity
         if self.timeline is not None:
             record["timeline"] = self.timeline
         return record
@@ -249,12 +259,14 @@ class ServingReport:
         if self.availability is not None:
             avail = self.availability
             statuses = avail.get("statuses", {})
+            corrupted = statuses.get("corrupted", 0)
             lines.append(
                 f"  availability    : {avail.get('success_rate', 1.0):.1%} ok "
                 f"({statuses.get('failed', 0)} failed, "
                 f"{statuses.get('timed_out', 0)} timed out, "
-                f"{statuses.get('shed', 0)} shed; "
-                f"{avail.get('retries', 0)} retries, "
+                f"{statuses.get('shed', 0)} shed"
+                + (f", {corrupted} corrupted" if corrupted else "")
+                + f"; {avail.get('retries', 0)} retries, "
                 f"{avail.get('failovers', 0)} failovers)"
             )
             if avail.get("worker_events"):
@@ -285,6 +297,20 @@ class ServingReport:
             "  per kind        : "
             + ", ".join(f"{k}={v}" for k, v in sorted(self.per_kind.items()))
         )
+        if self.integrity is not None:
+            integ = self.integrity
+            injected = sum(integ.get("injected", {}).values())
+            parts = [
+                f"policy={integ.get('policy', 'off')}",
+                f"injected={injected}",
+                f"detected={integ.get('detected', 0)}",
+                f"corrected={integ.get('corrected', 0)}",
+                f"recovered={integ.get('recovered', 0)}",
+            ]
+            if "recall" in integ:
+                parts.append(f"undetected={integ.get('undetected', 0)}")
+                parts.append(f"recall={integ['recall']:.2f}")
+            lines.append("  integrity       : " + " ".join(parts))
         if self.verified is not None:
             lines.append(f"  verified        : {'all outputs match golden' if self.verified else 'MISMATCH'}")
         return "\n".join(lines)
@@ -318,7 +344,7 @@ def build_serving_report(
     statuses = {"ok": 0, "failed": 0, "timed_out": 0, "shed": 0}
     for result in results:
         statuses[result.status] = statuses.get(result.status, 0) + 1
-    completed = [r for r in results if r.status in ("ok", "timed_out")]
+    completed = [r for r in results if r.status in ("ok", "timed_out", "corrupted")]
     services = [r.sim_cycles for r in completed]
     per_kind: Dict[str, int] = {}
     # seed every pool slot so idle workers report served=0 / 0% utilization
@@ -337,7 +363,9 @@ def build_serving_report(
     breakdown = PhaseBreakdown()
     for result in results:
         per_kind[result.kind] = per_kind.get(result.kind, 0) + 1
-        if result.worker < 0 or result.status not in ("ok", "timed_out"):
+        if result.worker < 0 or result.status not in (
+            "ok", "timed_out", "corrupted"
+        ):
             continue  # shed/failed results consumed no worker cycles
         worker = per_worker.setdefault(
             result.worker,

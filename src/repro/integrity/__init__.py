@@ -1,0 +1,68 @@
+"""Data-integrity layer: silent-data-corruption injection and detection.
+
+Production fleets fear the quiet failure more than the loud one: a bit
+flips in a cache line, a DMA payload, or a register file, and the
+request completes "successfully" with a wrong answer (the hyperscaler
+SDC literature — e.g. Hochschild et al., "Cores that don't count",
+HotOS'21 — documents exactly this class at scale).  This package spans
+that concern across the simulator and the serving stack:
+
+* :mod:`repro.integrity.inject` — the :class:`CorruptionSurface` that
+  applies parent-drawn :class:`CorruptionDirective`\\ s through narrow
+  hooks in the memory system, cache lines, DMA/allocator row movement
+  and the VPU register files.  All hooks are ``None`` when no plan is
+  armed, so the fault-free hot path pays one attribute check.
+* :mod:`repro.integrity.abft` — algorithm-based fault tolerance for the
+  gemm family (Huang & Abraham's checksum-matrix technique): corruption
+  is detected from checksum residues without a golden model, and
+  single-element output errors are located and corrected in place.
+* :mod:`repro.integrity.check` — the per-request verdict: the
+  ``IntegrityPolicy`` ladder (``off | digest | abft | dmr``), blake2b
+  output digests with a bounded :class:`DigestLedger`, and the request
+  coverage map for ABFT.
+
+Recovery (retry with fastpath bypass, failover, quarantine, fleet-wide
+retraction of poisoned replay recordings) lives in :mod:`repro.serve`.
+"""
+
+from repro.integrity.abft import correct_single, gemm_residues, verify_gemm
+from repro.integrity.check import (
+    INTEGRITY_POLICIES,
+    DigestLedger,
+    IntegrityVerdict,
+    abft_operands,
+    check_output,
+    coerce_policy,
+    covered,
+    output_digest,
+    request_digest,
+)
+from repro.integrity.inject import (
+    CORRUPTION_KINDS,
+    DMA_EVENT_MODULO,
+    SITE_SALTS,
+    VRF_EVENT_MODULO,
+    CorruptionDirective,
+    CorruptionSurface,
+)
+
+__all__ = [
+    "CORRUPTION_KINDS",
+    "DMA_EVENT_MODULO",
+    "INTEGRITY_POLICIES",
+    "SITE_SALTS",
+    "VRF_EVENT_MODULO",
+    "CorruptionDirective",
+    "CorruptionSurface",
+    "DigestLedger",
+    "IntegrityVerdict",
+    "abft_operands",
+    "check_output",
+    "coerce_policy",
+    "correct_single",
+    "covered",
+    "gemm_residues",
+    "output_digest",
+    "request_digest",
+    "verify_gemm",
+]

@@ -1,0 +1,116 @@
+"""Algorithm-based fault tolerance for the gemm family (Huang & Abraham).
+
+The classic ABFT construction augments ``D = alpha * A @ B + beta * C``
+with checksum rows and columns: because summation commutes with the
+matrix product, the column sums of a correct result must equal
+``alpha * (colsum(A) @ B) + beta * colsum(C)`` and the row sums must
+equal ``alpha * (A @ rowsum(B)) + beta * rowsum(C)``.  The differences
+between the observed sums and those references — the *residues* — are
+exactly zero for a correct device result, without ever computing a
+golden product.
+
+All checksum arithmetic here runs in the output dtype with numpy's
+wrapping integer operations.  The device accumulates in int64 and
+truncates to the output width, and truncation mod ``2**w`` is a ring
+homomorphism, so the checksum identities hold exactly in the wrapped
+ring — there is no tolerance, no epsilon: a nonzero residue *is*
+corruption.
+
+Detection coverage for a single flipped storage bit: a flip in ``A``
+perturbs the product by a rank-1 update ``±2**b * alpha * e_i @ B[k, :]``
+whose nonzero columns all show up in the column residue; a flip in ``B``
+symmetrically lands in the row residue; a flip in ``C`` or in the output
+itself perturbs one element and shows in both.  Any *manifest*
+corruption (one that changes the output at all) therefore flips at
+least one residue entry.  Flips that vanish in the ring (e.g. a carry
+out of the top bit under an even ``alpha``) leave the output correct
+and are benign by definition.
+
+When exactly one row residue entry and one column residue entry are
+nonzero and equal, the corruption is a single output element at their
+intersection and is corrected in place — the Huang & Abraham locate
+step — with a residue re-check guarding against aliased multi-element
+damage.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+
+def _wrap(value: int, dtype: np.dtype) -> np.ndarray:
+    """A scalar reduced into the output ring (matches device truncation)."""
+    return np.array(value, dtype=np.int64).astype(dtype)
+
+
+def gemm_residues(
+    a: np.ndarray,
+    b: np.ndarray,
+    c: np.ndarray,
+    alpha: int,
+    beta: int,
+    out: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Row and column checksum residues of ``out`` vs the ABFT references.
+
+    Both residues are zero vectors iff ``out`` is consistent with
+    ``alpha * a @ b + beta * c`` in the output dtype's wrapped ring.
+    """
+    dtype = out.dtype
+    a = np.asarray(a, dtype=dtype)
+    b = np.asarray(b, dtype=dtype)
+    c = np.asarray(c, dtype=dtype)
+    al = _wrap(alpha, dtype)
+    be = _wrap(beta, dtype)
+    # colsum(D) = alpha * colsum(A) @ B + beta * colsum(C); rowsum dual.
+    col_ref = al * (a.sum(axis=0, dtype=dtype) @ b) + be * c.sum(axis=0, dtype=dtype)
+    row_ref = al * (a @ b.sum(axis=1, dtype=dtype)) + be * c.sum(axis=1, dtype=dtype)
+    col_res = out.sum(axis=0, dtype=dtype) - col_ref
+    row_res = out.sum(axis=1, dtype=dtype) - row_ref
+    return row_res, col_res
+
+
+def correct_single(
+    out: np.ndarray, row_res: np.ndarray, col_res: np.ndarray
+) -> Optional[np.ndarray]:
+    """Locate and fix a single corrupted output element, if that is what
+    the residues describe: exactly one nonzero entry in each residue and
+    the two excesses agree.  Returns the corrected copy, or None when
+    the damage is not a lone element (caller escalates instead)."""
+    rows = np.flatnonzero(row_res)
+    cols = np.flatnonzero(col_res)
+    if len(rows) != 1 or len(cols) != 1:
+        return None
+    if row_res[rows[0]] != col_res[cols[0]]:
+        return None
+    fixed = out.copy()
+    fixed[rows[0], cols[0]] -= row_res[rows[0]]
+    return fixed
+
+
+def verify_gemm(
+    a: np.ndarray,
+    b: np.ndarray,
+    c: np.ndarray,
+    alpha: int,
+    beta: int,
+    out: np.ndarray,
+) -> Tuple[str, Optional[np.ndarray]]:
+    """Full ABFT verdict for one gemm-family output.
+
+    Returns ``("clean", out)`` when the residues vanish, ``("corrected",
+    fixed)`` when a single-element error was located, repaired and the
+    repaired output re-verified, or ``("corrupt", None)`` when the
+    corruption cannot be repaired locally.
+    """
+    row_res, col_res = gemm_residues(a, b, c, alpha, beta, out)
+    if not row_res.any() and not col_res.any():
+        return "clean", out
+    fixed = correct_single(out, row_res, col_res)
+    if fixed is not None:
+        row2, col2 = gemm_residues(a, b, c, alpha, beta, fixed)
+        if not row2.any() and not col2.any():
+            return "corrected", fixed
+    return "corrupt", None

@@ -84,6 +84,10 @@ class Dma2D:
         self._c_transfers = self.stats.counter("dma.transfers")
         self._c_bytes = self.stats.counter("dma.bytes")
         self._c_cycles = self.stats.counter("dma.cycles")
+        # Fault-injection hook (repro.integrity.inject): when armed it may
+        # return a corrupted copy of a row payload in flight.  None when no
+        # fault plan is armed — the hot path pays one attribute check.
+        self.corruption = None
 
     def _copy_row(self, request: DmaRequest, row: int) -> None:
         src = request.src_addr + row * request.src_stride
@@ -95,6 +99,8 @@ class Dma2D:
             raise RuntimeError(
                 f"DMA read returned {len(payload)} bytes, expected {request.row_bytes}"
             )
+        if self.corruption is not None:
+            payload = self.corruption.on_dma_row(payload)
         request.write(dst, payload)
 
     def transfer(self, request: DmaRequest) -> int:

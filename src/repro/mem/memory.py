@@ -12,8 +12,15 @@ import numpy as np
 from repro.utils.bitops import sign_extend
 
 
-class MemoryError(RuntimeError):
+class MainMemoryError(RuntimeError):
     """Out-of-range or misaligned access."""
+
+
+#: Deprecated alias.  The original name shadowed the Python builtin
+#: ``MemoryError``, which made ``except MemoryError:`` handlers catch
+#: simulator access errors (or vice versa) depending on which name was
+#: imported.  Import :class:`MainMemoryError` instead.
+MemoryError = MainMemoryError
 
 
 class MainMemory:
@@ -29,7 +36,7 @@ class MainMemory:
     def _offset(self, address: int, length: int) -> int:
         offset = address - self.base
         if offset < 0 or offset + length > self.size:
-            raise MemoryError(
+            raise MainMemoryError(
                 f"access [{address:#x}, +{length}) outside "
                 f"[{self.base:#x}, {self.base + self.size:#x})"
             )

@@ -76,6 +76,11 @@ class MatrixAllocator:
         self._c_regs_claimed = self.stats.counter("alloc.regs_claimed")
         self._c_regs_released = self.stats.counter("alloc.regs_released")
         self._c_evicted_dirty = self.stats.counter("alloc.evicted_dirty")
+        # Fault-injection hook (repro.integrity.inject): when armed it may
+        # return a corrupted copy of a row payload moved by the allocator's
+        # DMA transfers.  None when no fault plan is armed, so the per-row
+        # hot path pays one attribute check.
+        self.corruption = None
 
     # -- vector register management ------------------------------------------
 
@@ -150,6 +155,8 @@ class MatrixAllocator:
                 cached = self.controller.ct.lookup(address) is not None
                 cycles = self.bus.transfer_cycles(matrix.row_bytes, offchip=not cached)
                 payload = self.controller.route_read(address, matrix.row_bytes)
+                if self.corruption is not None:
+                    payload = self.corruption.on_dma_row(payload)
                 register = window[reg_start + i]
                 row = np.frombuffer(payload, dtype=matrix.etype.np_dtype)
                 vpu.vrf.write(register, row)
@@ -181,6 +188,8 @@ class MatrixAllocator:
                 cached = self.controller.ct.lookup(address) is not None
                 cycles = self.bus.transfer_cycles(matrix.row_bytes, offchip=not cached)
                 payload = self.controller.route_read(address, matrix.row_bytes)
+                if self.corruption is not None:
+                    payload = self.corruption.on_dma_row(payload)
                 values = np.frombuffer(payload, dtype=matrix.etype.np_dtype)
                 self.vpus[window.vpu_index].vrf.write(window[reg], values)
                 total += cycles
@@ -219,6 +228,8 @@ class MatrixAllocator:
                 cached = self.controller.ct.lookup(address) is not None
                 cycles = self.bus.transfer_cycles(matrix.row_bytes, offchip=not cached)
                 payload = self.controller.route_read(address, matrix.row_bytes)
+                if self.corruption is not None:
+                    payload = self.corruption.on_dma_row(payload)
                 values = np.frombuffer(payload, dtype=matrix.etype.np_dtype)
                 vpu.vrf.write(register, values, offset=row * matrix.cols)
                 total += cycles
@@ -255,7 +266,10 @@ class MatrixAllocator:
                 # the covering line pays the fill (paper III-A.4).
                 cached = self.controller.ct.lookup(address) is not None
                 cycles = self.bus.transfer_cycles(row_bytes, offchip=not cached)
-                self.controller.route_write(address, row.tobytes())
+                payload = row.tobytes()
+                if self.corruption is not None:
+                    payload = self.corruption.on_dma_row(payload)
+                self.controller.route_write(address, payload)
                 total += cycles
                 yield cycles
         finally:

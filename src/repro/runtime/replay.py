@@ -95,10 +95,14 @@ STEP_CLAIM, STEP_LOAD, STEP_STORE, STEP_VOP, STEP_READ, STEP_PREFETCH, STEP_WAIT
 class ReplayDivergence(RuntimeError):
     """A replayed stream observed different data than it recorded.
 
-    Unreachable through the public API (the launch key digests every
-    operand's bytes, destination included); raised as a hard
-    internal-invariant failure rather than risking a silently wrong
-    result.
+    Unreachable through the public API on a healthy machine (the launch
+    key digests every operand's bytes, destination included).  It *is*
+    reachable under injected silent data corruption: a recording made
+    while a fault was corrupting mid-kernel state carries poisoned
+    expected values, and a later clean replay of it trips this check.
+    The scheduler treats it as a poisoning signal — the recording is
+    invalidated locally and retracted from the fleet cache — and the
+    serving worker converts it into a retryable ``corrupted`` failure.
     """
 
 
@@ -724,6 +728,15 @@ class ReplayCache:
         #: ``(kernel_id, outcome)`` with outcome hit/miss/bypassed.  None
         #: (the default) keeps the hot path at one truthiness check.
         self.launch_log: Optional[List[Tuple[int, str]]] = None
+        #: integrity hook: when a list, every key this cache stored or
+        #: replayed during the current attempt is appended, so a failed
+        #: integrity check can invalidate/retract exactly the recordings
+        #: the corrupt run may have poisoned.  None (default) = off.
+        self.touched: Optional[List[tuple]] = None
+        #: escalation switch: while True the scheduler bypasses the fast
+        #: path entirely (no lookup, no recording) — used to re-execute a
+        #: corrupted request from first principles.
+        self.suspended = False
 
     def note_launch(self, kernel_id: int, outcome: str) -> None:
         """Record one launch's replay outcome when a log is attached."""
@@ -832,6 +845,19 @@ class ReplayCache:
         self.stats["invalidated"] += len(self._entries)
         self._entries.clear()
         self._compiled.clear()
+
+    def invalidate(self, key: tuple) -> None:
+        """Drop one recording locally and retract it from the fleet.
+
+        The poisoning defense: a recording whose replay diverged — or that
+        was touched by a run whose integrity check failed — must not be
+        served again, here or on any other worker.
+        """
+        if self._entries.pop(key, None) is not None:
+            self.stats["invalidated"] += 1
+        self._compiled.pop(key, None)
+        if self.fleet is not None:
+            self.fleet.retract(key)
 
     # -- replay preconditions ------------------------------------------------
 

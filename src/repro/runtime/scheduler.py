@@ -26,7 +26,13 @@ from repro.runtime.context import KernelContext
 from repro.runtime.kernel_lib import KernelLibrary, KernelSpec
 from repro.runtime.phases import PhaseBreakdown
 from repro.runtime.queue import KernelQueue, QueuedKernel
-from repro.runtime.replay import Recording, RecordingContext, ReplayCache, replay_kernel
+from repro.runtime.replay import (
+    Recording,
+    RecordingContext,
+    ReplayCache,
+    ReplayDivergence,
+    replay_kernel,
+)
 from repro.sim.kernel import Simulator
 from repro.sim.stats import StatsRegistry
 from repro.sim.trace import Tracer
@@ -67,6 +73,11 @@ class KernelScheduler:
         #: incompatible with per-op tracing and with multi-VPU sharding,
         #: so those launches always take the slow path.
         self.replay_cache = replay_cache
+        #: fault-injection hook (repro.integrity.inject): called once per
+        #: kernel launch with the kernel's operand bindings so an armed
+        #: plan can flip a bit in LLC-resident operand bytes.  None when
+        #: no plan is armed (one attribute check on the hot path).
+        self.corruption = None
         self.completed: List[QueuedKernel] = []
         self._c_kernels = self.stats.counter("scheduler.kernels")
         self.breakdowns: Dict[int, PhaseBreakdown] = {}
@@ -143,12 +154,19 @@ class KernelScheduler:
             phases = PhaseBreakdown()
             phases.add("preamble", kernel.preamble_cycles + self.SCHEDULE_CYCLES)
             yield self.SCHEDULE_CYCLES
+            if self.corruption is not None:
+                # fires before the replay key is computed, so a flipped
+                # operand byte keys its own (corrupt) recording instead of
+                # poisoning the clean one
+                self.corruption.on_kernel(kernel, self.controller)
 
             if self.multi_vpu and len(self.dispatcher.free_vpus()) > 1:
                 yield from self._execute_multi(kernel, spec.body, phases)
             else:
                 vpu_index = self.select_vpu()
-                if self.replay_cache is not None and not self.tracer.enabled:
+                if self.replay_cache is not None \
+                        and not self.replay_cache.suspended \
+                        and not self.tracer.enabled:
                     yield from self._execute_replayable(kernel, spec, vpu_index, phases)
                 else:
                     yield from self._execute_single(kernel, spec.body, vpu_index, phases)
@@ -181,6 +199,8 @@ class KernelScheduler:
             if cache.can_replay(recording, self, vpu_index):
                 cache.stats["hits"] += 1
                 cache.note_launch(kernel.kernel_id, "hit")
+                if cache.touched is not None:
+                    cache.touched.append(key)
                 yield from self._execute_recorded(
                     recording, kernel, vpu_index, phases, key
                 )
@@ -201,6 +221,8 @@ class KernelScheduler:
         }
         if recording.finalize(delta):
             cache.stats["recorded"] += 1
+        if cache.touched is not None:
+            cache.touched.append(key)
         cache.store(key, recording)
 
     def _execute_recorded(
@@ -215,6 +237,12 @@ class KernelScheduler:
         )
         try:
             yield from replay_kernel(recording, kernel, context, self, compiled)
+        except ReplayDivergence:
+            # the recording no longer matches the machine — most likely a
+            # corrupted (poisoned) recording; drop it locally and retract
+            # it from the fleet cache before the error propagates
+            cache.invalidate(key)
+            raise
         finally:
             context.release_all()
             self.dispatcher.release(vpu_index)

@@ -41,8 +41,11 @@ from repro.serve.dispatch import (
     SerialPool,
     estimate_service_cycles,
 )
+from repro.integrity.check import INTEGRITY_POLICIES
+from repro.integrity.inject import CORRUPTION_KINDS
 from repro.serve.engine import POLICIES, ServingEngine
 from repro.serve.faults import (
+    ALL_FAULT_KINDS,
     FAULT_KINDS,
     FaultClause,
     FaultInjector,
@@ -51,6 +54,7 @@ from repro.serve.faults import (
     RequestRejected,
     RetryPolicy,
     ServingError,
+    SilentCorruptionError,
     TransientOffloadError,
     WorkerCrashError,
     WorkerSupervisor,
@@ -80,9 +84,12 @@ from repro.serve.worker import SystemWorker
 
 __all__ = [
     "ADMISSION_POLICIES",
+    "ALL_FAULT_KINDS",
     "CLOCKS",
+    "CORRUPTION_KINDS",
     "CYCLE_CLOCK",
     "FAULT_KINDS",
+    "INTEGRITY_POLICIES",
     "KINDS",
     "MODES",
     "POLICIES",
@@ -108,6 +115,7 @@ __all__ = [
     "ServingEngine",
     "ServingError",
     "ServingReport",
+    "SilentCorruptionError",
     "SystemWorker",
     "TrafficSpec",
     "TransientOffloadError",

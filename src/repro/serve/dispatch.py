@@ -240,9 +240,12 @@ class SerialPool:
         attempt: int = 1,
         observe: bool = False,
         slow_factor: float = 1.0,
+        directives: Sequence = (),
+        bypass_fastpath: bool = False,
     ) -> RequestResult:
         return self.workers[worker].run(
-            request, attempt=attempt, observe=observe, slow_factor=slow_factor
+            request, attempt=attempt, observe=observe, slow_factor=slow_factor,
+            directives=directives, bypass_fastpath=bypass_fastpath,
         )
 
     def apply_injected(self, worker: int, error: ServingError) -> None:
@@ -304,29 +307,38 @@ def _run_static(
 
 
 def _pool_shard_main(
-    conn, worker_indices, config, with_compiled, share_replay
+    conn, worker_indices, config, with_compiled, share_replay, integrity="off"
 ) -> None:
     """Shard-process entry point: own a subset of workers, serve commands.
 
-    Every reply carries the shard's newly published fleet recordings;
-    every command may carry recordings published by *other* shards
-    (adopted before the command runs), which is the multiprocessing
-    publish/subscribe path of the shared fleet replay cache.
+    Every reply carries the shard's newly published fleet recordings and
+    any keys it *retracted* (poisoned recordings); every command may
+    carry recordings published — and retractions issued — by *other*
+    shards (applied before the command runs).  This is the
+    multiprocessing publish/subscribe path of the shared fleet replay
+    cache; because ``retract`` also cancels the shard's own pending
+    publishes, a recording poisoned and caught in the same command never
+    leaves its shard at all.
     """
     from repro.serve.fleet import FleetReplayCache
 
     fleet = FleetReplayCache() if share_replay else None
     workers = {
-        index: SystemWorker(index, config, with_compiled, fleet=fleet)
+        index: SystemWorker(
+            index, config, with_compiled, fleet=fleet, integrity=integrity
+        )
         for index in worker_indices
     }
     while True:
         try:
-            command, kwargs, updates = conn.recv()
+            command, kwargs, updates, retracted = conn.recv()
         except (EOFError, OSError):
             break
-        if fleet is not None and updates:
-            fleet.adopt(updates)
+        if fleet is not None:
+            if retracted:
+                fleet.discard(retracted)
+            if updates:
+                fleet.adopt(updates)
         if command == "close":
             break
         status: str = "ok"
@@ -340,6 +352,8 @@ def _pool_shard_main(
                         kwargs["request"], attempt=kwargs["attempt"],
                         observe=kwargs["observe"],
                         slow_factor=kwargs["slow_factor"],
+                        directives=kwargs.get("directives", ()),
+                        bypass_fastpath=kwargs.get("bypass_fastpath", False),
                     )
                 except ServingError as error:
                     status, value = "err", error
@@ -375,8 +389,9 @@ def _pool_shard_main(
         except Exception as error:  # pragma: no cover - defensive
             status, value = "fatal", f"{type(error).__name__}: {error}"
         published = fleet.drain_outbox() if fleet is not None else []
+        retractions = fleet.drain_retractions() if fleet is not None else []
         try:
-            conn.send((status, value, recovery, published))
+            conn.send((status, value, recovery, published, retractions))
         except (BrokenPipeError, OSError):  # pragma: no cover - parent died
             break
     conn.close()
@@ -402,6 +417,7 @@ class ProcessPool:
         config=None,
         with_compiled: bool = True,
         share_replay: bool = False,
+        integrity: str = "off",
     ) -> None:
         import multiprocessing as mp
 
@@ -410,11 +426,14 @@ class ProcessPool:
         self.pool_size = pool_size
         self.processes = processes
         self.share_replay = share_replay
+        self.integrity = integrity
         self.shard_of = {w: w % processes for w in range(pool_size)}
         self._busy = [0] * pool_size
         self._recovery: List[Optional[Dict[str, Optional[str]]]] = [None] * pool_size
         #: recordings published by other shards, awaiting the next command
         self._updates: List[list] = [[] for _ in range(processes)]
+        #: keys retracted by other shards, awaiting the next command
+        self._retracted: List[list] = [[] for _ in range(processes)]
         self._conns = []
         self._procs = []
         ctx = mp.get_context()
@@ -423,7 +442,8 @@ class ProcessPool:
             indices = [w for w in range(pool_size) if w % processes == p]
             proc = ctx.Process(
                 target=_pool_shard_main,
-                args=(child_conn, indices, config, with_compiled, share_replay),
+                args=(child_conn, indices, config, with_compiled, share_replay,
+                      integrity),
                 daemon=True,
             )
             proc.start()
@@ -435,21 +455,34 @@ class ProcessPool:
     def n_workers(self) -> int:
         return self.pool_size
 
-    def _distribute(self, shard: int, published: list) -> None:
-        if not published:
-            return
+    def _distribute(self, shard: int, published: list, retractions: list) -> None:
         for other in range(self.processes):
-            if other != shard:
+            if other == shard:
+                continue
+            if published:
                 self._updates[other].extend(published)
+            if retractions:
+                self._retracted[other].extend(retractions)
+        if retractions:
+            # a retracted key must not resurface from a stale pending
+            # update either (shard A published it, shard B retracted it
+            # before shard C saw the publish)
+            keys = set(retractions)
+            for other in range(self.processes):
+                self._updates[other] = [
+                    (k, r) for k, r in self._updates[other] if k not in keys
+                ]
 
     def _send(self, shard: int, command: str, **kwargs) -> None:
         updates = self._updates[shard]
         self._updates[shard] = []
-        self._conns[shard].send((command, kwargs, updates))
+        retracted = self._retracted[shard]
+        self._retracted[shard] = []
+        self._conns[shard].send((command, kwargs, updates, retracted))
 
     def _recv(self, shard: int):
-        status, value, recovery, published = self._conns[shard].recv()
-        self._distribute(shard, published)
+        status, value, recovery, published, retractions = self._conns[shard].recv()
+        self._distribute(shard, published, retractions)
         if status == "fatal":
             raise RuntimeError(f"pool shard {shard} failed: {value}")
         return status, value, recovery
@@ -465,11 +498,14 @@ class ProcessPool:
         attempt: int = 1,
         observe: bool = False,
         slow_factor: float = 1.0,
+        directives: Sequence = (),
+        bypass_fastpath: bool = False,
     ) -> RequestResult:
         shard = self.shard_of[worker]
         status, value, recovery = self._request(
             shard, "run", worker=worker, request=request, attempt=attempt,
             observe=observe, slow_factor=slow_factor,
+            directives=tuple(directives), bypass_fastpath=bypass_fastpath,
         )
         self._recovery[worker] = recovery
         if status == "err":
@@ -561,7 +597,7 @@ class ProcessPool:
     def close(self) -> None:
         for conn in self._conns:
             try:
-                conn.send(("close", {}, []))
+                conn.send(("close", {}, [], []))
                 conn.close()
             except (BrokenPipeError, OSError):
                 pass
@@ -639,6 +675,17 @@ class DispatchCore:
             "failovers": 0,
             "failed_attempts_by_class": {},
         }
+        #: corruption-recovery tally, kept out of ``tally`` so the
+        #: availability schema stays byte-identical when nothing corrupts;
+        #: the engine folds it into the report's ``integrity`` section
+        self.corruption_tally: Dict[str, int] = {
+            "escalations": 0,
+            "bypass_retries": 0,
+            "failover_escalations": 0,
+        }
+        #: request positions that suffered >= 1 corrupted-class failure
+        #: in the last ``run`` (filled at the end of every run)
+        self.corrupted_positions: List[int] = []
 
     def backlog(self, worker: int, now: int) -> int:
         """Cycles of pending work on ``worker`` as seen at cycle ``now``."""
@@ -678,7 +725,12 @@ class DispatchCore:
         return min(pool, key=lambda w: (self.backend.busy_cycles(w), w))
 
     def _attempt(
-        self, worker: int, request: InferenceRequest, attempt: int, observe: bool
+        self,
+        worker: int,
+        request: InferenceRequest,
+        attempt: int,
+        observe: bool,
+        bypass_fastpath: bool = False,
     ) -> Tuple[Optional[RequestResult], Optional[ServingError]]:
         """One attempt: draw the fault in the core, execute on the backend.
 
@@ -686,18 +738,23 @@ class DispatchCore:
         execution, in deterministic dispatch order — and the decision's
         worker-side effects (failure counters, crash rebuilds) are
         mirrored to the owning backend, wherever the worker lives.
+        Corruption directives are drawn here too (same reason) and
+        shipped to the worker for application mid-execution.
         """
         slow_factor = 1.0
+        directives: Sequence = ()
         if self.injector is not None:
             try:
                 slow_factor = self.injector.before_attempt(request, attempt, worker)
             except ServingError as error:
                 self.backend.apply_injected(worker, error)
                 return None, error
+            directives = self.injector.corruption_for(request, attempt, worker)
         try:
             result = self.backend.execute(
                 worker, request, attempt=attempt, observe=observe,
-                slow_factor=slow_factor,
+                slow_factor=slow_factor, directives=directives,
+                bypass_fastpath=bypass_fastpath,
             )
         except ServingError as error:
             return None, error
@@ -738,6 +795,10 @@ class DispatchCore:
         results: List[Optional[RequestResult]] = [None] * len(requests)
         attempt_errors: Dict[int, List[str]] = {}
         last_failed: Dict[int, int] = {}
+        #: corruption-escalation state: how many ``corrupted`` failures a
+        #: position has taken, and (level 1 only) the worker to re-run on
+        corrupted_level: Dict[int, int] = {}
+        sticky_retry: Dict[int, int] = {}
         dispatched_starts: List[int] = []
         arrived: set = set()
         rec = self.recorder
@@ -783,12 +844,26 @@ class DispatchCore:
                     )
                     continue
             avoid = last_failed.get(position)
-            candidates = self._candidates(ready, avoid)
-            worker = self._select_worker(
-                ready, attempt, candidates,
-                preferred[position] if preferred is not None else None,
-                avoid,
-            )
+            sticky = sticky_retry.pop(position, None)
+            if sticky is not None:
+                # corruption escalation, level 1: re-run on the *same*
+                # worker with the replay fast path bypassed — the prime
+                # suspect is a poisoned recording, not the silicon —
+                # unless the supervisor pulled that worker meanwhile
+                candidates = self._candidates(ready, None)
+                if sticky in candidates:
+                    worker = sticky
+                else:
+                    worker = self._select_worker(
+                        ready, attempt, candidates, None, avoid
+                    )
+            else:
+                candidates = self._candidates(ready, avoid)
+                worker = self._select_worker(
+                    ready, attempt, candidates,
+                    preferred[position] if preferred is not None else None,
+                    avoid,
+                )
             start = max(ready, self.free_at[worker]) if cycles else ready
             # deadline-aware load shedding: don't burn cycles on a request
             # whose queue delay already blew its deadline
@@ -819,6 +894,9 @@ class DispatchCore:
             failover = attempt > 1 and worker != last_failed.get(position)
             if failover:
                 self.tally["failovers"] += 1
+            bypass = corrupted_level.get(position, 0) > 0
+            if bypass and attempt > 1:
+                self.corruption_tally["bypass_retries"] += 1
             attempt_span = 0
             if rec.enabled:
                 attempt_span = rec.begin(
@@ -828,7 +906,9 @@ class DispatchCore:
                     cause="retry" if attempt > 1 else None,
                     failover=failover or None,
                 )
-            result, error = self._attempt(worker, request, attempt, rec.enabled)
+            result, error = self._attempt(
+                worker, request, attempt, rec.enabled, bypass_fastpath=bypass
+            )
             if error is not None:
                 if rec.enabled:
                     # a fault fires at its dispatch instant: zero duration
@@ -840,6 +920,14 @@ class DispatchCore:
                     attempt_errors.setdefault(position, []),
                 )
                 last_failed[position] = worker
+                if error.fault_class == "corrupted":
+                    level = corrupted_level.get(position, 0) + 1
+                    corrupted_level[position] = level
+                    self.corruption_tally["escalations"] += 1
+                    if level == 1:
+                        sticky_retry[position] = worker
+                    else:
+                        self.corruption_tally["failover_escalations"] += 1
                 if error.retryable and attempt < self.retry.max_attempts:
                     retry_at = ready + self.retry.backoff(attempt) if cycles else ready
                     self.events.append(OnlineEvent(ready, RETRY, rid, worker))
@@ -916,6 +1004,10 @@ class DispatchCore:
         while completions:
             cycle, _, crid, worker = heapq.heappop(completions)
             self.events.append(OnlineEvent(cycle, COMPLETION, crid, worker))
+        # positions whose attempts raised at least one corrupted-class
+        # failure; the engine maps these back to requests for the
+        # report's detection/recovery accounting
+        self.corrupted_positions = sorted(corrupted_level)
         assert all(r is not None for r in results)
         return results  # type: ignore[return-value]
 

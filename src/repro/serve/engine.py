@@ -51,6 +51,9 @@ from repro.compiler.library import NAME_BY_FUNC5
 from repro.compiler.tune import ScheduleCache, Tuner, geometry_key
 from repro.core.config import ArcaneConfig
 from repro.eval.serving import ServingReport, build_serving_report
+from repro.integrity.check import coerce_policy
+from repro.integrity.check import covered as abft_covered
+from repro.integrity.inject import CORRUPTION_KINDS
 from repro.obs.metrics import build_timeline
 from repro.obs.spans import NULL_RECORDER, NullRecorder, SpanRecorder
 from repro.serve.dispatch import (
@@ -127,6 +130,7 @@ class ServingEngine:
         admission: Union[str, AdmissionPolicy, None] = "fifo",
         share_replay: bool = False,
         autotune: Union[bool, int, AutotunePolicy, None] = None,
+        integrity: Union[str, None] = "off",
     ) -> None:
         if pool_size < 1:
             raise ValueError("pool needs at least one system")
@@ -140,6 +144,7 @@ class ServingEngine:
         self.policy = policy
         self.admission = AdmissionPolicy.coerce(admission)
         self.share_replay = share_replay
+        self.integrity = coerce_policy(integrity)
         #: what the caller asked for; ``processes`` is the effective count
         self.requested_processes = processes
         self.processes = min(processes, pool_size)
@@ -172,7 +177,10 @@ class ServingEngine:
         if self.processes == 1:
             fleet = FleetReplayCache() if share_replay else None
             self._workers = [
-                SystemWorker(i, config, with_compiled, fleet=fleet)
+                SystemWorker(
+                    i, config, with_compiled, fleet=fleet,
+                    integrity=self.integrity,
+                )
                 for i in range(pool_size)
             ]
             self._backend = SerialPool(self._workers)
@@ -255,7 +263,7 @@ class ServingEngine:
         if self._backend is None:
             self._backend = ProcessPool(
                 self.pool_size, self.processes, self.config, self.with_compiled,
-                share_replay=self.share_replay,
+                share_replay=self.share_replay, integrity=self.integrity,
             )
         return self._backend
 
@@ -325,7 +333,9 @@ class ServingEngine:
 
     @staticmethod
     def _verify_outputs(
-        requests: Sequence[InferenceRequest], results: Sequence[RequestResult]
+        requests: Sequence[InferenceRequest],
+        results: Sequence[RequestResult],
+        validate: str = "strict",
     ) -> bool:
         """Check every completed output against the golden model.
 
@@ -333,7 +343,19 @@ class ServingEngine:
         reports, per mismatch, how many elements differ and the max
         absolute difference.  Non-completed results (failed/shed) carry
         no output and are skipped.
+
+        ``validate="strict"`` (the default) raises ``AssertionError`` on
+        any mismatch.  ``validate="report"`` instead downgrades each
+        mismatching result in place — ``status="corrupted"``,
+        ``fault_class="corrupted"``, the mismatch detail on ``error`` —
+        keeping the suspect output and the rest of the batch intact,
+        and returns ``False``.  This is how undetected silent corruption
+        is measured without aborting a serving run.
         """
+        if validate not in ("strict", "report"):
+            raise ValueError(
+                f"validate must be 'strict' or 'report', got {validate!r}"
+            )
         mismatches: List[str] = []
         for request, result in zip(requests, results):
             if not result.completed:
@@ -344,21 +366,30 @@ class ServingEngine:
                 continue
             if actual is None or actual.shape != expected.shape:
                 got = "None" if actual is None else f"shape {actual.shape}"
-                mismatches.append(
+                detail = (
                     f"request {request.request_id} ({request.kind}): expected "
                     f"shape {expected.shape}, got {got}"
                 )
-                continue
-            diff = np.abs(
-                np.asarray(actual, dtype=np.int64)
-                - np.asarray(expected, dtype=np.int64)
-            )
-            mismatches.append(
-                f"request {request.request_id} ({request.kind}): "
-                f"{int(np.count_nonzero(diff))}/{diff.size} elements differ, "
-                f"max |diff| = {int(diff.max())}"
-            )
+            else:
+                diff = np.abs(
+                    np.asarray(actual, dtype=np.int64)
+                    - np.asarray(expected, dtype=np.int64)
+                )
+                detail = (
+                    f"request {request.request_id} ({request.kind}): "
+                    f"{int(np.count_nonzero(diff))}/{diff.size} elements differ, "
+                    f"max |diff| = {int(diff.max())}"
+                )
+            mismatches.append(detail)
+            if validate == "report":
+                result.status = "corrupted"
+                result.fault_class = "corrupted"
+                result.error = (
+                    f"{result.error}; {detail}" if result.error else detail
+                )
         if mismatches:
+            if validate == "report":
+                return False
             raise AssertionError(
                 f"{len(mismatches)} request(s) mismatch the golden model: "
                 + "; ".join(mismatches)
@@ -385,7 +416,7 @@ class ServingEngine:
     def serve(
         self,
         requests: Sequence[InferenceRequest],
-        verify: bool = False,
+        verify: Union[bool, str] = False,
         faults: Optional[Union[str, FaultPlan]] = None,
         fault_seed: int = 0,
         retry: Optional[RetryPolicy] = None,
@@ -393,8 +424,13 @@ class ServingEngine:
         """Run every request as an offline batch, return the aggregate report.
 
         Per-request results (with outputs) are kept on ``report.results``;
-        with ``verify=True`` every completed output is checked against the
-        numpy golden model and any mismatch raises with full detail.
+        with ``verify=True`` (or ``verify="strict"``) every completed
+        output is checked against the numpy golden model and any mismatch
+        raises with full detail.  ``verify="report"`` performs the same
+        check but marks mismatching results ``status="corrupted"`` in
+        place instead of raising — the batch survives, and the report's
+        ``integrity`` section counts the misses as *undetected*
+        corruption.
 
         A request that fails does **not** abort the batch: retryable
         failures are retried (immediately, failing over to a different
@@ -417,12 +453,19 @@ class ServingEngine:
         replay_before = backend.replay_stats()
         # wall time covers serving on a ready pool in every mode: the
         # serial pool is built in __init__, process shards on first use.
-        if self.processes > 1 and plan is None and retry is None:
+        if (
+            self.processes > 1 and plan is None and retry is None
+            and self.integrity == "off"
+        ):
             # static fast path: assignment is precomputed and nothing can
-            # reorder it, so shards run their slices concurrently
+            # reorder it, so shards run their slices concurrently; an
+            # integrity policy needs the core's escalation loop, so it
+            # always takes the dispatch path
             wall, results = backend.run_batch(assignments)
             health = None
             events = None
+            injector = None
+            core = None
         else:
             injector = FaultInjector(plan, fault_seed) if plan else None
             supervisor = WorkerSupervisor(self.pool_size)
@@ -442,8 +485,9 @@ class ServingEngine:
         admission = self.admission.kind
 
         verified: Optional[bool] = None
-        if verify:
-            verified = self._verify_outputs(requests, results)
+        validated = self._validate_mode(verify)
+        if validated is not None:
+            verified = self._verify_outputs(requests, results, validate=validated)
 
         report = build_serving_report(
             results, self.pool_size, self.processes, self.policy, wall, verified,
@@ -455,7 +499,106 @@ class ServingEngine:
             report.dispatch_events = events
         report.replay = self._replay_delta(replay_before)
         report.autotune = self._autotune_report()
+        report.integrity = self._collect_integrity(
+            injector, core, requests, results, validated
+        )
         return report
+
+    @staticmethod
+    def _validate_mode(verify: Union[bool, str]) -> Optional[str]:
+        """Map the ``verify`` argument onto a ``_verify_outputs`` mode."""
+        if verify is False or verify is None:
+            return None
+        if verify is True:
+            return "strict"
+        if verify in ("strict", "report"):
+            return verify
+        raise ValueError(
+            f"verify must be a bool, 'strict' or 'report', got {verify!r}"
+        )
+
+    def _collect_integrity(
+        self,
+        injector: Optional[FaultInjector],
+        core: Optional[DispatchCore],
+        requests: Sequence[InferenceRequest],
+        results: Sequence[RequestResult],
+        validated: Optional[str],
+    ) -> Optional[Dict]:
+        """The report's ``integrity`` section (None when nothing to say).
+
+        Emitted when an integrity policy is armed or the fault plan
+        injects data corruption.  ``detected`` counts requests the
+        running checks flagged (and escalated); ``corrected`` counts
+        outputs ABFT repaired in place without a retry; ``undetected``
+        (and detection ``recall``) need golden validation and are only
+        present when ``verify="report"`` ran.  ``covered`` narrows the
+        same accounting to ABFT-covered (gemm-family) requests — the
+        kernels the acceptance gate holds to recall 1.0.
+        """
+        corrupts = injector is not None and injector.corrupts
+        if self.integrity == "off" and not corrupts:
+            return None
+        injected = {}
+        if injector is not None:
+            injected = {
+                kind: injector.injected[kind]
+                for kind in CORRUPTION_KINDS
+                if kind in injector.injected
+            }
+        positions = list(core.corrupted_positions) if core is not None else []
+        detected = len(positions)
+        recovered = sum(
+            1 for p in positions if p < len(results) and results[p].status == "ok"
+        )
+        corrected = sum(
+            1
+            for r in results
+            if r.integrity is not None and r.integrity.get("corrected")
+        )
+        tally = (
+            dict(core.corruption_tally)
+            if core is not None
+            else {"escalations": 0, "bypass_retries": 0, "failover_escalations": 0}
+        )
+        section: Dict = {
+            "policy": self.integrity,
+            "injected": injected,
+            "detected": detected,
+            "corrected": corrected,
+            "recovered": recovered,
+            "escalations": tally,
+        }
+        if validated == "report":
+            undetected = sum(1 for r in results if r.status == "corrupted")
+            caught = detected + corrected
+            total = caught + undetected
+            section["undetected"] = undetected
+            section["recall"] = (caught / total) if total else 1.0
+            flags = [abft_covered(request) for request in requests]
+            covered_caught = sum(
+                1 for p in positions if p < len(flags) and flags[p]
+            ) + sum(
+                1
+                for i, r in enumerate(results)
+                if flags[i]
+                and r.integrity is not None
+                and r.integrity.get("corrected")
+            )
+            covered_undetected = sum(
+                1
+                for i, r in enumerate(results)
+                if flags[i] and r.status == "corrupted"
+            )
+            covered_total = covered_caught + covered_undetected
+            section["covered"] = {
+                "requests": sum(flags),
+                "undetected": covered_undetected,
+                "recall": (
+                    covered_caught / covered_total if covered_total else 1.0
+                ),
+            }
+        return section
 
     def _collect_health(
         self,
@@ -485,7 +628,7 @@ class ServingEngine:
         requests: Sequence[InferenceRequest],
         traffic: Optional[Union[str, TrafficSpec]] = None,
         seed: int = 0,
-        verify: bool = False,
+        verify: Union[bool, str] = False,
         faults: Optional[Union[str, FaultPlan]] = None,
         fault_seed: int = 0,
         retry: Optional[RetryPolicy] = None,
@@ -555,8 +698,9 @@ class ServingEngine:
         wall = time.perf_counter() - start
 
         verified: Optional[bool] = None
-        if verify:
-            verified = self._verify_outputs(requests, results)
+        validated = self._validate_mode(verify)
+        if validated is not None:
+            verified = self._verify_outputs(requests, results, validate=validated)
 
         health = self._collect_health(injector, supervisor, core.tally, before)
         report = build_serving_report(
@@ -570,6 +714,9 @@ class ServingEngine:
         report.dispatch_events = list(core.events)
         report.replay = self._replay_delta(replay_before)
         report.autotune = self._autotune_report()
+        report.integrity = self._collect_integrity(
+            injector, core, requests, results, validated
+        )
         if observe:
             report.spans = recorder
             report.timeline = build_timeline(

@@ -10,7 +10,12 @@ a deterministic way to rehearse all of it.  This module provides:
 * a **fault plan** grammar parsed like a traffic spec
   (:meth:`FaultPlan.parse`), e.g. ``"kill:0.05"``,
   ``"transient:0.1"``, ``"slow:0.02:4x"``, ``"crash_worker:2@50"``,
-  with clauses combined by commas: ``"kill:0.05,slow:0.02:4x"``;
+  with clauses combined by commas: ``"kill:0.05,slow:0.02:4x"``.
+  Data-corruption clauses (``"flip:0.01"``, ``"dma_corrupt:0.01"``,
+  ``"vrf_flip:0.01"``, ``"stuck_line:1@5"``) inject *silent* wrong
+  answers instead of loud failures; detection is the integrity layer's
+  job (:mod:`repro.integrity`) and their seeded draws live on salted
+  streams so they never perturb the legacy clauses' decisions;
 * a **seeded injector** (:class:`FaultInjector`) that decides, at the
   :class:`~repro.serve.worker.SystemWorker` boundary, whether a given
   ``(request, attempt)`` is killed, transiently failed, slowed, or lands
@@ -26,9 +31,13 @@ a deterministic way to rehearse all of it.  This module provides:
   is rebuilt), a countdown releases it into *probation*, and one clean
   request reinstates it.
 
-Injected faults fire *before* the kernel executes, so a failed attempt
-never perturbs the simulated machine: the retry that succeeds produces
-output and cycle counts bit-exact with a fault-free run.
+Injected availability faults fire *before* the kernel executes, so a
+failed attempt never perturbs the simulated machine: the retry that
+succeeds produces output and cycle counts bit-exact with a fault-free
+run.  Data-corruption faults are the deliberate exception — they flip
+bits *during* execution and let the attempt "succeed" with a wrong
+answer; catching that is the job of :mod:`repro.integrity` and the
+``corrupted`` recovery path.
 """
 
 from __future__ import annotations
@@ -38,10 +47,19 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.integrity.inject import CORRUPTION_KINDS, SITE_SALTS, CorruptionDirective
 from repro.obs.spans import NULL_RECORDER
 
-#: Fault kinds understood by :meth:`FaultPlan.parse`.
+#: Availability fault kinds (the original grammar).  The data-corruption
+#: kinds (``flip``/``dma_corrupt``/``vrf_flip``/``stuck_line``) come from
+#: :mod:`repro.integrity.inject`; a plan may mix both families freely.
 FAULT_KINDS = ("kill", "transient", "slow", "crash_worker")
+
+#: Every kind :meth:`FaultPlan.parse` accepts.
+ALL_FAULT_KINDS = FAULT_KINDS + CORRUPTION_KINDS
+
+#: mask applied to rng stream key components (SeedSequence entropy words)
+_SEED_MASK = 0xFFFFFFFF
 
 #: Worker health states tracked by :class:`WorkerSupervisor`.
 HEALTHY, QUARANTINED, PROBATION = "healthy", "quarantined", "probation"
@@ -105,6 +123,21 @@ class RequestRejected(ServingError):
     fault_class = "rejected"
 
 
+class SilentCorruptionError(ServingError):
+    """An integrity check caught a corrupted result before it shipped.
+
+    Raised when ABFT residues are nonzero and unrepairable, an output
+    digest diverges from a prior run of the same payload, a DMR shadow
+    execution disagrees, or a replay recording turns out poisoned
+    (:class:`~repro.runtime.replay.ReplayDivergence`).  Retryable: the
+    dispatch core escalates — first a re-execution with the replay fast
+    path bypassed, then failover to a different worker — and repeat
+    offenders are quarantined by the supervisor.
+    """
+
+    fault_class = "corrupted"
+
+
 # -- fault plan grammar -------------------------------------------------------
 
 
@@ -113,9 +146,11 @@ class FaultClause:
     """One parsed fault clause.
 
     ``probability``/``factor`` apply to the stochastic kinds
-    (``kill``/``transient``/``slow``); ``worker``/``at_request`` to the
-    deterministic ``crash_worker`` kind (crash worker ``worker`` the
-    ``at_request``-th time it executes an attempt, 1-based).
+    (``kill``/``transient``/``slow`` and the corruption kinds
+    ``flip``/``dma_corrupt``/``vrf_flip``); ``worker``/``at_request`` to
+    the deterministic kinds (``crash_worker``/``stuck_line``: fault
+    worker ``worker`` the ``at_request``-th time it executes an attempt,
+    1-based).
     """
 
     kind: str
@@ -125,21 +160,21 @@ class FaultClause:
     at_request: int = -1
 
     def __post_init__(self) -> None:
-        if self.kind not in FAULT_KINDS:
+        if self.kind not in ALL_FAULT_KINDS:
             raise ValueError(
-                f"unknown fault kind {self.kind!r}; expected one of {FAULT_KINDS}"
+                f"unknown fault kind {self.kind!r}; expected one of {ALL_FAULT_KINDS}"
             )
-        if self.kind in ("kill", "transient", "slow"):
+        if self.kind in ("kill", "transient", "slow", "flip", "dma_corrupt", "vrf_flip"):
             if not (0.0 < self.probability <= 1.0):
                 raise ValueError(
                     f"{self.kind} needs a probability in (0, 1], got {self.probability}"
                 )
         if self.kind == "slow" and self.factor <= 1.0:
             raise ValueError(f"slow needs a factor > 1, got {self.factor}")
-        if self.kind == "crash_worker":
+        if self.kind in ("crash_worker", "stuck_line"):
             if self.worker < 0 or self.at_request < 1:
                 raise ValueError(
-                    "crash_worker needs <worker>@<nth-request> with worker >= 0 "
+                    f"{self.kind} needs <worker>@<nth-request> with worker >= 0 "
                     f"and nth >= 1, got {self.worker}@{self.at_request}"
                 )
 
@@ -147,8 +182,8 @@ class FaultClause:
         def num(x: float) -> str:
             return str(int(x)) if float(x).is_integer() else str(x)
 
-        if self.kind == "crash_worker":
-            return f"crash_worker:{self.worker}@{self.at_request}"
+        if self.kind in ("crash_worker", "stuck_line"):
+            return f"{self.kind}:{self.worker}@{self.at_request}"
         if self.kind == "slow":
             return f"slow:{num(self.probability)}:{num(self.factor)}x"
         return f"{self.kind}:{num(self.probability)}"
@@ -174,6 +209,12 @@ class FaultPlan:
             transient:<p>             # transient offload failure, prob. p
             slow:<p>:<factor>x        # latency spike: service * factor
             crash_worker:<w>@<n>      # worker w crashes on its n-th attempt
+            flip:<p>                  # one LLC operand bit flips, prob. p
+            dma_corrupt:<p>           # one DMA row payload bit flips, prob. p
+            vrf_flip:<p>              # one VPU register-file write bit flips
+            stuck_line:<w>@<n>        # a cache line of worker w sticks on
+                                      # its n-th attempt (persists until
+                                      # the worker is rebuilt)
         """
         clauses: List[FaultClause] = []
         for chunk in str(text).split(","):
@@ -183,7 +224,7 @@ class FaultPlan:
             kind, _, rest = chunk.partition(":")
             kind = kind.strip()
             try:
-                if kind == "crash_worker":
+                if kind in ("crash_worker", "stuck_line"):
                     worker_s, sep, nth_s = rest.partition("@")
                     if not sep:
                         raise ValueError("expected <worker>@<nth-request>")
@@ -240,8 +281,13 @@ class FaultInjector:
         self.seed = int(seed)
         #: attempts each worker has begun executing (crash-clause clock)
         self.worker_runs: Dict[int, int] = {}
-        #: injected-fault tally by kind, surfaced in the availability report
+        #: injected-fault tally by kind, surfaced in the availability report.
+        #: The legacy kinds are always present (report-schema stability);
+        #: corruption kinds appear only when the plan mentions them.
         self.injected: Dict[str, int] = {kind: 0 for kind in FAULT_KINDS}
+        for kind in CORRUPTION_KINDS:
+            if any(clause.kind == kind for clause in plan.clauses):
+                self.injected[kind] = 0
 
     def before_attempt(self, request, attempt: int, worker: int) -> float:
         """Decide the fate of one attempt; called before the kernel runs.
@@ -265,11 +311,15 @@ class FaultInjector:
                     request_id=request.request_id, worker=worker, injected=True,
                 )
         rng = np.random.default_rng(
-            [self.seed & 0xFFFFFFFF, request.request_id & 0xFFFFFFFF, attempt]
+            [self.seed & _SEED_MASK, request.request_id & _SEED_MASK, attempt]
         )
         slow = 1.0
         for clause in self.plan.clauses:
-            if clause.kind == "crash_worker":
+            if clause.kind == "crash_worker" or clause.kind in CORRUPTION_KINDS:
+                # Corruption clauses draw from their own salted streams in
+                # corruption_for(); consuming a draw here would perturb the
+                # legacy kill/transient/slow decisions of any plan that
+                # adds a corruption clause under the same seed.
                 continue
             draw = float(rng.random())
             if draw >= clause.probability:
@@ -293,6 +343,61 @@ class FaultInjector:
             self.injected["slow"] += 1
             slow = max(slow, clause.factor)
         return slow
+
+    def corruption_for(
+        self, request, attempt: int, worker: int
+    ) -> List[CorruptionDirective]:
+        """Draw the data-corruption directives for one attempt.
+
+        Called after :meth:`before_attempt` (which advances the
+        per-worker run clock the ``stuck_line`` clauses key on).  Each
+        stochastic corruption kind draws from its own rng stream hashed
+        over ``(seed, request_id, attempt, kind salt)``: order- and
+        pool-independent like the legacy draws, and — because the
+        streams are salted — adding a corruption clause never perturbs
+        the legacy kill/transient/slow decisions under the same seed.
+        ``stuck_line`` picks its line from ``(seed, worker, nth, salt)``
+        so the stuck cell doesn't depend on which request happened to
+        land on the worker.
+        """
+        directives: List[CorruptionDirective] = []
+        runs = self.worker_runs.get(worker, 0)
+        for clause in self.plan.clauses:
+            if clause.kind not in CORRUPTION_KINDS:
+                continue
+            if clause.kind == "stuck_line":
+                if clause.worker == worker and clause.at_request == runs:
+                    rng = np.random.default_rng(
+                        [
+                            self.seed & _SEED_MASK,
+                            clause.worker,
+                            clause.at_request,
+                            SITE_SALTS["stuck_line"],
+                        ]
+                    )
+                    site, value = (int(x) for x in rng.integers(0, 2**63, size=2))
+                    directives.append(CorruptionDirective("stuck_line", site, value))
+                    self.injected["stuck_line"] += 1
+                continue
+            rng = np.random.default_rng(
+                [
+                    self.seed & _SEED_MASK,
+                    request.request_id & _SEED_MASK,
+                    attempt,
+                    SITE_SALTS[clause.kind],
+                ]
+            )
+            if float(rng.random()) >= clause.probability:
+                continue
+            site, value = (int(x) for x in rng.integers(0, 2**63, size=2))
+            directives.append(CorruptionDirective(clause.kind, site, value))
+            self.injected[clause.kind] += 1
+        return directives
+
+    @property
+    def corrupts(self) -> bool:
+        """True when the plan contains any data-corruption clause."""
+        return any(c.kind in CORRUPTION_KINDS for c in self.plan.clauses)
 
 
 # -- retry policy -------------------------------------------------------------

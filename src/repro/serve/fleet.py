@@ -43,7 +43,10 @@ class FleetReplayCache:
         #: recordings published locally and not yet shipped to other
         #: shards (multi-process transport drains this into replies)
         self._outbox: List[Tuple[tuple, Recording]] = []
-        self.stats = {"published": 0, "adopted": 0, "served": 0}
+        #: keys retracted locally (poisoned recordings) and not yet
+        #: shipped to other shards
+        self._retract_outbox: List[tuple] = []
+        self.stats = {"published": 0, "adopted": 0, "served": 0, "retracted": 0}
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -74,9 +77,33 @@ class FleetReplayCache:
             self.stats["adopted"] += 1
         self._trim()
 
+    def retract(self, key: tuple) -> None:
+        """Remove a poisoned recording fleet-wide.
+
+        The local entry is dropped, any not-yet-shipped publish of it is
+        cancelled, and the retraction is queued for the other shards so a
+        corrupt recording one worker produced can never be replayed by
+        another.
+        """
+        self._entries.pop(key, None)
+        self._outbox = [(k, r) for k, r in self._outbox if k != key]
+        self._retract_outbox.append(key)
+        self.stats["retracted"] += 1
+
+    def discard(self, keys: Iterable[tuple]) -> None:
+        """Apply retractions that arrived from another shard (no outbox:
+        they are already propagating fleet-wide)."""
+        for key in keys:
+            self._entries.pop(key, None)
+
     def drain_outbox(self) -> List[Tuple[tuple, Recording]]:
         """Hand over everything published since the last drain."""
         out, self._outbox = self._outbox, []
+        return out
+
+    def drain_retractions(self) -> List[tuple]:
+        """Hand over every key retracted since the last drain."""
+        out, self._retract_outbox = self._retract_outbox, []
         return out
 
     def _trim(self) -> None:

@@ -26,7 +26,7 @@ from repro.runtime.phases import PhaseBreakdown
 KINDS = ("gemm", "conv_layer", "kernel", "graph")
 
 #: Lifecycle states a :class:`RequestResult` can end in.
-STATUSES = ("ok", "failed", "timed_out", "shed")
+STATUSES = ("ok", "failed", "timed_out", "shed", "corrupted")
 
 
 def validate_out_shape(out_shape, where: str) -> Tuple[int, int]:
@@ -203,11 +203,14 @@ class RequestResult:
     ``status`` is the request's lifecycle outcome (one of
     :data:`STATUSES`): ``ok``, ``failed`` (all attempts exhausted or a
     non-retryable error — ``output`` is ``None``), ``timed_out``
-    (completed past its ``deadline_cycle``; output kept) or ``shed``
-    (dropped by admission control before running).  ``error`` carries
-    the per-attempt failure history, ``attempts`` how many tries the
-    request consumed (1 = first try succeeded), and ``fault_class`` the
-    taxonomy bucket of the final failure.
+    (completed past its ``deadline_cycle``; output kept), ``shed``
+    (dropped by admission control before running) or ``corrupted``
+    (the output is known or suspected wrong — flagged by
+    ``validate="report"`` or by an exhausted corruption-recovery
+    escalation; the suspect output is kept for forensics).  ``error``
+    carries the per-attempt failure history, ``attempts`` how many
+    tries the request consumed (1 = first try succeeded), and
+    ``fault_class`` the taxonomy bucket of the final failure.
     """
 
     request_id: int
@@ -231,6 +234,11 @@ class RequestResult:
     #: The online dispatcher stamps absolute ``start_cycle``/``end_cycle``
     #: once the request's place on the timeline is known.
     launches: List[Dict[str, Any]] = field(default_factory=list, repr=False)
+    #: integrity verdict details when a policy other than ``off`` ran (or
+    #: an injected corruption fired): ``policy``, ``corrected``/``method``
+    #: when ABFT repaired the output in place, ``events`` with what the
+    #: fault injector actually flipped.  JSON-clean.
+    integrity: Optional[Dict[str, Any]] = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
         if self.status not in STATUSES:
@@ -267,8 +275,9 @@ class RequestResult:
 
     @property
     def completed(self) -> bool:
-        """True when the request actually ran to completion (possibly late)."""
-        return self.status in ("ok", "timed_out")
+        """True when the request actually ran to completion (possibly late,
+        possibly with an output flagged ``corrupted``)."""
+        return self.status in ("ok", "timed_out", "corrupted")
 
     @property
     def offload_count(self) -> int:

@@ -30,11 +30,15 @@ from repro.compiler import install_compiled, offload_compiled
 from repro.core.api import Matrix
 from repro.core.config import ArcaneConfig
 from repro.core.system import ArcaneSystem, RunReport
+from repro.integrity.check import DigestLedger, check_output, coerce_policy
+from repro.integrity.inject import CorruptionDirective
 from repro.runtime.phases import PhaseBreakdown
+from repro.runtime.replay import ReplayDivergence
 from repro.serve.faults import (
     FaultInjector,
     RequestRejected,
     ServingError,
+    SilentCorruptionError,
     WorkerCrashError,
 )
 from repro.serve.request import GraphNode, InferenceRequest, RequestResult
@@ -50,6 +54,7 @@ class SystemWorker:
         config: Optional[ArcaneConfig] = None,
         with_compiled: bool = True,
         fleet=None,
+        integrity: str = "off",
     ) -> None:
         self.index = index
         self.config = config or ArcaneConfig()
@@ -58,6 +63,12 @@ class SystemWorker:
         #: the worker's replay cache publishes to / adopts from; ``None``
         #: keeps replay strictly per-system
         self.fleet = fleet
+        #: integrity policy applied to every output this worker produces
+        #: (``off | digest | abft | dmr`` — :mod:`repro.integrity.check`)
+        self.integrity = coerce_policy(integrity)
+        #: request-digest -> output-digest memory; survives rebuilds on
+        #: purpose (the ledger describes *payloads*, not this silicon)
+        self.ledger = DigestLedger() if self.integrity != "off" else None
         self.system = ArcaneSystem(self.config)
         if with_compiled:
             install_compiled(self.system.llc.runtime.library)
@@ -88,6 +99,8 @@ class SystemWorker:
         injector: Optional[FaultInjector] = None,
         observe: bool = False,
         slow_factor: float = 1.0,
+        directives: Sequence[CorruptionDirective] = (),
+        bypass_fastpath: bool = False,
     ) -> RequestResult:
         """Execute one attempt on the long-lived system and reset it.
 
@@ -103,7 +116,10 @@ class SystemWorker:
 
         ``slow_factor`` lets a caller that already drew the fault decision
         (the dispatch core injects in the core, not at the worker) apply an
-        injected latency spike; a local ``injector`` overrides it.
+        injected latency spike; a local ``injector`` overrides it.  The
+        same caller hands parent-drawn corruption ``directives`` for this
+        attempt; ``bypass_fastpath`` suspends the replay fast path for the
+        attempt (corruption-escalation retries distrust cached recordings).
         """
         start = time.perf_counter()
         self.last_recovery = None
@@ -121,10 +137,27 @@ class SystemWorker:
                 # it is still clean — no recovery needed
                 self.failures += 1
                 raise
+            if not directives:
+                directives = injector.corruption_for(request, attempt, self.index)
         cache = self.system.llc.runtime.replay_cache if observe else None
         launch_log: Optional[List[Tuple[int, str]]] = None
         if cache is not None:
             launch_log = cache.launch_log = []
+        replay_cache = self.system.llc.runtime.replay_cache
+        if replay_cache is not None:
+            if bypass_fastpath:
+                replay_cache.suspended = True
+            if self.integrity != "off":
+                # log every recording stored or replayed this attempt so a
+                # detection can retract whatever the attempt poisoned
+                replay_cache.touched = []
+        surface = self.system.corruption
+        # arm() resets the event log, but an unarmed run must too — stale
+        # events from a previous armed run on this system would otherwise
+        # attach to the wrong result
+        surface.events = []
+        if directives:
+            surface.arm(directives)
         try:
             output, reports = self._dispatch(request)
             for report in reports:
@@ -135,6 +168,21 @@ class SystemWorker:
                         f"{len(killed)} offload(s) killed by the decoder",
                         request_id=request.request_id, worker=self.index,
                     )
+        except ReplayDivergence as error:
+            # A recording stopped matching the machine mid-replay: on a
+            # healthy system this is unreachable, so treat it as a
+            # poisoned recording.  The scheduler already invalidated and
+            # retracted the diverged key; drop everything else this
+            # attempt touched and surface a retryable corruption failure.
+            self.failures += 1
+            self._retract_touched()
+            self._recover()
+            raise SilentCorruptionError(
+                f"request {request.request_id}: replay recording diverged "
+                f"mid-run on worker {self.index} (poisoned recording "
+                f"invalidated and retracted)",
+                request_id=request.request_id, worker=self.index,
+            ) from error
         except BaseException:
             # Keep the original diagnostic: a failed request may leave
             # kernels pending, in which case reset_heap() itself raises —
@@ -146,6 +194,23 @@ class SystemWorker:
         finally:
             if cache is not None:
                 cache.launch_log = None
+            if surface.armed:
+                surface.disarm()
+        integrity_info: Optional[Dict[str, Any]] = None
+        if self.integrity != "off":
+            try:
+                output, reports, integrity_info = self._check_integrity(
+                    request, output, reports
+                )
+            except SilentCorruptionError:
+                self.failures += 1
+                self._retract_touched()
+                self._recover()
+                raise
+            except BaseException:
+                self.failures += 1
+                self._recover()
+                raise
         launches: List[Dict[str, Any]] = []
         if observe:
             # collect per-launch records before reset_heap() clears the
@@ -160,6 +225,7 @@ class SystemWorker:
                     "cycles": phases.total if phases is not None else 0,
                     "replay": outcomes.get(kernel.kernel_id, "off"),
                 })
+        self._restore_replay_flags()
         self.system.reset_heap()
         wall = time.perf_counter() - start
         sim_cycles = sum(r.total_cycles for r in reports)
@@ -172,6 +238,11 @@ class SystemWorker:
             breakdown.merge(report.breakdown)
         self.busy_cycles += sim_cycles
         self.served += 1
+        if surface.events:
+            # what actually fired on the machine (diagnostics): attached
+            # even under policy "off", where nothing would catch it
+            integrity_info = dict(integrity_info or {})
+            integrity_info["events"] = list(surface.events)
         return RequestResult(
             request_id=request.request_id,
             kind=request.kind,
@@ -183,6 +254,7 @@ class SystemWorker:
             reports=reports,
             attempts=attempt,
             launches=launches,
+            integrity=integrity_info,
         )
 
     def apply_injected(self, error: ServingError) -> None:
@@ -241,6 +313,76 @@ class SystemWorker:
         if cache is not None:
             cache.fleet = self.fleet
 
+    def _check_integrity(
+        self, request: InferenceRequest, output: np.ndarray, reports: List[RunReport]
+    ) -> Tuple[np.ndarray, List[RunReport], Dict[str, Any]]:
+        """Apply this worker's integrity policy to a finished attempt.
+
+        Raises :class:`SilentCorruptionError` on unrepairable corruption;
+        returns the (possibly ABFT-corrected) output, the report list
+        (extended with the DMR shadow's reports — redundancy costs real
+        cycles) and a JSON-clean info dict for the result.
+        """
+        info: Dict[str, Any] = {"policy": self.integrity}
+        verdict = check_output(request, output, self.integrity, self.ledger)
+        if verdict.status == "corrupt":
+            raise SilentCorruptionError(
+                f"request {request.request_id}: {verdict.detail} "
+                f"(worker {self.index}, via {verdict.method})",
+                request_id=request.request_id, worker=self.index,
+            )
+        if verdict.status == "corrected":
+            info["corrected"] = True
+            info["method"] = verdict.method
+            output = verdict.output
+        elif verdict.method is not None:
+            info["method"] = verdict.method
+        if self.integrity == "dmr":
+            shadow, shadow_reports = self._shadow_run(request)
+            reports = list(reports) + shadow_reports
+            if (
+                shadow.shape != output.shape
+                or shadow.dtype != output.dtype
+                or not np.array_equal(shadow, output)
+            ):
+                raise SilentCorruptionError(
+                    f"request {request.request_id}: DMR shadow execution "
+                    f"disagrees with the primary on worker {self.index}",
+                    request_id=request.request_id, worker=self.index,
+                )
+            info["method"] = "dmr"
+        return output, reports, info
+
+    def _shadow_run(
+        self, request: InferenceRequest
+    ) -> Tuple[np.ndarray, List[RunReport]]:
+        """DMR shadow: re-execute once more on the reset machine with the
+        replay fast path suspended (a poisoned recording must not vote)."""
+        self.system.reset_heap()
+        cache = self.system.llc.runtime.replay_cache
+        restore = cache.suspended if cache is not None else False
+        if cache is not None:
+            cache.suspended = True
+        try:
+            return self._dispatch(request)
+        finally:
+            if cache is not None:
+                cache.suspended = restore
+
+    def _retract_touched(self) -> None:
+        """Invalidate (and fleet-retract) every recording this attempt
+        stored or replayed — a detected corruption taints all of them."""
+        cache = self.system.llc.runtime.replay_cache
+        if cache is not None and cache.touched:
+            for key in dict.fromkeys(cache.touched):
+                cache.invalidate(key)
+
+    def _restore_replay_flags(self) -> None:
+        cache = self.system.llc.runtime.replay_cache
+        if cache is not None:
+            cache.touched = None
+            cache.suspended = False
+
     def _recover(self) -> None:
         """Restore a serviceable system after a failed request.
 
@@ -249,6 +391,7 @@ class SystemWorker:
         swallowed reset-failure diagnostic on ``last_recovery`` so the
         engine can attach it to the request's failure record.
         """
+        self._restore_replay_flags()
         try:
             self.system.reset_heap()
         except Exception as reset_error:

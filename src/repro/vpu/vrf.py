@@ -34,6 +34,10 @@ class VectorRegisterFile:
             etype.nbytes: [line.data.view(etype.np_dtype) for line in lines]
             for etype in ElementType
         }
+        # Fault-injection hook (see repro.integrity.inject): when armed it
+        # may return a corrupted copy of the values written.  None when no
+        # fault plan is armed, so the hot path pays one attribute check.
+        self.corruption = None
 
     @property
     def n_regs(self) -> int:
@@ -73,6 +77,8 @@ class VectorRegisterFile:
                 f"write of {len(values)} elements at offset {offset} "
                 f"overflows register {index}"
             )
+        if self.corruption is not None:
+            values = self.corruption.on_vrf_write(index, values, offset)
         view[offset : offset + len(values)] = values
 
     def fill(self, index: int, value: int, etype: ElementType) -> None:

@@ -22,6 +22,7 @@ from repro.serve import (
     stamp_arrivals,
     stamp_deadlines,
 )
+from repro.integrity.inject import CORRUPTION_KINDS
 from repro.serve.faults import HEALTHY, PROBATION, QUARANTINED
 from repro.serve.traffic import TrafficSpec
 
@@ -72,11 +73,23 @@ class TestFaultPlanGrammar:
         "crash_worker:2",        # missing @<nth>
         "crash_worker:-1@3",     # worker must be >= 0
         "crash_worker:0@0",      # nth is 1-based
+        "flip:0",                # corruption probabilities too
+        "dma_corrupt:1.5",
+        "stuck_line:1",          # missing @<nth>
+        "stuck_line:-1@2",
+        "stuck_line:0@0",
         "",
     ])
     def test_bad_specs_raise(self, bad):
         with pytest.raises(ValueError):
             FaultPlan.parse(bad)
+
+    def test_corruption_clauses_round_trip(self):
+        spec = "flip:0.01,dma_corrupt:0.02,vrf_flip:0.05,stuck_line:1@3"
+        plan = FaultPlan.parse(spec)
+        assert [c.kind for c in plan.clauses] == list(CORRUPTION_KINDS)
+        assert plan.describe() == spec
+        assert FaultPlan.parse(plan.describe()) == plan
 
 
 class TestInjectorDeterminism:
@@ -117,6 +130,83 @@ class TestInjectorDeterminism:
             return out
 
         assert fates(1) != fates(2)
+
+
+class TestCorruptionDrawDeterminism:
+    def test_directives_depend_only_on_seed_request_attempt(self, rng):
+        """Corruption sites/values hash from (seed, request, attempt,
+        site-salt): byte-identical no matter the worker or draw order."""
+        plan = FaultPlan.parse("flip:0.6,dma_corrupt:0.6,vrf_flip:0.6")
+        requests = gemm_batch(rng, 20)
+        a = FaultInjector(plan, seed=11)
+        b = FaultInjector(plan, seed=11)
+        fwd = [a.corruption_for(r, 1, worker=0) for r in requests]
+        rev = [b.corruption_for(r, 1, worker=5) for r in reversed(requests)]
+        assert fwd == list(reversed(rev))
+        assert any(fwd)  # the plan actually fires
+        kinds = {d.kind for directives in fwd for d in directives}
+        assert kinds == {"flip", "dma_corrupt", "vrf_flip"}
+
+    def test_attempts_draw_independent_sites(self, rng):
+        plan = FaultPlan.parse("flip:1")
+        request = gemm_batch(rng, 1)[0]
+        injector = FaultInjector(plan, seed=3)
+        first = injector.corruption_for(request, 1, worker=0)
+        second = injector.corruption_for(request, 2, worker=0)
+        assert first and second
+        assert first[0].site != second[0].site
+
+    def test_stuck_line_keys_on_worker_run_not_request(self, rng):
+        """The stuck cell is a property of the silicon, not the workload:
+        the directive fires on worker 0's nth run with the same site for
+        any request that happens to trigger it."""
+        plan = FaultPlan.parse("stuck_line:0@2")
+        requests = gemm_batch(rng, 3)
+
+        def nth_run_site(order):
+            injector = FaultInjector(plan, seed=9)
+            sites = []
+            for request in order:
+                injector.before_attempt(request, 1, worker=0)
+                sites.extend(
+                    d.site for d in injector.corruption_for(request, 1, worker=0)
+                )
+            return sites
+
+        forward = nth_run_site(requests)
+        shuffled = nth_run_site(requests[::-1])
+        assert len(forward) == len(shuffled) == 1
+        assert forward == shuffled
+
+    def test_legacy_draws_are_pinned_and_unperturbed(self, rng):
+        """Satellite regression: adding corruption clauses to a plan must
+        not shift the legacy kill/transient/slow draw stream.  The fates
+        below are the recorded seed-7 draws for the legacy plan; the
+        corruption-augmented plan must reproduce them exactly."""
+        expected = [
+            "ok", "ok", "TransientOffloadError", "TransientOffloadError",
+            "ok", "KernelKilledError", "KernelKilledError", "ok",
+            "TransientOffloadError", "KernelKilledError", "KernelKilledError",
+            "ok", "ok", "TransientOffloadError", "KernelKilledError", "ok",
+            "TransientOffloadError", "ok", "ok", "ok",
+        ]
+        requests = gemm_batch(rng, 20)
+
+        def fates(spec):
+            injector = FaultInjector(FaultPlan.parse(spec), seed=7)
+            out = []
+            for request in requests:
+                try:
+                    injector.before_attempt(request, 1, 0)
+                    out.append("ok")
+                except Exception as error:
+                    out.append(type(error).__name__)
+            return out
+
+        legacy = "kill:0.3,transient:0.2,slow:0.2:3x"
+        augmented = legacy + ",flip:0.9,dma_corrupt:0.9,vrf_flip:0.9,stuck_line:0@1"
+        assert fates(legacy) == expected
+        assert fates(augmented) == expected
 
 
 class TestOfflineFaults:
@@ -207,6 +297,81 @@ class TestOfflineFaults:
         a = ServingEngine(pool_size=2, config=CFG).serve(requests, **kwargs)
         b = ServingEngine(pool_size=2, config=CFG).serve(requests, **kwargs)
         assert strip_wall(a.as_dict()) == strip_wall(b.as_dict())
+
+    @pytest.mark.parametrize(
+        "spec",
+        ["flip:0.4", "dma_corrupt:0.4", "vrf_flip:0.4", "stuck_line:0@1"],
+    )
+    def test_corruption_same_seed_reports_are_identical(self, rng, spec):
+        """Every corruption clause: same seed, same engine layout ->
+        byte-identical reports (sites, values and verdicts included)."""
+        requests = gemm_batch(rng, 8)
+        kwargs = dict(verify="report", faults=spec, fault_seed=10)
+        a = ServingEngine(pool_size=2, config=CFG, integrity="abft").serve(
+            requests, **kwargs)
+        b = ServingEngine(pool_size=2, config=CFG, integrity="abft").serve(
+            requests, **kwargs)
+        assert strip_wall(a.as_dict()) == strip_wall(b.as_dict())
+        for x, y in zip(a.results, b.results):
+            assert x.status == y.status and x.integrity == y.integrity
+            assert (x.output is None) == (y.output is None)
+            if x.output is not None:
+                assert np.array_equal(x.output, y.output)
+
+    def test_corruption_serial_matches_multiprocess(self, rng):
+        """Corruption draws live in the dispatch core and detection in the
+        workers' deterministic checks, so a partitioned pool reproduces
+        the serial run bit-for-bit — clauses combined to cover all four."""
+        requests = gemm_batch(rng, 8)
+        kwargs = dict(
+            verify="report", fault_seed=10,
+            faults="flip:0.3,dma_corrupt:0.3,vrf_flip:0.3,stuck_line:0@2",
+        )
+        serial = ServingEngine(pool_size=2, config=CFG, integrity="abft").serve(
+            requests, **kwargs)
+        engine = ServingEngine(
+            pool_size=2, config=CFG, processes=2, integrity="abft")
+        try:
+            parallel = engine.serve(requests, **kwargs)
+        finally:
+            engine.close()
+        a, b = strip_wall(serial.as_dict()), strip_wall(parallel.as_dict())
+        for record in (a, b):
+            record.pop("processes")
+            record.pop("requested_processes")
+        assert a == b
+        for x, y in zip(serial.results, parallel.results):
+            assert x.status == y.status
+            if x.output is not None:
+                assert np.array_equal(x.output, y.output)
+
+    def test_flip_sites_are_mode_independent(self, rng):
+        """Flip draws hash from (seed, request, attempt) only, so offline
+        and online serving corrupt the same bits and reach the same
+        verdicts.  The replay fast path is off here: a replay hit would
+        mask a flip's manifestation, and the two modes warm the caches in
+        different orders (sites still match; detection might not)."""
+        nofast = ArcaneConfig(
+            n_vpus=2, lanes=4, line_bytes=256, vpu_kib=8,
+            main_memory_kib=512, fastpath=False,
+        )
+        requests = gemm_batch(rng, 8)
+        offline = ServingEngine(pool_size=2, config=nofast, integrity="abft").serve(
+            requests, verify="report", faults="flip:0.5", fault_seed=3)
+        online = ServingEngine(pool_size=2, config=nofast, integrity="abft").serve_online(
+            requests, traffic="bursty:8:0", verify="report",
+            faults="flip:0.5", fault_seed=3)
+        assert offline.integrity["injected"] == online.integrity["injected"]
+        assert offline.integrity["detected"] == online.integrity["detected"]
+        for x, y in zip(offline.results, online.results):
+            assert x.status == y.status
+            flips = lambda r: [
+                (e["kind"], e.get("bit"), e.get("address"))
+                for e in (r.integrity or {}).get("events", [])
+            ]
+            assert flips(x) == flips(y)
+            if x.output is not None:
+                assert np.array_equal(x.output, y.output)
 
 
 class TestOnlineFaults:
